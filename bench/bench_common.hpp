@@ -1,0 +1,89 @@
+#pragma once
+// Shared workload and reporting plumbing for the paper-reproduction
+// benches.
+//
+// Scale note: the paper maps 1M reads per read-length against human
+// chromosome 21 (46.7 Mbp). The default bench workload is a 4 Mbp
+// repeat-rich synthetic chromosome ("chr21-sim") and 20k reads per
+// read-length so that the whole suite finishes in minutes; every bench
+// accepts --genome/--reads/--seed to scale toward the paper. Reported
+// times are *modeled device seconds* (see ocl::Device) — deterministic
+// and host-independent; compare ratios and shapes against the paper,
+// not absolute values.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/repute_mapper.hpp"
+#include "genomics/genome_sim.hpp"
+#include "genomics/read_sim.hpp"
+#include "index/fm_index.hpp"
+#include "ocl/platform.hpp"
+#include "util/args.hpp"
+
+namespace repute::bench {
+
+struct Workload {
+    genomics::Reference reference;
+    std::unique_ptr<index::FmIndex> fm;
+    /// ERR012100_1 stand-in: n=100, errors up to 5 (mapped at delta 3-5).
+    genomics::SimulatedReads reads100;
+    /// SRR826460_1 stand-in: n=150, errors up to 7 (mapped at delta 5-7).
+    genomics::SimulatedReads reads150;
+
+    const genomics::SimulatedReads& reads(std::size_t n) const {
+        return n == 100 ? reads100 : reads150;
+    }
+};
+
+struct WorkloadConfig {
+    std::size_t genome_length = 6'000'000;
+    std::size_t n_reads = 4'000;
+    std::uint64_t seed = 21;
+    /// Repeat structure: chr21 is ~46% repeat-derived with young Alu
+    /// families well under 5% divergence — the multiplicity those
+    /// repeats give k-mers is what separates the filtration strategies.
+    double repeat_fraction = 0.50;
+    double repeat_divergence = 0.025;
+};
+
+/// Parses --genome/--reads/--seed (and --quick, which shrinks both by
+/// 4x) into a WorkloadConfig.
+WorkloadConfig parse_workload_config(const util::Args& args);
+
+/// Builds the genome, index and both read sets. Prints progress to
+/// stdout (benches are interactive tools).
+Workload make_workload(const WorkloadConfig& config);
+
+/// The paper's sweep: (read length, delta) cells of Tables I-III.
+struct Cell {
+    std::size_t read_length;
+    std::uint32_t delta;
+};
+inline const std::vector<Cell>& paper_cells() {
+    static const std::vector<Cell> cells = {{100, 3}, {100, 4}, {100, 5},
+                                            {150, 5}, {150, 6}, {150, 7}};
+    return cells;
+}
+
+/// One mapper row of a table: modeled time and accuracy per cell.
+struct Row {
+    std::string name;
+    std::vector<double> time_s;
+    std::vector<double> accuracy_pct;
+};
+
+/// Prints a paper-style table: header with the cells, one row per
+/// mapper, "T(s) A(%)" pairs.
+void print_table(const std::string& title, const std::vector<Row>& rows);
+
+/// Prints a two-column series (figures 3/4).
+void print_series(const std::string& title, const std::string& x_label,
+                  const std::vector<double>& x,
+                  const std::string& y_label,
+                  const std::vector<double>& y);
+
+} // namespace repute::bench

@@ -1,0 +1,78 @@
+#include "bench_mappers.hpp"
+
+#include <cmath>
+
+namespace repute::bench {
+
+std::uint32_t scaled_q(std::size_t genome_length, double target_hits) {
+    const double q = std::log2(static_cast<double>(genome_length) /
+                               target_hits) /
+                     2.0;
+    return std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(std::lround(q)), 8, 12);
+}
+
+std::unique_ptr<baselines::RazerS3Like> make_gold_standard(
+    const Workload& w, ocl::Device& device) {
+    // chr21 at q=12 gives ~2.8 random hits per q-gram.
+    return std::make_unique<baselines::RazerS3Like>(
+        w.reference, device, /*max_locations=*/100,
+        scaled_q(w.reference.size(), 2.8));
+}
+
+std::vector<MapperSpec> baseline_specs(const Workload& w,
+                                       ocl::Device& cpu) {
+    std::vector<MapperSpec> specs;
+    specs.push_back(
+        {"RazerS3", [&w, &cpu](std::size_t, std::uint32_t) {
+             return make_gold_standard(w, cpu);
+         }});
+    specs.push_back(
+        {"Hobbes3", [&w, &cpu](std::size_t, std::uint32_t) {
+             // chr21 at q=11 gives ~11 random hits per signature.
+             return std::make_unique<baselines::Hobbes3Like>(
+                 w.reference, cpu, /*max_locations=*/1000,
+                 scaled_q(w.reference.size(), 11.0));
+         }});
+    specs.push_back({"Yara", [&w, &cpu](std::size_t, std::uint32_t) {
+                         return std::make_unique<baselines::YaraLike>(
+                             w.reference, *w.fm, cpu);
+                     }});
+    specs.push_back({"BWA-MEM", [&w, &cpu](std::size_t, std::uint32_t) {
+                         return std::make_unique<baselines::BwaMemLike>(
+                             w.reference, *w.fm, cpu);
+                     }});
+    specs.push_back({"GEM", [&w, &cpu](std::size_t, std::uint32_t) {
+                         return std::make_unique<baselines::GemLike>(
+                             w.reference, *w.fm, cpu);
+                     }});
+    return specs;
+}
+
+MapperSpec repute_spec(const Workload& w,
+                       std::vector<core::DeviceShare> shares,
+                       const std::string& name) {
+    return {name, [&w, shares, name](std::size_t n, std::uint32_t delta) {
+                core::KernelConfig kernel;
+                kernel.max_locations_per_read = 1000;
+                auto mapper = core::make_repute(
+                    w.reference, *w.fm, best_s_min(n, delta), shares,
+                    kernel);
+                return mapper;
+            }};
+}
+
+MapperSpec coral_spec(const Workload& w,
+                      std::vector<core::DeviceShare> shares,
+                      const std::string& name) {
+    return {name, [&w, shares, name](std::size_t n, std::uint32_t delta) {
+                core::KernelConfig kernel;
+                kernel.max_locations_per_read = 1000;
+                auto mapper = core::make_coral(
+                    w.reference, *w.fm, best_s_min(n, delta), shares,
+                    kernel);
+                return mapper;
+            }};
+}
+
+} // namespace repute::bench

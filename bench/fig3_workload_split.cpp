@@ -1,0 +1,67 @@
+// Figure 3 — mapping time vs CPU/GPU workload distribution (§IV).
+//
+// Configuration from the paper: n=150, delta=5, minimum k-mer length 22,
+// 1M reads (scaled here). The x-axis is the number of reads mapped by
+// *each* GPU; the rest go to the CPU. The paper's curve falls from the
+// CPU-only point, bottoms out at a balanced split, and rises again as
+// the GPUs become the bottleneck.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bench_mappers.hpp"
+#include "core/kernels.hpp"
+
+using namespace repute;
+using namespace repute::bench;
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const auto workload = make_workload(parse_workload_config(args));
+
+    auto platform = ocl::Platform::system1();
+    auto& cpu = platform.device("i7-2600");
+    auto& gpu0 = platform.device("gtx590-0");
+    auto& gpu1 = platform.device("gtx590-1");
+
+    const std::size_t n = 150;
+    const std::uint32_t delta = 5;
+    const std::uint32_t s_min = 22; // fixed, per the figure caption
+    const auto& batch = workload.reads(n).batch;
+    const std::size_t total = batch.size();
+
+    std::vector<double> x, y;
+    const int steps = static_cast<int>(args.get_int("steps", 10));
+    for (int step = 0; step <= steps; ++step) {
+        // reads per GPU: 0 .. total/2 (both GPUs take everything).
+        const std::size_t per_gpu = total * static_cast<std::size_t>(step) /
+                                    (2 * static_cast<std::size_t>(steps));
+        const std::size_t cpu_reads = total - 2 * per_gpu;
+
+        core::KernelConfig kernel;
+        kernel.max_locations_per_read = 1000;
+        std::vector<core::DeviceShare> shares;
+        if (cpu_reads > 0) {
+            shares.push_back(
+                {&cpu, static_cast<double>(cpu_reads)});
+        }
+        if (per_gpu > 0) {
+            shares.push_back({&gpu0, static_cast<double>(per_gpu)});
+            shares.push_back({&gpu1, static_cast<double>(per_gpu)});
+        }
+        auto mapper = core::make_repute(workload.reference, *workload.fm,
+                                        s_min, std::move(shares), kernel);
+        const auto result = mapper->map(batch, delta);
+        x.push_back(static_cast<double>(per_gpu));
+        y.push_back(result.mapping_seconds);
+        std::printf("# per-gpu=%zu cpu=%zu  T=%.3fs\n", per_gpu,
+                    cpu_reads, result.mapping_seconds);
+        std::fflush(stdout);
+    }
+
+    print_series(
+        "Fig. 3: REPUTE mapping time vs workload split (n=150, d=5, "
+        "s_min=22); x = reads mapped by EACH GTX 590",
+        "reads/GPU", x, "T(s)", y);
+    return 0;
+}

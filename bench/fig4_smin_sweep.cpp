@@ -1,0 +1,58 @@
+// Figure 4 — mapping time vs minimum k-mer length (§IV).
+//
+// Configuration from the paper: n=100, delta=4, fixed split (820k reads
+// on the CPU, 90k on each GPU, scaled here). Small s_min => a large DP
+// exploration space: better seeds but more filtration work and a larger
+// kernel footprint (lower GPU occupancy). Large s_min => the DP has no
+// room to optimize, candidate counts grow and verification dominates.
+// The paper's curve is high at s_min=14, dips around 16-18, and rises
+// again at 20.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bench_mappers.hpp"
+#include "core/kernels.hpp"
+
+using namespace repute;
+using namespace repute::bench;
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const auto workload = make_workload(parse_workload_config(args));
+
+    auto platform = ocl::Platform::system1();
+    auto& cpu = platform.device("i7-2600");
+    auto& gpu0 = platform.device("gtx590-0");
+    auto& gpu1 = platform.device("gtx590-1");
+
+    const std::size_t n = 100;
+    const std::uint32_t delta = 4;
+    const auto& batch = workload.reads(n).batch;
+
+    // Paper split: 82% CPU, 9% per GPU.
+    const std::vector<core::DeviceShare> shares = {
+        {&cpu, 0.82}, {&gpu0, 0.09}, {&gpu1, 0.09}};
+
+    std::vector<double> x, y;
+    for (std::uint32_t s_min = 10; s_min * (delta + 1) <= n; s_min += 2) {
+        core::KernelConfig kernel;
+        kernel.max_locations_per_read = 1000;
+        auto mapper = core::make_repute(workload.reference, *workload.fm,
+                                        s_min, shares, kernel);
+        const auto result = mapper->map(batch, delta);
+        x.push_back(s_min);
+        y.push_back(result.mapping_seconds);
+        std::printf("# s_min=%u  T=%.3fs (gpu util %.2f)\n", s_min,
+                    result.mapping_seconds,
+                    result.device_runs.size() > 1
+                        ? result.device_runs[1].stats.utilization
+                        : 1.0);
+        std::fflush(stdout);
+    }
+
+    print_series("Fig. 4: REPUTE mapping time vs minimum k-mer length "
+                 "(n=100, d=4, split 82/9/9)",
+                 "s_min", x, "T(s)", y);
+    return 0;
+}

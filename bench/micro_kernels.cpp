@@ -1,0 +1,230 @@
+// Microbenchmarks and ablations (google-benchmark).
+//
+// Covers the design choices DESIGN.md calls out:
+//   * filtration ablation: uniform vs heuristic (CORAL) vs full OSS vs
+//     REPUTE's memory-optimized DP — time AND produced candidate count;
+//   * verification ablation: Myers bit-vector vs banded DP vs full DP;
+//   * index primitives: exact backward search, locate, approximate
+//     search tree growth with the error budget (the Yara cost driver);
+//   * suffix-array construction.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "align/edit_distance.hpp"
+#include "align/myers.hpp"
+#include "filter/heuristic_seeder.hpp"
+#include "filter/memopt_seeder.hpp"
+#include "filter/optimal_seeder.hpp"
+#include "filter/uniform_seeder.hpp"
+#include "genomics/genome_sim.hpp"
+#include "genomics/read_sim.hpp"
+#include "index/approx_search.hpp"
+#include "index/bi_fm_index.hpp"
+#include "index/fm_index.hpp"
+#include "index/suffix_array.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace repute;
+
+struct MicroWorkload {
+    genomics::Reference reference;
+    std::unique_ptr<index::FmIndex> fm;
+    genomics::SimulatedReads reads;
+};
+
+const MicroWorkload& workload() {
+    static const MicroWorkload w = [] {
+        genomics::GenomeSimConfig gconfig;
+        gconfig.length = 1'000'000;
+        gconfig.seed = 7;
+        MicroWorkload mw{genomics::simulate_genome(gconfig), nullptr, {}};
+        mw.fm = std::make_unique<index::FmIndex>(mw.reference, 4);
+        genomics::ReadSimConfig rconfig;
+        rconfig.n_reads = 512;
+        rconfig.read_length = 100;
+        rconfig.max_errors = 5;
+        mw.reads = genomics::simulate_reads(mw.reference, rconfig);
+        return mw;
+    }();
+    return w;
+}
+
+// ------------------------------------------------- filtration ablation
+
+template <typename SeederT>
+void bm_seeder(benchmark::State& state) {
+    const auto& w = workload();
+    const SeederT seeder(static_cast<std::uint32_t>(state.range(0)));
+    const std::uint32_t delta = 5;
+    std::size_t i = 0;
+    std::uint64_t candidates = 0, reads = 0;
+    for (auto _ : state) {
+        const auto& read = w.reads.batch.reads[i++ % w.reads.batch.size()];
+        const auto plan = seeder.select(*w.fm, read.codes, delta);
+        benchmark::DoNotOptimize(plan.total_candidates);
+        candidates += plan.total_candidates;
+        ++reads;
+    }
+    state.counters["candidates/read"] =
+        static_cast<double>(candidates) / static_cast<double>(reads);
+}
+
+void BM_Seeder_Uniform(benchmark::State& state) {
+    bm_seeder<filter::UniformSeeder>(state);
+}
+void BM_Seeder_Heuristic(benchmark::State& state) {
+    bm_seeder<filter::HeuristicSeeder>(state);
+}
+void BM_Seeder_OssFull(benchmark::State& state) {
+    bm_seeder<filter::OptimalSeeder>(state);
+}
+void BM_Seeder_ReputeDp(benchmark::State& state) {
+    bm_seeder<filter::MemoryOptimizedSeeder>(state);
+}
+BENCHMARK(BM_Seeder_Uniform)->Arg(12);
+BENCHMARK(BM_Seeder_Heuristic)->Arg(12);
+BENCHMARK(BM_Seeder_OssFull)->Arg(12);
+BENCHMARK(BM_Seeder_ReputeDp)->Arg(10)->Arg(12)->Arg(14)->Arg(16);
+
+// ----------------------------------------------- verification ablation
+
+void BM_Verify_Myers(benchmark::State& state) {
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    const align::MyersMatcher matcher(read.codes);
+    const auto window = w.reference.sequence().extract(
+        w.reads.origins[3].position, 110);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(matcher.best_in(window).distance);
+    }
+}
+void BM_Verify_BandedDp(benchmark::State& state) {
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    const auto window = w.reference.sequence().extract(
+        w.reads.origins[3].position, 110);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            align::banded_semiglobal_distance(read.codes, window, 5));
+    }
+}
+void BM_Verify_FullDp(benchmark::State& state) {
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    const auto window = w.reference.sequence().extract(
+        w.reads.origins[3].position, 110);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            align::semiglobal_distance(read.codes, window));
+    }
+}
+BENCHMARK(BM_Verify_Myers);
+BENCHMARK(BM_Verify_BandedDp);
+BENCHMARK(BM_Verify_FullDp);
+
+// ------------------------------------------------------ index primitives
+
+void BM_FmExactSearch(benchmark::State& state) {
+    const auto& w = workload();
+    const auto len = static_cast<std::size_t>(state.range(0));
+    util::Xoshiro256 rng(3);
+    std::vector<std::vector<std::uint8_t>> patterns;
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t pos = rng.bounded(w.reference.size() - len);
+        patterns.push_back(w.reference.sequence().extract(pos, len));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            w.fm->search(patterns[i++ % patterns.size()]).count());
+    }
+}
+BENCHMARK(BM_FmExactSearch)->Arg(12)->Arg(20)->Arg(32);
+
+void BM_FmLocate(benchmark::State& state) {
+    const auto& w = workload();
+    util::Xoshiro256 rng(4);
+    std::vector<index::FmIndex::Range> ranges;
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t pos = rng.bounded(w.reference.size() - 16);
+        ranges.push_back(
+            w.fm->search(w.reference.sequence().extract(pos, 16)));
+    }
+    std::vector<std::uint32_t> hits;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        hits.clear();
+        w.fm->locate_range(ranges[i++ % ranges.size()], 16, hits);
+        benchmark::DoNotOptimize(hits.data());
+    }
+}
+BENCHMARK(BM_FmLocate);
+
+void BM_ApproxSearch(benchmark::State& state) {
+    const auto& w = workload();
+    const auto errors = static_cast<std::uint32_t>(state.range(0));
+    util::Xoshiro256 rng(5);
+    std::vector<std::vector<std::uint8_t>> segments;
+    for (int i = 0; i < 32; ++i) {
+        const std::size_t pos = rng.bounded(w.reference.size() - 33);
+        segments.push_back(w.reference.sequence().extract(pos, 33));
+    }
+    std::size_t i = 0;
+    std::uint64_t nodes = 0, calls = 0;
+    for (auto _ : state) {
+        index::ApproxSearchStats stats;
+        benchmark::DoNotOptimize(index::approximate_search(
+            *w.fm, segments[i++ % segments.size()], errors, &stats));
+        nodes += stats.visited_nodes;
+        ++calls;
+    }
+    state.counters["nodes/call"] =
+        static_cast<double>(nodes) / static_cast<double>(calls);
+}
+BENCHMARK(BM_ApproxSearch)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BidiSearch(benchmark::State& state) {
+    const auto& w = workload();
+    static const index::BiFmIndex bidi(w.reference);
+    const auto errors = static_cast<std::uint32_t>(state.range(0));
+    util::Xoshiro256 rng(5); // same segments as BM_ApproxSearch
+    std::vector<std::vector<std::uint8_t>> segments;
+    for (int i = 0; i < 32; ++i) {
+        const std::size_t pos = rng.bounded(w.reference.size() - 33);
+        segments.push_back(w.reference.sequence().extract(pos, 33));
+    }
+    std::size_t i = 0;
+    std::uint64_t nodes = 0, calls = 0;
+    for (auto _ : state) {
+        index::ApproxSearchStats stats;
+        benchmark::DoNotOptimize(index::bidirectional_approximate_search(
+            bidi, segments[i++ % segments.size()], errors, &stats));
+        nodes += stats.visited_nodes;
+        ++calls;
+    }
+    state.counters["nodes/call"] =
+        static_cast<double>(nodes) / static_cast<double>(calls);
+}
+BENCHMARK(BM_BidiSearch)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// ---------------------------------------------------------- construction
+
+void BM_SuffixArraySais(benchmark::State& state) {
+    genomics::GenomeSimConfig config;
+    config.length = static_cast<std::size_t>(state.range(0));
+    const auto ref = genomics::simulate_genome(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            index::build_suffix_array(ref.sequence()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SuffixArraySais)->Arg(100'000)->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

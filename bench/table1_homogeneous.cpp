@@ -1,0 +1,69 @@
+// Table I — homogeneous scenario (§III-A / §IV).
+//
+// Every mapper runs on the workstation CPU alone. The gold standard is
+// RazerS3 (all-mapper, lossless q-gram filter, 100 locations/read);
+// accuracy is the §III-A protocol: the percentage of gold-standard
+// locations (position within delta, same strand) the mapper also
+// reports. Times are modeled i7-2600 seconds.
+//
+// Paper reference (2M real reads, chr21): REPUTE-cpu beats RazerS3,
+// Yara, BWA-MEM at every cell (up to 13x vs Yara), beats Hobbes3/GEM
+// except (100,5), and beats CORAL especially at long reads / high
+// delta, with accuracy >= 99.9%.
+
+#include <cstdio>
+
+#include "bench_mappers.hpp"
+#include "core/accuracy.hpp"
+
+using namespace repute;
+using namespace repute::bench;
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const auto workload = make_workload(parse_workload_config(args));
+
+    auto platform = ocl::Platform::system1();
+    auto& cpu = platform.device("i7-2600");
+
+    std::vector<MapperSpec> specs = baseline_specs(workload, cpu);
+    specs.push_back(coral_spec(workload, {{&cpu, 1.0}}, "CORAL-cpu"));
+    specs.push_back(repute_spec(workload, {{&cpu, 1.0}}, "REPUTE-cpu"));
+
+    // Gold standard per cell (RazerS3 result, reused for every mapper).
+    std::vector<core::MapResult> gold;
+    {
+        auto razers = make_gold_standard(workload, cpu);
+        for (const Cell& cell : paper_cells()) {
+            gold.push_back(
+                razers->map(workload.reads(cell.read_length).batch,
+                           cell.delta));
+        }
+    }
+
+    std::vector<Row> rows;
+    for (const MapperSpec& spec : specs) {
+        Row row{spec.name, {}, {}};
+        for (std::size_t c = 0; c < paper_cells().size(); ++c) {
+            const Cell& cell = paper_cells()[c];
+            auto mapper = spec.make(cell.read_length, cell.delta);
+            const auto result = mapper->map(
+                workload.reads(cell.read_length).batch, cell.delta);
+            core::AccuracyConfig acc;
+            acc.position_tolerance = cell.delta;
+            row.time_s.push_back(result.mapping_seconds);
+            row.accuracy_pct.push_back(
+                core::all_locations_accuracy(gold[c], result, acc));
+            std::printf("# %-10s n=%zu d=%u  T=%.3fs A=%.2f%%\n",
+                        spec.name.c_str(), cell.read_length, cell.delta,
+                        result.mapping_seconds, row.accuracy_pct.back());
+            std::fflush(stdout);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    print_table("Table I: homogeneous (CPU-only), modeled i7-2600 "
+                "seconds, accuracy per Sec. III-A",
+                rows);
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Table III — embedded scenario on the HiKey970 SoC (§III-C / §IV).
+//
+// Only the tools the authors could run on the board are compared:
+// RazerS3, Hobbes3 (on the SoC's CPU clusters) and CORAL/REPUTE (OpenCL
+// across the A73 and A53 clusters). Accuracy protocol as in Table II.
+//
+// Paper reference: REPUTE is up to 4x faster than RazerS3 and beats or
+// matches Hobbes3 and CORAL; everything is ~3-5x slower than the
+// workstation, but (Table IV) at ~30x lower power.
+
+#include <cstdio>
+
+#include "bench_mappers.hpp"
+#include "core/accuracy.hpp"
+#include "core/kernels.hpp"
+#include "filter/memopt_seeder.hpp"
+
+using namespace repute;
+using namespace repute::bench;
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const auto workload = make_workload(parse_workload_config(args));
+
+    auto platform = ocl::Platform::system2();
+    auto& a73 = platform.device("hikey970-a73");
+    auto& a53 = platform.device("hikey970-a53");
+
+    // The hand-threaded baselines schedule across all eight cores; the
+    // closest device model is both clusters sharing the reads in
+    // proportion to their throughput. We run them on the A73 cluster
+    // plus the A53 via the same time model the OpenCL tools use.
+    auto cluster_shares = [&](std::uint64_t scratch) {
+        return core::balanced_shares({&a73, &a53}, scratch);
+    };
+
+    std::vector<MapperSpec> specs;
+    // RazerS3 and Hobbes3 use a single-device chassis; model the SoC's
+    // eight cores with the A73+A53 balanced split applied to REPUTE and
+    // CORAL, and the big cluster alone for the pthread tools (they pin
+    // to the fast cores under Linux's scheduler for compute-bound work,
+    // with the A53s contributing little).
+    specs.push_back(
+        {"RazerS3", [&workload, &a73](std::size_t, std::uint32_t) {
+             return make_gold_standard(workload, a73);
+         }});
+    specs.push_back(
+        {"Hobbes3", [&workload, &a73](std::size_t, std::uint32_t) {
+             return std::make_unique<baselines::Hobbes3Like>(
+                 workload.reference, a73, 1000,
+                 scaled_q(workload.reference.size(), 11.0));
+         }});
+    auto hetero_spec = [&](const std::string& name, bool dp) {
+        return MapperSpec{
+            name, [&workload, cluster_shares, dp](
+                      std::size_t n, std::uint32_t delta)
+                      -> std::unique_ptr<core::Mapper> {
+                const std::uint32_t s_min = best_s_min(n, delta);
+                const filter::MemoryOptimizedSeeder probe(s_min);
+                const auto scratch =
+                    core::kernel_scratch_bytes(probe, n, delta);
+                core::KernelConfig kernel;
+                kernel.max_locations_per_read = 1000;
+                if (dp) {
+                    return core::make_repute(
+                        workload.reference, *workload.fm, s_min,
+                        cluster_shares(scratch), kernel);
+                }
+                return core::make_coral(workload.reference, *workload.fm,
+                                        s_min, cluster_shares(scratch),
+                                        kernel);
+            }};
+    };
+    specs.push_back(hetero_spec("CORAL-HiKey", /*dp=*/false));
+    specs.push_back(hetero_spec("REPUTE-HiKey", /*dp=*/true));
+
+    std::vector<core::MapResult> gold;
+    {
+        auto razers = make_gold_standard(workload, a73);
+        for (const Cell& cell : paper_cells()) {
+            gold.push_back(
+                razers->map(workload.reads(cell.read_length).batch,
+                           cell.delta));
+        }
+    }
+
+    std::vector<Row> rows;
+    for (const MapperSpec& spec : specs) {
+        Row row{spec.name, {}, {}};
+        for (std::size_t c = 0; c < paper_cells().size(); ++c) {
+            const Cell& cell = paper_cells()[c];
+            auto mapper = spec.make(cell.read_length, cell.delta);
+            const auto result = mapper->map(
+                workload.reads(cell.read_length).batch, cell.delta);
+            core::AccuracyConfig acc;
+            acc.position_tolerance = cell.delta;
+            row.time_s.push_back(result.mapping_seconds);
+            row.accuracy_pct.push_back(
+                core::any_best_accuracy(gold[c], result, acc));
+            std::printf("# %-12s n=%zu d=%u  T=%.3fs A=%.2f%%\n",
+                        spec.name.c_str(), cell.read_length, cell.delta,
+                        result.mapping_seconds, row.accuracy_pct.back());
+            std::fflush(stdout);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    print_table("Table III: embedded HiKey970 SoC, modeled seconds, "
+                "any-best accuracy per Sec. III-C",
+                rows);
+    return 0;
+}

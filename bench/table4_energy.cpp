@@ -1,0 +1,179 @@
+// Table IV — power and energy (§III-D / §IV).
+//
+// Two configurations, (n=100, delta=3) and (n=150, delta=5), on both
+// systems. Protocol: average wall power during mapping minus idle,
+// times mapping time. On System 1, REPUTE-all/CORAL-all split reads so
+// the CPU and GPUs finish together (the paper picks splits mapping
+// 480k/500k of 1M reads on the GPUs).
+//
+// Paper reference: System 1 mappers draw 240-490 W and burn 1.4-5.7 kJ;
+// the HiKey970 tools draw ~8 W and burn 79-494 J — REPUTE-HiKey is the
+// most frugal at 78.6 J / 212.6 J, a ~20-27x saving over the
+// workstation.
+
+#include <cstdio>
+
+#include "bench_mappers.hpp"
+#include "core/kernels.hpp"
+#include "energy/energy_meter.hpp"
+#include "filter/memopt_seeder.hpp"
+
+using namespace repute;
+using namespace repute::bench;
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const auto workload = make_workload(parse_workload_config(args));
+
+    struct CaseSpec {
+        std::size_t n;
+        std::uint32_t delta;
+    };
+    const CaseSpec cases[] = {{100, 3}, {150, 5}};
+
+    std::printf("\n== Table IV: power & energy per Sec. III-D ==\n");
+
+    for (int system = 1; system <= 2; ++system) {
+        auto platform = system == 1 ? ocl::Platform::system1()
+                                    : ocl::Platform::system2();
+        std::printf("-- %s (idle %.1f W) --\n", platform.name().c_str(),
+                    platform.idle_watts());
+        std::printf("%-14s", "mapper");
+        for (const auto& c : cases) {
+            std::printf(" | n=%zu d=%u: %8s %10s", c.n, c.delta, "P(W)",
+                        "E(J)");
+        }
+        std::printf("\n");
+
+        // Mapper line-up per system (Table IV compares the tools that
+        // ran on both systems, plus the -all variants on System 1).
+        struct Entry {
+            std::string name;
+            std::function<std::unique_ptr<core::Mapper>(std::size_t,
+                                                        std::uint32_t)>
+                make;
+        };
+        std::vector<Entry> entries;
+        if (system == 1) {
+            auto& cpu = platform.device("i7-2600");
+            auto& gpu0 = platform.device("gtx590-0");
+            auto& gpu1 = platform.device("gtx590-1");
+            entries.push_back({"RazerS3",
+                               [&](std::size_t, std::uint32_t) {
+                                   return make_gold_standard(workload,
+                                                              cpu);
+                               }});
+            entries.push_back({"Hobbes3",
+                               [&](std::size_t, std::uint32_t) {
+                                   return std::make_unique<
+                                       baselines::Hobbes3Like>(
+                                       workload.reference, cpu, 1000,
+                                       scaled_q(workload.reference.size(),
+                                                11.0));
+                               }});
+            auto cpu_only = [&](bool dp) {
+                return [&, dp](std::size_t n, std::uint32_t delta)
+                           -> std::unique_ptr<core::Mapper> {
+                    core::KernelConfig kernel;
+                    kernel.max_locations_per_read = 1000;
+                    const auto s_min = best_s_min(n, delta);
+                    if (dp) {
+                        return core::make_repute(workload.reference,
+                                                 *workload.fm, s_min,
+                                                 {{&cpu, 1.0}}, kernel);
+                    }
+                    return core::make_coral(workload.reference,
+                                            *workload.fm, s_min,
+                                            {{&cpu, 1.0}}, kernel);
+                };
+            };
+            auto hetero = [&](bool dp) {
+                return [&, dp](std::size_t n, std::uint32_t delta)
+                           -> std::unique_ptr<core::Mapper> {
+                    core::KernelConfig kernel;
+                    kernel.max_locations_per_read = 1000;
+                    const auto s_min = best_s_min(n, delta);
+                    const filter::MemoryOptimizedSeeder probe(s_min);
+                    const auto scratch =
+                        core::kernel_scratch_bytes(probe, n, delta);
+                    auto shares = core::balanced_shares(
+                        {&cpu, &gpu0, &gpu1}, scratch);
+                    if (dp) {
+                        return core::make_repute(
+                            workload.reference, *workload.fm, s_min,
+                            std::move(shares), kernel);
+                    }
+                    return core::make_coral(workload.reference,
+                                            *workload.fm, s_min,
+                                            std::move(shares), kernel);
+                };
+            };
+            entries.push_back({"CORAL-cpu", cpu_only(false)});
+            entries.push_back({"CORAL-all", hetero(false)});
+            entries.push_back({"REPUTE-cpu", cpu_only(true)});
+            entries.push_back({"REPUTE-all", hetero(true)});
+        } else {
+            auto& a73 = platform.device("hikey970-a73");
+            auto& a53 = platform.device("hikey970-a53");
+            entries.push_back({"RazerS3",
+                               [&](std::size_t, std::uint32_t) {
+                                   return make_gold_standard(workload,
+                                                              a73);
+                               }});
+            entries.push_back({"Hobbes3",
+                               [&](std::size_t, std::uint32_t) {
+                                   return std::make_unique<
+                                       baselines::Hobbes3Like>(
+                                       workload.reference, a73, 1000,
+                                       scaled_q(workload.reference.size(),
+                                                11.0));
+                               }});
+            auto hetero = [&](bool dp) {
+                return [&, dp](std::size_t n, std::uint32_t delta)
+                           -> std::unique_ptr<core::Mapper> {
+                    core::KernelConfig kernel;
+                    kernel.max_locations_per_read = 1000;
+                    const auto s_min = best_s_min(n, delta);
+                    const filter::MemoryOptimizedSeeder probe(s_min);
+                    const auto scratch =
+                        core::kernel_scratch_bytes(probe, n, delta);
+                    auto shares =
+                        core::balanced_shares({&a73, &a53}, scratch);
+                    if (dp) {
+                        return core::make_repute(
+                            workload.reference, *workload.fm, s_min,
+                            std::move(shares), kernel);
+                    }
+                    return core::make_coral(workload.reference,
+                                            *workload.fm, s_min,
+                                            std::move(shares), kernel);
+                };
+            };
+            entries.push_back({"CORAL-HiKey", hetero(false)});
+            entries.push_back({"REPUTE-HiKey", hetero(true)});
+        }
+
+        for (const auto& entry : entries) {
+            std::printf("%-14s", entry.name.c_str());
+            for (const auto& c : cases) {
+                auto mapper = entry.make(c.n, c.delta);
+                const auto result =
+                    mapper->map(workload.reads(c.n).batch, c.delta);
+                std::vector<energy::DeviceUsage> usage;
+                for (const auto& run : result.device_runs) {
+                    usage.push_back({platform.find(run.device_name),
+                                     run.stats.seconds,
+                                     run.power_scale});
+                }
+                const auto report = energy::measure(
+                    result.mapping_seconds, usage, platform.idle_watts());
+                std::printf(" |            %8.1f %10.2f",
+                            report.average_power_watts,
+                            report.energy_joules);
+            }
+            std::printf("\n");
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,195 @@
+#include "align/edit_distance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace repute::align {
+
+std::uint32_t levenshtein(std::span<const std::uint8_t> a,
+                          std::span<const std::uint8_t> b) {
+    if (a.size() > b.size()) std::swap(a, b);
+    std::vector<std::uint32_t> row(a.size() + 1);
+    for (std::size_t i = 0; i <= a.size(); ++i) {
+        row[i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+        std::uint32_t diag = row[0];
+        row[0] = static_cast<std::uint32_t>(j);
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            const std::uint32_t up = row[i];
+            row[i] = std::min({row[i] + 1, row[i - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0u : 1u)});
+            diag = up;
+        }
+    }
+    return row[a.size()];
+}
+
+std::uint32_t semiglobal_distance(std::span<const std::uint8_t> pattern,
+                                  std::span<const std::uint8_t> text) {
+    // Column-wise over text; D[0][j] = 0 (free text prefix).
+    std::vector<std::uint32_t> col(pattern.size() + 1);
+    for (std::size_t i = 0; i <= pattern.size(); ++i) {
+        col[i] = static_cast<std::uint32_t>(i);
+    }
+    std::uint32_t best = col[pattern.size()];
+    for (std::size_t j = 1; j <= text.size(); ++j) {
+        std::uint32_t diag = col[0];
+        col[0] = 0;
+        for (std::size_t i = 1; i <= pattern.size(); ++i) {
+            const std::uint32_t up = col[i];
+            col[i] =
+                std::min({col[i] + 1, col[i - 1] + 1,
+                          diag + (pattern[i - 1] == text[j - 1] ? 0u : 1u)});
+            diag = up;
+        }
+        best = std::min(best, col[pattern.size()]);
+    }
+    return best;
+}
+
+std::uint32_t banded_semiglobal_distance(
+    std::span<const std::uint8_t> pattern,
+    std::span<const std::uint8_t> text, std::uint32_t band) {
+    // Row-wise over the pattern; for row i only text columns within
+    // [i - band, i + band + slack] can be on an alignment path of cost
+    // <= band, where slack = |text| - |pattern| absorbs the free ends.
+    const std::uint32_t infinity = band + 1;
+    const std::size_t m = pattern.size();
+    const std::size_t t = text.size();
+    if (m == 0) return 0;
+    if (t + band < m) return infinity; // too short even with all inserts
+
+    const std::size_t slack = t > m ? t - m : 0;
+    const std::size_t width = 2 * band + slack + 1;
+
+    // prev[w] = D[i-1][j] with j = (i-1) - band + w (clamped to >= 0).
+    std::vector<std::uint32_t> prev(width + 2, infinity);
+    std::vector<std::uint32_t> curr(width + 2, infinity);
+
+    auto col_of = [&](std::size_t i, std::size_t w) -> std::ptrdiff_t {
+        return static_cast<std::ptrdiff_t>(i + w) -
+               static_cast<std::ptrdiff_t>(band);
+    };
+
+    // Row 0: D[0][j] = 0 for all j in band.
+    for (std::size_t w = 0; w < width; ++w) {
+        const auto j = col_of(0, w);
+        if (j >= 0 && j <= static_cast<std::ptrdiff_t>(t)) prev[w] = 0;
+    }
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        std::fill(curr.begin(), curr.end(), infinity);
+        for (std::size_t w = 0; w < width; ++w) {
+            const auto j = col_of(i, w);
+            if (j < 0 || j > static_cast<std::ptrdiff_t>(t)) continue;
+            std::uint32_t best = infinity;
+            if (j == 0) {
+                best = static_cast<std::uint32_t>(std::min<std::size_t>(
+                    i, infinity));
+            } else {
+                // Same w in prev row is the diagonal neighbour
+                // (j - 1 = (i-1) - band + w).
+                const std::uint32_t diag = prev[w];
+                if (diag != infinity) {
+                    best = std::min(
+                        best,
+                        diag + (pattern[i - 1] ==
+                                        text[static_cast<std::size_t>(j - 1)]
+                                    ? 0u
+                                    : 1u));
+                }
+                // Up neighbour D[i-1][j] lives at prev[w+1].
+                if (w + 1 < width && prev[w + 1] != infinity) {
+                    best = std::min(best, prev[w + 1] + 1);
+                }
+                // Left neighbour D[i][j-1] lives at curr[w-1].
+                if (w > 0 && curr[w - 1] != infinity) {
+                    best = std::min(best, curr[w - 1] + 1);
+                }
+            }
+            curr[w] = std::min(best, infinity);
+        }
+        std::swap(prev, curr);
+    }
+
+    std::uint32_t best = infinity;
+    for (std::size_t w = 0; w < width; ++w) {
+        const auto j = col_of(m, w);
+        if (j >= 0 && j <= static_cast<std::ptrdiff_t>(t)) {
+            best = std::min(best, prev[w]);
+        }
+    }
+    return best;
+}
+
+std::optional<SemiGlobalAlignment> semiglobal_align(
+    std::span<const std::uint8_t> pattern,
+    std::span<const std::uint8_t> text, std::uint32_t max_distance) {
+    const std::size_t m = pattern.size();
+    const std::size_t t = text.size();
+    // Full table for traceback: D[(m+1) x (t+1)], row-major.
+    std::vector<std::uint32_t> d((m + 1) * (t + 1));
+    auto at = [&](std::size_t i, std::size_t j) -> std::uint32_t& {
+        return d[i * (t + 1) + j];
+    };
+    for (std::size_t j = 0; j <= t; ++j) at(0, j) = 0;
+    for (std::size_t i = 1; i <= m; ++i) {
+        at(i, 0) = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= t; ++j) {
+            at(i, j) = std::min(
+                {at(i - 1, j) + 1, at(i, j - 1) + 1,
+                 at(i - 1, j - 1) +
+                     (pattern[i - 1] == text[j - 1] ? 0u : 1u)});
+        }
+    }
+
+    std::size_t best_j = 0;
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t j = 0; j <= t; ++j) {
+        if (at(m, j) < best) {
+            best = at(m, j);
+            best_j = j;
+        }
+    }
+    if (best > max_distance) return std::nullopt;
+
+    // Traceback, preferring diagonal moves for compact CIGARs.
+    std::string ops;
+    std::size_t i = m, j = best_j;
+    while (i > 0) {
+        if (j > 0 &&
+            at(i, j) == at(i - 1, j - 1) +
+                            (pattern[i - 1] == text[j - 1] ? 0u : 1u)) {
+            ops.push_back('M');
+            --i;
+            --j;
+        } else if (at(i, j) == at(i - 1, j) + 1) {
+            ops.push_back('I'); // pattern base consumed, none from text
+            --i;
+        } else {
+            ops.push_back('D'); // text base consumed, none from pattern
+            --j;
+        }
+    }
+    std::reverse(ops.begin(), ops.end());
+
+    // Run-length encode into CIGAR.
+    SemiGlobalAlignment out;
+    out.distance = best;
+    out.text_start = static_cast<std::uint32_t>(j);
+    out.text_end = static_cast<std::uint32_t>(best_j);
+    for (std::size_t k = 0; k < ops.size();) {
+        std::size_t run = k;
+        while (run < ops.size() && ops[run] == ops[k]) ++run;
+        out.cigar += std::to_string(run - k);
+        out.cigar.push_back(ops[k]);
+        k = run;
+    }
+    return out;
+}
+
+} // namespace repute::align

@@ -1,0 +1,99 @@
+#include "align/myers.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace repute::align {
+
+namespace {
+constexpr std::size_t kMaxWords =
+    MyersMatcher::kMaxPatternLength / 64; // 8
+}
+
+MyersMatcher::MyersMatcher(std::span<const std::uint8_t> pattern)
+    : m_(pattern.size()), words_((pattern.size() + 63) / 64) {
+    if (m_ == 0 || m_ > kMaxPatternLength) {
+        throw std::invalid_argument(
+            "MyersMatcher: pattern length must be in [1, 512]");
+    }
+    const std::size_t top_bits = (m_ - 1) % 64 + 1;
+    top_mask_ = top_bits == 64 ? ~0ULL : ((1ULL << top_bits) - 1);
+    score_bit_ = 1ULL << ((m_ - 1) % 64);
+
+    peq_.assign(4 * words_, 0);
+    for (std::size_t i = 0; i < m_; ++i) {
+        peq_[pattern[i] * words_ + i / 64] |= 1ULL << (i % 64);
+    }
+}
+
+MyersMatcher::Hit MyersMatcher::best_in(
+    std::span<const std::uint8_t> text) const noexcept {
+    // Column bit-state as m-bit big integers, low word first.
+    std::array<std::uint64_t, kMaxWords> vp{}, vn{};
+    for (std::size_t w = 0; w < words_; ++w) vp[w] = ~0ULL;
+    vp[words_ - 1] = top_mask_;
+
+    auto score = static_cast<std::uint32_t>(m_);
+    Hit best{score, 0};
+
+    for (std::size_t j = 0; j < text.size(); ++j) {
+        const std::uint64_t* eq = &peq_[text[j] * words_];
+
+        // Xh = (((Eq & VP) + VP) ^ VP) | Eq, with carry across words.
+        std::array<std::uint64_t, kMaxWords> xh;
+        std::uint64_t carry = 0;
+        for (std::size_t w = 0; w < words_; ++w) {
+            const std::uint64_t a = eq[w] & vp[w];
+            const std::uint64_t sum_lo = a + vp[w];
+            std::uint64_t carry_out = sum_lo < a ? 1ULL : 0ULL;
+            const std::uint64_t sum = sum_lo + carry;
+            carry_out |= (sum < sum_lo) ? 1ULL : 0ULL;
+            xh[w] = (sum ^ vp[w]) | eq[w];
+            carry = carry_out;
+        }
+
+        // Horizontal deltas; ~ masked to the m valid bits.
+        std::array<std::uint64_t, kMaxWords> ph, mh;
+        for (std::size_t w = 0; w < words_; ++w) {
+            const std::uint64_t valid =
+                (w == words_ - 1) ? top_mask_ : ~0ULL;
+            ph[w] = (vn[w] | (~(xh[w] | vp[w]) & valid));
+            mh[w] = vp[w] & xh[w];
+        }
+
+        if (ph[words_ - 1] & score_bit_) {
+            ++score;
+        } else if (mh[words_ - 1] & score_bit_) {
+            --score;
+        }
+        if (score < best.distance) {
+            best.distance = score;
+            best.text_end = static_cast<std::uint32_t>(j + 1);
+        }
+
+        // Shift Ph/Mh left by one across words. Search mode: the carry
+        // into bit 0 is 0 because row 0 of the DP is all zeros.
+        std::uint64_t ph_carry = 0, mh_carry = 0;
+        for (std::size_t w = 0; w < words_; ++w) {
+            const std::uint64_t ph_next = ph[w] >> 63;
+            const std::uint64_t mh_next = mh[w] >> 63;
+            ph[w] = (ph[w] << 1) | ph_carry;
+            mh[w] = (mh[w] << 1) | mh_carry;
+            ph_carry = ph_next;
+            mh_carry = mh_next;
+        }
+
+        // Vertical state update: VP = Mh | ~(Xv | Ph); VN = Ph & Xv
+        // where Xv = Eq | VN (old VN).
+        for (std::size_t w = 0; w < words_; ++w) {
+            const std::uint64_t valid =
+                (w == words_ - 1) ? top_mask_ : ~0ULL;
+            const std::uint64_t xv = eq[w] | vn[w];
+            vp[w] = (mh[w] | (~(xv | ph[w]))) & valid;
+            vn[w] = ph[w] & xv & valid;
+        }
+    }
+    return best;
+}
+
+} // namespace repute::align

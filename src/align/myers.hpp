@@ -1,0 +1,56 @@
+#pragma once
+// Myers bit-vector approximate matcher (Myers 1999), multi-word variant.
+//
+// This is the paper's verification kernel (§II-A): the read is the
+// pattern, a candidate window of the reference is the text, and we need
+// the minimum semi-global edit distance (free text prefix/suffix). One
+// text character costs O(ceil(m/64)) word operations — 2 words for
+// n = 100 reads, 3 for n = 150.
+//
+// The implementation treats the column state (VP/VN) as an m-bit big
+// integer: additions carry across words, shifts propagate, and the score
+// is tracked at bit m-1. This avoids the padding subtleties of
+// block-chained formulations while keeping the inner loop branch-free
+// per word.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repute::align {
+
+class MyersMatcher {
+public:
+    /// Patterns up to kMaxPatternLength (512) bases, codes 0..3.
+    /// Throws std::invalid_argument on empty or oversized patterns.
+    explicit MyersMatcher(std::span<const std::uint8_t> pattern);
+
+    static constexpr std::size_t kMaxPatternLength = 512;
+
+    struct Hit {
+        std::uint32_t distance = 0;
+        std::uint32_t text_end = 0; ///< one past the last aligned text char
+    };
+
+    /// Minimum edit distance of the pattern over all end positions in
+    /// `text`, with the earliest end position achieving it.
+    Hit best_in(std::span<const std::uint8_t> text) const noexcept;
+
+    std::size_t pattern_length() const noexcept { return m_; }
+    std::size_t word_count() const noexcept { return words_; }
+
+    /// Approximate work units (word-ops) to scan a text of length t —
+    /// used by the device cost model.
+    std::size_t scan_cost(std::size_t text_length) const noexcept {
+        return text_length * words_;
+    }
+
+private:
+    std::size_t m_ = 0;
+    std::size_t words_ = 0;
+    std::uint64_t top_mask_ = 0;   ///< valid-bit mask for the last word
+    std::uint64_t score_bit_ = 0;  ///< bit (m-1) % 64 within the last word
+    std::vector<std::uint64_t> peq_; ///< Peq[c * words_ + w]
+};
+
+} // namespace repute::align

@@ -1,0 +1,77 @@
+#include "baselines/bwamem_like.hpp"
+
+#include <algorithm>
+
+#include "baselines/verify_common.hpp"
+
+namespace repute::baselines {
+
+namespace {
+constexpr std::uint64_t kOpsPerFmExtend = 8;
+constexpr std::uint64_t kOpsPerLocate = 40;
+constexpr std::uint64_t kOpsPerCandidate = 48;
+// BWA-MEM extends chains with affine-gap Smith-Waterman, several times
+// the cost of a bit-parallel Myers column; modeled by a heavier
+// per-word verification weight.
+constexpr std::uint64_t kOpsMyersWord = 24;
+} // namespace
+
+std::uint64_t BwaMemLike::map_strand(
+    std::span<const std::uint8_t> codes, genomics::Strand strand,
+    std::uint32_t delta, std::vector<core::ReadMapping>& out) const {
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    std::uint64_t ops = 0;
+    if (n < seed_length_) return ops;
+
+    // Fixed-length exact seeds on a stride (SMEM approximation).
+    std::vector<std::uint32_t> candidates;
+    std::vector<std::uint32_t> hits;
+    for (std::uint32_t off = 0;; off += stride_) {
+        if (off + seed_length_ > n) {
+            // Final seed flush against the read end.
+            off = n - seed_length_;
+        }
+        const auto range =
+            fm_->search(codes.subspan(off, seed_length_));
+        ops += seed_length_ * kOpsPerFmExtend;
+        if (!range.empty() && range.count() <= max_hits_per_seed_) {
+            hits.clear();
+            fm_->locate_range(range, max_hits_per_seed_, hits);
+            ops += hits.size() * kOpsPerLocate;
+            for (const std::uint32_t p : hits) {
+                candidates.push_back(p >= off ? p - off : 0);
+            }
+        }
+        if (off == n - seed_length_) break;
+    }
+    ops += candidates.size() * kOpsPerCandidate;
+
+    // Chain by diagonal: dedup within the fixed band, not delta — the
+    // mapper is oblivious to the caller's error budget.
+    dedup_positions(candidates, kBand);
+
+    // Verify at the fixed band; accept into the result under delta.
+    const std::uint32_t verify_radius = std::max(delta, kBand);
+    const auto stats = verify_candidates(*reference_, codes, strand,
+                                         candidates, verify_radius,
+                                         /*cap=*/4096, kOpsMyersWord, out);
+    ops += stats.ops;
+    // Enforce the caller's acceptance threshold after the fact.
+    std::erase_if(out, [delta](const core::ReadMapping& m) {
+        return m.edit_distance > delta;
+    });
+    return ops;
+}
+
+std::uint64_t BwaMemLike::map_read(const genomics::Read& read,
+                                   std::uint32_t delta,
+                                   std::vector<core::ReadMapping>& out) {
+    std::uint64_t ops =
+        map_strand(read.codes, genomics::Strand::Forward, delta, out);
+    const auto rc = read.reverse_complement();
+    ops += map_strand(rc, genomics::Strand::Reverse, delta, out);
+    keep_best_stratum(out);
+    return ops;
+}
+
+} // namespace repute::baselines

@@ -1,0 +1,48 @@
+#pragma once
+// BWA-MEM-style best-mapper (Li 2013 / Li & Durbin 2010 lineage),
+// simplified core.
+//
+// BWA-MEM seeds with (super)maximal exact matches and extends the best
+// chains with banded DP; it has no edit-distance parameter, which is why
+// its runtime in Tables I/II is a single value per read length. We model
+// the seeding as fixed-length exact seeds on a stride (a common SMEM
+// approximation), chain by diagonal, and verify with the shared Myers
+// kernel at a *fixed* band — the caller's delta only gates which
+// alignments are accepted into the result, not the work performed.
+
+#include "baselines/single_device_mapper.hpp"
+#include "index/fm_index.hpp"
+
+namespace repute::baselines {
+
+class BwaMemLike final : public SingleDeviceMapper {
+public:
+    BwaMemLike(const genomics::Reference& reference,
+               const index::FmIndex& fm, ocl::Device& device,
+               std::uint32_t seed_length = 19, std::uint32_t stride = 11,
+               std::uint32_t max_hits_per_seed = 256)
+        : SingleDeviceMapper("BWA-MEM", device, /*power_scale=*/0.45),
+          reference_(&reference), fm_(&fm), seed_length_(seed_length),
+          stride_(stride), max_hits_per_seed_(max_hits_per_seed) {}
+
+    /// The fixed verification band (chosen like BWA's default gap
+    /// limits; independent of the caller's delta).
+    static constexpr std::uint32_t kBand = 8;
+
+protected:
+    std::uint64_t map_read(const genomics::Read& read, std::uint32_t delta,
+                           std::vector<core::ReadMapping>& out) override;
+
+private:
+    const genomics::Reference* reference_;
+    const index::FmIndex* fm_;
+    std::uint32_t seed_length_;
+    std::uint32_t stride_;
+    std::uint32_t max_hits_per_seed_;
+
+    std::uint64_t map_strand(std::span<const std::uint8_t> codes,
+                             genomics::Strand strand, std::uint32_t delta,
+                             std::vector<core::ReadMapping>& out) const;
+};
+
+} // namespace repute::baselines

@@ -1,0 +1,76 @@
+#include "baselines/gem_like.hpp"
+
+#include <algorithm>
+
+#include "baselines/verify_common.hpp"
+
+namespace repute::baselines {
+
+namespace {
+constexpr std::uint64_t kOpsPerFmExtend = 8;
+constexpr std::uint64_t kOpsPerLocate = 40;
+constexpr std::uint64_t kOpsPerCandidate = 48;
+constexpr std::uint64_t kOpsMyersWord = 4;
+constexpr std::uint32_t kMinRegionLength = 10;
+} // namespace
+
+std::uint64_t GemLike::map_strand(
+    std::span<const std::uint8_t> codes, genomics::Strand strand,
+    std::uint32_t delta, std::vector<core::ReadMapping>& out) const {
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    std::uint64_t ops = 0;
+
+    // Adaptive region profile: sweep right-to-left (FM backward search
+    // prepends), closing a region once it is specific enough or at its
+    // length cap. The region count is data-driven, not delta-driven.
+    std::vector<std::uint32_t> candidates;
+    std::vector<std::uint32_t> hits;
+    std::uint32_t end = n;
+    while (end >= kMinRegionLength) {
+        auto range = fm_->whole_range();
+        std::uint32_t start = end;
+        while (start > 0 && end - start < max_region_length_) {
+            const std::uint32_t len = end - start;
+            if (len >= kMinRegionLength &&
+                (range.empty() || range.count() <= threshold_)) {
+                break;
+            }
+            --start;
+            range = fm_->extend(range, codes[start]);
+            ++ops; // counted below at fm weight
+        }
+        ops += (end - start) * (kOpsPerFmExtend - 1);
+        if (!range.empty() && range.count() <= max_hits_per_region_) {
+            hits.clear();
+            fm_->locate_range(range, max_hits_per_region_, hits);
+            ops += hits.size() * kOpsPerLocate;
+            for (const std::uint32_t p : hits) {
+                candidates.push_back(p >= start ? p - start : 0);
+            }
+        }
+        if (start == 0) break;
+        end = start;
+    }
+    ops += candidates.size() * kOpsPerCandidate;
+    // GEM verifies region matches progressively (per region, streaming)
+    // rather than collapsing diagonals across regions first.
+    std::sort(candidates.begin(), candidates.end());
+
+    const auto stats =
+        verify_candidates(*reference_, codes, strand, candidates, delta,
+                          /*cap=*/4096, kOpsMyersWord, out);
+    return ops + stats.ops;
+}
+
+std::uint64_t GemLike::map_read(const genomics::Read& read,
+                                std::uint32_t delta,
+                                std::vector<core::ReadMapping>& out) {
+    std::uint64_t ops =
+        map_strand(read.codes, genomics::Strand::Forward, delta, out);
+    const auto rc = read.reverse_complement();
+    ops += map_strand(rc, genomics::Strand::Reverse, delta, out);
+    keep_best_stratum(out);
+    return ops;
+}
+
+} // namespace repute::baselines

@@ -1,0 +1,44 @@
+#pragma once
+// GEM-style mapper (Marco-Sola et al. 2012), simplified core.
+//
+// GEM's adaptive progressive filtration grows each region of the read
+// until it is specific enough (few FM-index hits), independent of the
+// error budget — which is why GEM's runtime is flat across delta in
+// Table I. Configured as in the paper's comparison, it behaves as a
+// best-mapper (best stratum reported), giving low §III-A accuracy
+// against an all-mapper gold standard but ~90% any-best accuracy.
+
+#include "baselines/single_device_mapper.hpp"
+#include "index/fm_index.hpp"
+
+namespace repute::baselines {
+
+class GemLike final : public SingleDeviceMapper {
+public:
+    GemLike(const genomics::Reference& reference, const index::FmIndex& fm,
+            ocl::Device& device, std::uint32_t specificity_threshold = 20,
+            std::uint32_t max_region_length = 30,
+            std::uint32_t max_hits_per_region = 200)
+        : SingleDeviceMapper("GEM", device, /*power_scale=*/0.45),
+          reference_(&reference), fm_(&fm),
+          threshold_(specificity_threshold),
+          max_region_length_(max_region_length),
+          max_hits_per_region_(max_hits_per_region) {}
+
+protected:
+    std::uint64_t map_read(const genomics::Read& read, std::uint32_t delta,
+                           std::vector<core::ReadMapping>& out) override;
+
+private:
+    const genomics::Reference* reference_;
+    const index::FmIndex* fm_;
+    std::uint32_t threshold_;
+    std::uint32_t max_region_length_;
+    std::uint32_t max_hits_per_region_;
+
+    std::uint64_t map_strand(std::span<const std::uint8_t> codes,
+                             genomics::Strand strand, std::uint32_t delta,
+                             std::vector<core::ReadMapping>& out) const;
+};
+
+} // namespace repute::baselines

@@ -1,0 +1,130 @@
+#include "baselines/hobbes3_like.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/verify_common.hpp"
+
+namespace repute::baselines {
+
+namespace {
+constexpr std::uint64_t kOpsPerLookup = 4;
+constexpr std::uint64_t kOpsPerDpCell = 2;
+constexpr std::uint64_t kOpsPerHit = 3;
+constexpr std::uint64_t kOpsMyersWord = 4;
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+} // namespace
+
+void Hobbes3Like::prepare(const genomics::ReadBatch& batch,
+                          std::uint32_t delta) {
+    // The signature length must allow delta+1 disjoint signatures.
+    std::uint32_t q = q_;
+    while (q > 4 && static_cast<std::uint64_t>(q) * (delta + 1) >
+                        batch.read_length) {
+        --q;
+    }
+    if (!index_ || index_->q() != q) {
+        index_ = std::make_unique<QGramIndex>(*reference_, q);
+    }
+}
+
+std::uint64_t Hobbes3Like::map_strand(
+    std::span<const std::uint8_t> codes, genomics::Strand strand,
+    std::uint32_t delta, std::vector<core::ReadMapping>& out) const {
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    const std::uint32_t q = index_->q();
+    const std::uint32_t n_sig = delta + 1;
+    std::uint64_t ops = 0;
+
+    // Occurrence count of the q-gram at every read offset.
+    const std::uint32_t n_offsets = n - q + 1;
+    std::vector<std::uint32_t> freq(n_offsets);
+    std::vector<std::uint64_t> keys(n_offsets);
+    std::uint64_t key = QGramIndex::pack(codes, q);
+    for (std::uint32_t o = 0; o < n_offsets; ++o) {
+        keys[o] = key;
+        freq[o] =
+            static_cast<std::uint32_t>(index_->occurrences(key).size());
+        ops += kOpsPerLookup;
+        if (o + 1 < n_offsets) key = index_->roll(key, codes[o + q]);
+    }
+
+    // DP (dynamic signature placement): best[s][o] = minimum total
+    // occurrence count when placing s more signatures at offsets >= o,
+    // signatures q apart (non-overlapping).
+    //   best[0][o] = 0
+    //   best[s][o] = min(best[s][o+1],            skip offset o
+    //                    freq[o] + best[s-1][o+q]) place one at o
+    const std::size_t stride = n_offsets + 1;
+    std::vector<std::uint32_t> best((n_sig + 1) * stride, kInf);
+    for (std::size_t o = 0; o <= n_offsets; ++o) best[o] = 0;
+    for (std::uint32_t s = 1; s <= n_sig; ++s) {
+        for (std::uint32_t o = n_offsets; o-- > 0;) {
+            ops += kOpsPerDpCell;
+            std::uint32_t value = best[s * stride + o + 1];
+            const std::uint32_t after = o + q;
+            if (after <= n_offsets) {
+                const std::uint32_t tail = best[(s - 1) * stride + after];
+                if (tail != kInf) {
+                    const std::uint32_t placed =
+                        freq[o] > kInf - tail ? kInf : freq[o] + tail;
+                    value = std::min(value, placed);
+                }
+            }
+            best[s * stride + o] = value;
+        }
+    }
+
+    // Backtrack the chosen offsets (leftmost optimal placement).
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(n_sig);
+    {
+        std::uint32_t s = n_sig, o = 0;
+        while (s > 0 && o < n_offsets) {
+            const std::uint32_t here = best[s * stride + o];
+            if (here == kInf) break;
+            const std::uint32_t after = o + q;
+            const std::uint32_t tail =
+                after <= n_offsets ? best[(s - 1) * stride + after] : kInf;
+            if (tail != kInf && freq[o] != kInf &&
+                tail <= kInf - freq[o] && freq[o] + tail == here) {
+                chosen.push_back(o);
+                o = after;
+                --s;
+            } else {
+                ++o;
+            }
+        }
+    }
+
+    // Gather candidate diagonals from the chosen signatures. Hobbes3
+    // verifies occurrences signature-by-signature (streaming, in-place
+    // verification) — no cross-signature diagonal dedup, so windows
+    // shared by several signatures are re-verified.
+    std::vector<std::uint32_t> candidates;
+    for (const std::uint32_t off : chosen) {
+        const auto occ = index_->occurrences(keys[off]);
+        ops += occ.size() * kOpsPerHit;
+        for (const std::uint32_t p : occ) {
+            candidates.push_back(p >= off ? p - off : 0);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    const auto stats =
+        verify_candidates(*reference_, codes, strand, candidates, delta,
+                          max_locations_, kOpsMyersWord, out);
+    return ops + stats.ops;
+}
+
+std::uint64_t Hobbes3Like::map_read(const genomics::Read& read,
+                                    std::uint32_t delta,
+                                    std::vector<core::ReadMapping>& out) {
+    std::uint64_t ops =
+        map_strand(read.codes, genomics::Strand::Forward, delta, out);
+    const auto rc = read.reverse_complement();
+    ops += map_strand(rc, genomics::Strand::Reverse, delta, out);
+    return ops;
+}
+
+} // namespace repute::baselines

@@ -1,0 +1,45 @@
+#pragma once
+// Hobbes3-style mapper (Kim, Li & Xie 2016), simplified core.
+//
+// Hobbes3's idea: instead of naively splitting the read, *dynamically
+// choose where the delta+1 signatures sit* using the occurrence counts
+// of an inverted q-gram index, minimizing the total candidate count.
+// This is the hash-table cousin of optimal seed selection: signatures
+// have a fixed base length q but their positions are optimized by a
+// small DP over the read (non-overlapping placement).
+//
+// All-mapper semantics with a per-read location cap (the paper ran
+// Hobbes3 with up to 1000 locations).
+
+#include <memory>
+
+#include "baselines/qgram_index.hpp"
+#include "baselines/single_device_mapper.hpp"
+
+namespace repute::baselines {
+
+class Hobbes3Like final : public SingleDeviceMapper {
+public:
+    Hobbes3Like(const genomics::Reference& reference, ocl::Device& device,
+                std::uint32_t max_locations = 1000, std::uint32_t q = 11)
+        : SingleDeviceMapper("Hobbes3", device, /*power_scale=*/0.48),
+          reference_(&reference), max_locations_(max_locations), q_(q) {}
+
+protected:
+    void prepare(const genomics::ReadBatch& batch,
+                 std::uint32_t delta) override;
+    std::uint64_t map_read(const genomics::Read& read, std::uint32_t delta,
+                           std::vector<core::ReadMapping>& out) override;
+
+private:
+    const genomics::Reference* reference_;
+    std::uint32_t max_locations_;
+    std::uint32_t q_;
+    std::unique_ptr<QGramIndex> index_;
+
+    std::uint64_t map_strand(std::span<const std::uint8_t> codes,
+                             genomics::Strand strand, std::uint32_t delta,
+                             std::vector<core::ReadMapping>& out) const;
+};
+
+} // namespace repute::baselines

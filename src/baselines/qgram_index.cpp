@@ -1,0 +1,49 @@
+#include "baselines/qgram_index.hpp"
+
+#include <stdexcept>
+
+namespace repute::baselines {
+
+QGramIndex::QGramIndex(const genomics::Reference& reference,
+                       std::uint32_t q)
+    : q_(q) {
+    if (q < 4 || q > 14) {
+        throw std::invalid_argument("QGramIndex: q must be in [4, 14]");
+    }
+    const std::size_t n = reference.size();
+    if (n < q) {
+        throw std::invalid_argument("QGramIndex: reference shorter than q");
+    }
+    const std::size_t n_grams = n - q + 1;
+    const std::size_t n_buckets = 1ULL << (2 * q);
+    starts_.assign(n_buckets + 1, 0);
+
+    // Pass 1: counts. Keys are rolled across the text.
+    std::uint64_t key = 0;
+    for (std::uint32_t i = 0; i < q; ++i) {
+        key |= static_cast<std::uint64_t>(reference.code_at(i)) << (2 * i);
+    }
+    for (std::size_t p = 0;; ++p) {
+        ++starts_[key + 1];
+        if (p + 1 >= n_grams) break;
+        key = roll(key, reference.code_at(p + q));
+    }
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+        starts_[b + 1] += starts_[b];
+    }
+
+    // Pass 2: fill.
+    positions_.resize(n_grams);
+    std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+    key = 0;
+    for (std::uint32_t i = 0; i < q; ++i) {
+        key |= static_cast<std::uint64_t>(reference.code_at(i)) << (2 * i);
+    }
+    for (std::size_t p = 0;; ++p) {
+        positions_[cursor[key]++] = static_cast<std::uint32_t>(p);
+        if (p + 1 >= n_grams) break;
+        key = roll(key, reference.code_at(p + q));
+    }
+}
+
+} // namespace repute::baselines

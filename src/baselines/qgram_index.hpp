@@ -1,0 +1,62 @@
+#pragma once
+// q-gram inverted index of the reference (RazerS3/Hobbes3 substrate).
+//
+// Hash-based mappers pre-process the reference into an occurrence table
+// keyed by the 2q-bit packed q-gram. Layout is the classic two-array
+// form: `starts` (4^q + 1 prefix sums) into a flat `positions` array,
+// built with a counting pass — O(N) construction, O(1) bucket lookup.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "genomics/sequence.hpp"
+
+namespace repute::baselines {
+
+class QGramIndex {
+public:
+    /// q in [4, 14] (4^14 buckets = 1 GiB of prefix sums is the
+    /// practical ceiling); throws std::invalid_argument otherwise.
+    QGramIndex(const genomics::Reference& reference, std::uint32_t q);
+
+    std::uint32_t q() const noexcept { return q_; }
+
+    /// Reference positions where the packed q-gram `key` occurs.
+    std::span<const std::uint32_t> occurrences(std::uint64_t key) const {
+        return {positions_.data() + starts_[key],
+                starts_[key + 1] - starts_[key]};
+    }
+
+    /// Packs codes[0..q) into a key (code 0 = lowest-order pair).
+    static std::uint64_t pack(std::span<const std::uint8_t> codes,
+                              std::uint32_t q) noexcept {
+        std::uint64_t key = 0;
+        for (std::uint32_t i = 0; i < q; ++i) {
+            key |= static_cast<std::uint64_t>(codes[i] & 3u) << (2 * i);
+        }
+        return key;
+    }
+
+    /// Rolls `key` one base to the right: drop codes[i], admit
+    /// codes[i+q] (constant time; used when scanning a read).
+    std::uint64_t roll(std::uint64_t key, std::uint8_t incoming) const
+        noexcept {
+        key >>= 2;
+        key |= static_cast<std::uint64_t>(incoming & 3u)
+               << (2 * (q_ - 1));
+        return key;
+    }
+
+    std::size_t memory_bytes() const noexcept {
+        return starts_.size() * sizeof(std::uint32_t) +
+               positions_.size() * sizeof(std::uint32_t);
+    }
+
+private:
+    std::uint32_t q_;
+    std::vector<std::uint32_t> starts_;    ///< 4^q + 1 prefix sums
+    std::vector<std::uint32_t> positions_; ///< reference offsets
+};
+
+} // namespace repute::baselines

@@ -1,0 +1,104 @@
+#include "baselines/razers3_like.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "baselines/verify_common.hpp"
+
+namespace repute::baselines {
+
+namespace {
+constexpr std::uint64_t kOpsPerLookup = 4;
+constexpr std::uint64_t kOpsPerHit = 3;
+constexpr std::uint64_t kOpsMyersWord = 4;
+} // namespace
+
+std::uint32_t RazerS3Like::choose_q(std::size_t read_length,
+                                    std::uint32_t delta,
+                                    std::uint32_t max_q) noexcept {
+    // Largest q with (n - q + 1) - q*delta >= 1  =>  q <= n / (delta+1),
+    // capped to keep the 4^q bucket array practical. Like RazerS3's
+    // shape-selection heuristics, the weight is additionally lowered at
+    // high error rates to hold sensitivity with indels — the cost is a
+    // denser hit stream, which is why RazerS3's runtime grows so
+    // steeply with delta in Table I.
+    const auto by_lemma =
+        static_cast<std::uint32_t>(read_length / (delta + 1));
+    std::uint32_t q = std::min<std::uint32_t>(
+        max_q, std::max<std::uint32_t>(4, by_lemma));
+    if (delta >= 5 && q > 4) --q;
+    if (delta >= 7 && q > 4) --q;
+    return q;
+}
+
+std::uint32_t RazerS3Like::threshold(std::size_t read_length,
+                                     std::uint32_t q,
+                                     std::uint32_t delta) noexcept {
+    const auto n = static_cast<std::int64_t>(read_length);
+    const std::int64_t t = (n - q + 1) - static_cast<std::int64_t>(q) * delta;
+    return t < 1 ? 1u : static_cast<std::uint32_t>(t);
+}
+
+void RazerS3Like::prepare(const genomics::ReadBatch& batch,
+                          std::uint32_t delta) {
+    const std::uint32_t q = choose_q(batch.read_length, delta, max_q_);
+    if (!index_ || index_->q() != q) {
+        index_ = std::make_unique<QGramIndex>(*reference_, q);
+    }
+}
+
+std::uint64_t RazerS3Like::map_strand(
+    std::span<const std::uint8_t> codes, genomics::Strand strand,
+    std::uint32_t delta, std::vector<core::ReadMapping>& out) const {
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    const std::uint32_t q = index_->q();
+    const std::uint32_t t = threshold(n, q, delta);
+    std::uint64_t ops = 0;
+
+    // Collect candidate diagonals (read-start positions) of every
+    // q-gram hit.
+    std::vector<std::uint32_t> diagonals;
+    std::uint64_t key = QGramIndex::pack(codes, q);
+    for (std::uint32_t o = 0;; ++o) {
+        const auto occ = index_->occurrences(key);
+        ops += kOpsPerLookup + occ.size() * kOpsPerHit;
+        for (const std::uint32_t p : occ) {
+            diagonals.push_back(p >= o ? p - o : 0);
+        }
+        if (o + q >= n) break;
+        key = index_->roll(key, codes[o + q]);
+    }
+
+    std::sort(diagonals.begin(), diagonals.end());
+    ops += diagonals.size() *
+           (diagonals.empty()
+                ? 0
+                : std::bit_width(diagonals.size()));
+
+    // Counting stage: a window of diagonals of width delta holding >= t
+    // hits is a candidate parallelogram.
+    std::vector<std::uint32_t> candidates;
+    std::size_t lo = 0;
+    for (std::size_t hi = 0; hi < diagonals.size(); ++hi) {
+        while (diagonals[hi] > diagonals[lo] + delta) ++lo;
+        if (hi - lo + 1 >= t) candidates.push_back(diagonals[lo]);
+    }
+    dedup_positions(candidates, delta);
+
+    const auto stats =
+        verify_candidates(*reference_, codes, strand, candidates, delta,
+                          max_locations_, kOpsMyersWord, out);
+    return ops + stats.ops;
+}
+
+std::uint64_t RazerS3Like::map_read(const genomics::Read& read,
+                                    std::uint32_t delta,
+                                    std::vector<core::ReadMapping>& out) {
+    std::uint64_t ops =
+        map_strand(read.codes, genomics::Strand::Forward, delta, out);
+    const auto rc = read.reverse_complement();
+    ops += map_strand(rc, genomics::Strand::Reverse, delta, out);
+    return ops;
+}
+
+} // namespace repute::baselines

@@ -1,0 +1,59 @@
+#pragma once
+// RazerS3-style all-mapper (Weese et al. 2012), simplified core.
+//
+// The gold standard of the paper's accuracy protocols. Filtration is the
+// q-gram counting lemma: an occurrence of a length-n read with at most
+// delta errors shares at least t = (n - q + 1) - q*delta q-grams with
+// the reference, so diagonals accumulating >= t q-gram hits are the only
+// places an alignment can exist — a *lossless* filter. Candidates are
+// verified with the same Myers kernel as every other tool here.
+//
+// Matching the paper's configuration, the mapper reports up to
+// `max_locations` mappings per read (RazerS3 was run with 100).
+
+#include <memory>
+
+#include "baselines/qgram_index.hpp"
+#include "baselines/single_device_mapper.hpp"
+
+namespace repute::baselines {
+
+class RazerS3Like final : public SingleDeviceMapper {
+public:
+    /// `max_q` caps the q-gram length (the memory/specificity knob —
+    /// RazerS3 picks its shape for the reference scale; smaller values
+    /// emulate larger-genome hit densities on small references).
+    RazerS3Like(const genomics::Reference& reference, ocl::Device& device,
+                std::uint32_t max_locations = 100, std::uint32_t max_q = 12)
+        : SingleDeviceMapper("RazerS3", device, /*power_scale=*/0.42),
+          reference_(&reference), max_locations_(max_locations),
+          max_q_(max_q) {}
+
+    /// Lossless q for the given read parameters: the largest q <= max_q
+    /// with threshold >= 1.
+    static std::uint32_t choose_q(std::size_t read_length,
+                                  std::uint32_t delta,
+                                  std::uint32_t max_q = 12) noexcept;
+    /// q-gram lemma threshold (>= 1 by construction of choose_q).
+    static std::uint32_t threshold(std::size_t read_length,
+                                   std::uint32_t q,
+                                   std::uint32_t delta) noexcept;
+
+protected:
+    void prepare(const genomics::ReadBatch& batch,
+                 std::uint32_t delta) override;
+    std::uint64_t map_read(const genomics::Read& read, std::uint32_t delta,
+                           std::vector<core::ReadMapping>& out) override;
+
+private:
+    const genomics::Reference* reference_;
+    std::uint32_t max_locations_;
+    std::uint32_t max_q_;
+    std::unique_ptr<QGramIndex> index_;
+
+    std::uint64_t map_strand(std::span<const std::uint8_t> codes,
+                             genomics::Strand strand, std::uint32_t delta,
+                             std::vector<core::ReadMapping>& out) const;
+};
+
+} // namespace repute::baselines

@@ -1,0 +1,67 @@
+#pragma once
+// Shared chassis for the baseline mappers.
+//
+// The tools REPUTE is compared against (RazerS3, Hobbes3, Yara, BWA-MEM,
+// GEM) are multi-threaded CPU programs: one device, embarrassingly
+// parallel over reads. This base class runs a subclass's per-read body
+// through the device model so every tool's time and energy come from
+// the same accounting, making the cross-tool tables apples-to-apples.
+//
+// The per-(n, delta) preparation a tool performs (e.g. RazerS3 picking
+// its q-gram length and building the q-gram index) happens in prepare()
+// and is excluded from mapping time, matching the paper ("we have
+// compared, only, the mapping times").
+
+#include <string>
+
+#include "core/mapping.hpp"
+#include "ocl/device.hpp"
+
+namespace repute::baselines {
+
+class SingleDeviceMapper : public core::Mapper {
+public:
+    core::MapResult map(const genomics::ReadBatch& batch,
+                        std::uint32_t delta) final;
+
+    std::string_view name() const noexcept final { return name_; }
+    double power_scale() const noexcept final { return power_scale_; }
+
+protected:
+    /// `device` must outlive the mapper.
+    SingleDeviceMapper(std::string name, ocl::Device& device,
+                       double power_scale)
+        : name_(std::move(name)), device_(&device),
+          power_scale_(power_scale) {}
+
+    /// Called once per map() before the kernel runs; not charged to
+    /// mapping time.
+    virtual void prepare(const genomics::ReadBatch& batch,
+                         std::uint32_t delta) {
+        (void)batch;
+        (void)delta;
+    }
+
+    /// Per-read body; returns modeled ops, fills `out` (pre-cleared).
+    virtual std::uint64_t map_read(const genomics::Read& read,
+                                   std::uint32_t delta,
+                                   std::vector<core::ReadMapping>& out) = 0;
+
+    /// Modeled per-thread scratch (occupancy is irrelevant on CPUs but
+    /// keeps the accounting uniform).
+    virtual std::uint64_t scratch_bytes(std::size_t read_length,
+                                        std::uint32_t delta) const {
+        (void)read_length;
+        (void)delta;
+        return 8 * 1024;
+    }
+
+    ocl::Device& device() const noexcept { return *device_; }
+
+private:
+    std::string name_;
+    ocl::Device* device_;
+    double power_scale_;
+};
+
+} // namespace repute::baselines

@@ -1,0 +1,70 @@
+#include "baselines/verify_common.hpp"
+
+#include <algorithm>
+
+#include "align/myers.hpp"
+
+namespace repute::baselines {
+
+void dedup_positions(std::vector<std::uint32_t>& positions,
+                     std::uint32_t radius) {
+    std::sort(positions.begin(), positions.end());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (kept == 0 || positions[i] > positions[kept - 1] + radius) {
+            positions[kept++] = positions[i];
+        }
+    }
+    positions.resize(kept);
+}
+
+void keep_best_stratum(std::vector<core::ReadMapping>& mappings) {
+    if (mappings.empty()) return;
+    std::uint16_t best = mappings.front().edit_distance;
+    for (const auto& m : mappings) best = std::min(best, m.edit_distance);
+    std::erase_if(mappings, [best](const core::ReadMapping& m) {
+        return m.edit_distance != best;
+    });
+}
+
+VerifyStats verify_candidates(const genomics::Reference& reference,
+                              std::span<const std::uint8_t> codes,
+                              genomics::Strand strand,
+                              std::span<const std::uint32_t> positions,
+                              std::uint32_t delta, std::size_t cap,
+                              std::uint64_t weights_myers_word,
+                              std::vector<core::ReadMapping>& out) {
+    VerifyStats stats;
+    const align::MyersMatcher matcher(codes);
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    const auto text_len =
+        static_cast<std::uint32_t>(reference.size());
+    std::vector<std::uint8_t> window;
+    window.reserve(n + 2 * delta);
+
+    for (const std::uint32_t start : positions) {
+        if (out.size() >= cap) break;
+        const std::uint32_t win_lo = start >= delta ? start - delta : 0;
+        if (win_lo >= text_len) continue;
+        const std::uint32_t win_len =
+            std::min<std::uint32_t>(n + 2 * delta, text_len - win_lo);
+        if (win_len + delta < n) continue;
+
+        window.resize(win_len);
+        reference.sequence().extract(win_lo, win_len, window.data());
+        const auto hit = matcher.best_in(window);
+        stats.ops += matcher.scan_cost(win_len) * weights_myers_word;
+
+        if (hit.distance <= delta) {
+            core::ReadMapping m;
+            m.position = start;
+            m.edit_distance = static_cast<std::uint16_t>(hit.distance);
+            m.strand = strand;
+            out.push_back(m);
+            ++stats.accepted;
+        }
+    }
+    return stats;
+}
+
+} // namespace repute::baselines

@@ -1,0 +1,42 @@
+#pragma once
+// Candidate verification shared by the baseline mappers: Myers
+// bit-vector over a delta-padded reference window, identical semantics
+// to the REPUTE kernel so accuracy comparisons measure filtration
+// quality, not verifier differences.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "genomics/sequence.hpp"
+
+namespace repute::baselines {
+
+struct VerifyStats {
+    std::uint64_t ops = 0;
+    std::uint32_t accepted = 0;
+};
+
+/// Verifies sorted candidate read-start positions of one strand's codes
+/// and appends accepted mappings to `out` until `cap` total entries.
+/// `weights_myers_word` is the per-word-column op weight.
+VerifyStats verify_candidates(const genomics::Reference& reference,
+                              std::span<const std::uint8_t> codes,
+                              genomics::Strand strand,
+                              std::span<const std::uint32_t> positions,
+                              std::uint32_t delta, std::size_t cap,
+                              std::uint64_t weights_myers_word,
+                              std::vector<core::ReadMapping>& out);
+
+/// Sorts and collapses candidate diagonals within `radius` (shared
+/// dedup used by every filtration scheme).
+void dedup_positions(std::vector<std::uint32_t>& positions,
+                     std::uint32_t radius);
+
+/// Best-mapper semantics (Yara / BWA-MEM / GEM as configured in the
+/// paper): keep only mappings whose edit distance equals the minimum —
+/// the "best stratum". No-op on empty input.
+void keep_best_stratum(std::vector<core::ReadMapping>& mappings);
+
+} // namespace repute::baselines

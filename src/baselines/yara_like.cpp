@@ -1,0 +1,82 @@
+#include "baselines/yara_like.hpp"
+
+#include <algorithm>
+
+#include "baselines/verify_common.hpp"
+
+namespace repute::baselines {
+
+namespace {
+constexpr std::uint64_t kOpsPerSearchNode = 14; // extend + backtrack state
+constexpr std::uint64_t kOpsPerLocate = 40;
+constexpr std::uint64_t kOpsPerCandidate = 48;
+constexpr std::uint64_t kOpsMyersWord = 4;
+constexpr std::uint32_t kMaxHitsPerSeed = 4096;
+} // namespace
+
+std::vector<std::uint32_t> YaraLike::seed_budgets(std::uint32_t delta,
+                                                  std::uint32_t k) {
+    // Distribute delta+1 "slots" over k seeds: e_i + 1 per seed.
+    std::vector<std::uint32_t> budgets(k, 0);
+    const std::uint32_t total = delta + 1;
+    const std::uint32_t base = total / k;
+    const std::uint32_t extra = total % k;
+    for (std::uint32_t i = 0; i < k; ++i) {
+        const std::uint32_t slots = base + (i < extra ? 1 : 0);
+        budgets[i] = slots > 0 ? slots - 1 : 0;
+    }
+    return budgets;
+}
+
+std::uint64_t YaraLike::map_strand(
+    std::span<const std::uint8_t> codes, genomics::Strand strand,
+    std::uint32_t delta, std::vector<core::ReadMapping>& out) const {
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    std::uint64_t ops = 0;
+
+    const std::uint32_t k = std::min(n_seeds_, delta + 1);
+    const auto budgets = seed_budgets(delta, k);
+
+    // Equal-length segments; approximate-search each with its budget.
+    std::vector<std::uint32_t> candidates;
+    std::vector<std::uint32_t> hits;
+    for (std::uint32_t s = 0; s < k; ++s) {
+        const std::uint32_t seg_start = s * n / k;
+        const std::uint32_t seg_end = (s + 1) * n / k;
+        index::ApproxSearchStats stats;
+        const auto matches = index::approximate_search(
+            *fm_, codes.subspan(seg_start, seg_end - seg_start),
+            budgets[s], &stats, /*node_budget=*/1u << 18);
+        ops += stats.visited_nodes * kOpsPerSearchNode;
+
+        for (const auto& match : matches) {
+            if (match.range.count() > kMaxHitsPerSeed) continue;
+            hits.clear();
+            fm_->locate_range(match.range, kMaxHitsPerSeed, hits);
+            ops += hits.size() * kOpsPerLocate;
+            for (const std::uint32_t p : hits) {
+                candidates.push_back(p >= seg_start ? p - seg_start : 0);
+            }
+        }
+    }
+    ops += candidates.size() * kOpsPerCandidate;
+    dedup_positions(candidates, delta);
+
+    const auto stats =
+        verify_candidates(*reference_, codes, strand, candidates, delta,
+                          max_locations_, kOpsMyersWord, out);
+    return ops + stats.ops;
+}
+
+std::uint64_t YaraLike::map_read(const genomics::Read& read,
+                                 std::uint32_t delta,
+                                 std::vector<core::ReadMapping>& out) {
+    std::uint64_t ops =
+        map_strand(read.codes, genomics::Strand::Forward, delta, out);
+    const auto rc = read.reverse_complement();
+    ops += map_strand(rc, genomics::Strand::Reverse, delta, out);
+    keep_best_stratum(out);
+    return ops;
+}
+
+} // namespace repute::baselines

@@ -1,0 +1,49 @@
+#pragma once
+// Yara-style all-best mapper (Siragusa 2015), simplified core.
+//
+// Yara searches few long seeds *approximately* in the FM-index
+// (backtracking with per-seed error budgets derived from the pigeonhole
+// principle: budgets e_1..e_k with sum(e_i + 1) >= delta + 1 guarantee a
+// seed match at every true location) and reports every location in the
+// best stratum. The backtracking tree grows steeply with the per-seed
+// budget, which is exactly why Yara's runtime explodes with delta in
+// Table I (321 s at n=150, delta=7) — and the best-stratum output is
+// why its §III-A accuracy against an all-mapper gold standard is in the
+// single digits while its §III-B any-best accuracy is ~100%.
+
+#include "baselines/single_device_mapper.hpp"
+#include "index/approx_search.hpp"
+#include "index/fm_index.hpp"
+
+namespace repute::baselines {
+
+class YaraLike final : public SingleDeviceMapper {
+public:
+    YaraLike(const genomics::Reference& reference,
+             const index::FmIndex& fm, ocl::Device& device,
+             std::uint32_t n_seeds = 2, std::uint32_t max_locations = 4096)
+        : SingleDeviceMapper("Yara", device, /*power_scale=*/0.45),
+          reference_(&reference), fm_(&fm), n_seeds_(n_seeds),
+          max_locations_(max_locations) {}
+
+    /// Pigeonhole error budgets for k seeds at edit budget delta:
+    /// sum(e_i + 1) = delta + 1 (clamped at >= 0 each).
+    static std::vector<std::uint32_t> seed_budgets(std::uint32_t delta,
+                                                   std::uint32_t k);
+
+protected:
+    std::uint64_t map_read(const genomics::Read& read, std::uint32_t delta,
+                           std::vector<core::ReadMapping>& out) override;
+
+private:
+    const genomics::Reference* reference_;
+    const index::FmIndex* fm_;
+    std::uint32_t n_seeds_;
+    std::uint32_t max_locations_;
+
+    std::uint64_t map_strand(std::span<const std::uint8_t> codes,
+                             genomics::Strand strand, std::uint32_t delta,
+                             std::vector<core::ReadMapping>& out) const;
+};
+
+} // namespace repute::baselines

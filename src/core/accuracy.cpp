@@ -1,0 +1,115 @@
+#include "core/accuracy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repute::core {
+
+bool contains_mapping(const std::vector<ReadMapping>& mappings,
+                      const ReadMapping& target, std::uint32_t tolerance) {
+    const std::uint32_t lo =
+        target.position >= tolerance ? target.position - tolerance : 0;
+    auto it = std::lower_bound(
+        mappings.begin(), mappings.end(), lo,
+        [](const ReadMapping& m, std::uint32_t value) {
+            return m.position < value;
+        });
+    for (; it != mappings.end() &&
+           it->position <= target.position + tolerance;
+         ++it) {
+        if (it->strand == target.strand) return true;
+    }
+    return false;
+}
+
+namespace {
+
+void check_sizes(const MapResult& gold, const MapResult& test) {
+    if (gold.per_read.size() != test.per_read.size()) {
+        throw std::invalid_argument(
+            "accuracy: result sets cover different read counts");
+    }
+}
+
+} // namespace
+
+double all_locations_accuracy(const MapResult& gold, const MapResult& test,
+                              const AccuracyConfig& config) {
+    check_sizes(gold, test);
+    std::uint64_t gold_total = 0;
+    std::uint64_t found = 0;
+    for (std::size_t r = 0; r < gold.per_read.size(); ++r) {
+        const auto& gold_mappings = gold.per_read[r];
+        const auto& test_mappings = test.per_read[r];
+        gold_total += gold_mappings.size();
+        for (const ReadMapping& g : gold_mappings) {
+            if (contains_mapping(test_mappings, g,
+                                 config.position_tolerance)) {
+                ++found;
+            }
+        }
+    }
+    if (gold_total == 0) return 100.0;
+    return 100.0 * static_cast<double>(found) /
+           static_cast<double>(gold_total);
+}
+
+double any_best_accuracy(const MapResult& gold, const MapResult& test,
+                         const AccuracyConfig& config) {
+    check_sizes(gold, test);
+    std::uint64_t gold_mapped_reads = 0;
+    std::uint64_t recovered = 0;
+    for (std::size_t r = 0; r < gold.per_read.size(); ++r) {
+        const auto& gold_mappings = gold.per_read[r];
+        if (gold_mappings.empty()) continue;
+        ++gold_mapped_reads;
+        const auto& test_mappings = test.per_read[r];
+        const bool any = std::any_of(
+            gold_mappings.begin(), gold_mappings.end(),
+            [&](const ReadMapping& g) {
+                return contains_mapping(test_mappings, g,
+                                        config.position_tolerance);
+            });
+        if (any) ++recovered;
+    }
+    if (gold_mapped_reads == 0) return 100.0;
+    return 100.0 * static_cast<double>(recovered) /
+           static_cast<double>(gold_mapped_reads);
+}
+
+std::vector<double> stratified_any_best_accuracy(
+    const MapResult& gold, const MapResult& test,
+    const AccuracyConfig& config, std::uint32_t max_distance) {
+    check_sizes(gold, test);
+    std::vector<std::uint64_t> totals(max_distance + 1, 0);
+    std::vector<std::uint64_t> recovered(max_distance + 1, 0);
+
+    for (std::size_t r = 0; r < gold.per_read.size(); ++r) {
+        const auto& gold_mappings = gold.per_read[r];
+        if (gold_mappings.empty()) continue;
+        std::uint16_t best = gold_mappings.front().edit_distance;
+        for (const auto& g : gold_mappings) {
+            best = std::min(best, g.edit_distance);
+        }
+        if (best > max_distance) continue;
+        ++totals[best];
+        const bool any = std::any_of(
+            gold_mappings.begin(), gold_mappings.end(),
+            [&](const ReadMapping& g) {
+                return contains_mapping(test.per_read[r], g,
+                                        config.position_tolerance);
+            });
+        if (any) ++recovered[best];
+    }
+
+    std::vector<double> out(max_distance + 1, -1.0);
+    for (std::uint32_t e = 0; e <= max_distance; ++e) {
+        if (totals[e] > 0) {
+            out[e] = 100.0 * static_cast<double>(recovered[e]) /
+                     static_cast<double>(totals[e]);
+        }
+    }
+    return out;
+}
+
+} // namespace repute::core

@@ -1,0 +1,53 @@
+#pragma once
+// Accuracy protocols of the paper.
+//
+// §III-A (homogeneous scenario): the gold standard (RazerS3, an
+// all-mapper) reports a set of locations per read; a mapper's accuracy
+// is the percentage of gold locations it also reports, matching both
+// position (within a tolerance window — alignments of the same site may
+// differ by up to delta in their reported start) and strand.
+//
+// §III-B (heterogeneous/embedded scenarios): Rabema-style "any-best" —
+// a read counts as correctly mapped when the mapper reports at least one
+// location+strand that the gold standard also found; accuracy is the
+// percentage of gold-mapped reads recovered.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.hpp"
+
+namespace repute::core {
+
+struct AccuracyConfig {
+    /// |position difference| tolerated when matching two mappings of the
+    /// same site. The natural setting is the error budget delta.
+    std::uint32_t position_tolerance = 0;
+};
+
+/// §III-A protocol. Returns a percentage in [0, 100]; 100 when the gold
+/// standard reports nothing at all. Throws std::invalid_argument when
+/// the two results cover different read counts.
+double all_locations_accuracy(const MapResult& gold, const MapResult& test,
+                              const AccuracyConfig& config);
+
+/// §III-B protocol (Rabema any-best). Percentage of gold-mapped reads
+/// for which `test` reports at least one matching location+strand.
+double any_best_accuracy(const MapResult& gold, const MapResult& test,
+                         const AccuracyConfig& config);
+
+/// True when `mappings` (sorted by position) contains a mapping within
+/// `tolerance` of `target` on the same strand.
+bool contains_mapping(const std::vector<ReadMapping>& mappings,
+                      const ReadMapping& target, std::uint32_t tolerance);
+
+/// Any-best accuracy stratified by the gold standard's best edit
+/// distance per read: out[e] = any-best accuracy over reads whose best
+/// gold mapping has edit distance e (entries with no reads are -1).
+/// Shows *where* a mapper loses sensitivity — typically in the highest
+/// strata, where fewer seeds are error-free.
+std::vector<double> stratified_any_best_accuracy(
+    const MapResult& gold, const MapResult& test,
+    const AccuracyConfig& config, std::uint32_t max_distance);
+
+} // namespace repute::core

@@ -1,0 +1,110 @@
+#include "core/cigar.hpp"
+
+#include <algorithm>
+
+#include "align/edit_distance.hpp"
+#include "util/packed_dna.hpp"
+
+namespace repute::core {
+
+std::optional<AnnotatedMapping> annotate_mapping(
+    const genomics::Reference& reference, const genomics::Read& read,
+    const ReadMapping& mapping, std::uint32_t delta) {
+    const auto n = static_cast<std::uint32_t>(read.length());
+    const auto text_len = static_cast<std::uint32_t>(reference.size());
+
+    const std::uint32_t win_lo =
+        mapping.position >= delta ? mapping.position - delta : 0;
+    if (win_lo >= text_len) return std::nullopt;
+    const std::uint32_t win_len =
+        std::min<std::uint32_t>(n + 2 * delta, text_len - win_lo);
+
+    const std::vector<std::uint8_t> pattern =
+        mapping.strand == genomics::Strand::Reverse
+            ? read.reverse_complement()
+            : read.codes;
+    const auto window = reference.sequence().extract(win_lo, win_len);
+
+    const auto alignment = align::semiglobal_align(pattern, window, delta);
+    if (!alignment.has_value()) return std::nullopt;
+
+    AnnotatedMapping out;
+    out.mapping = mapping;
+    out.mapping.edit_distance =
+        static_cast<std::uint16_t>(alignment->distance);
+    out.precise_position = win_lo + alignment->text_start;
+    out.cigar = alignment->cigar;
+    return out;
+}
+
+std::vector<genomics::SamRecord> to_sam_with_cigar(
+    const genomics::ReadBatch& batch, const MapResult& result,
+    const genomics::Reference& reference, std::uint32_t delta,
+    std::size_t* dropped) {
+    std::vector<genomics::SamRecord> records;
+    records.reserve(batch.size());
+    std::size_t n_dropped = 0;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto& read = batch.reads[i];
+        const auto& mappings = i < result.per_read.size()
+                                   ? result.per_read[i]
+                                   : std::vector<ReadMapping>{};
+        if (mappings.empty()) {
+            genomics::SamRecord rec;
+            rec.qname = read.name;
+            rec.flag = genomics::SamRecord::kFlagUnmapped;
+            rec.rname = "*";
+            records.push_back(std::move(rec));
+            continue;
+        }
+
+        std::vector<AnnotatedMapping> annotated;
+        annotated.reserve(mappings.size());
+        for (const auto& m : mappings) {
+            if (auto a = annotate_mapping(reference, read, m, delta)) {
+                annotated.push_back(std::move(*a));
+            } else {
+                ++n_dropped;
+            }
+        }
+        if (annotated.empty()) {
+            genomics::SamRecord rec;
+            rec.qname = read.name;
+            rec.flag = genomics::SamRecord::kFlagUnmapped;
+            rec.rname = "*";
+            records.push_back(std::move(rec));
+            continue;
+        }
+
+        const auto best = std::min_element(
+            annotated.begin(), annotated.end(),
+            [](const AnnotatedMapping& a, const AnnotatedMapping& b) {
+                return a.mapping.edit_distance < b.mapping.edit_distance;
+            });
+        for (const auto& a : annotated) {
+            genomics::SamRecord rec;
+            rec.qname = read.name;
+            rec.rname = reference.name();
+            rec.pos = a.precise_position + 1; // SAM is 1-based
+            rec.cigar = a.cigar;
+            rec.edit_distance = a.mapping.edit_distance;
+            rec.mapq = static_cast<std::uint8_t>(
+                a.mapping.edit_distance == best->mapping.edit_distance
+                    ? 60
+                    : 0);
+            if (a.mapping.strand == genomics::Strand::Reverse) {
+                rec.flag |= genomics::SamRecord::kFlagReverse;
+            }
+            if (&a != &*best) {
+                rec.flag |= genomics::SamRecord::kFlagSecondary;
+            }
+            rec.seq = read.to_string();
+            records.push_back(std::move(rec));
+        }
+    }
+    if (dropped != nullptr) *dropped = n_dropped;
+    return records;
+}
+
+} // namespace repute::core

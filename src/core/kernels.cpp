@@ -1,0 +1,133 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+
+#include "align/myers.hpp"
+#include "filter/candidates.hpp"
+#include "util/packed_dna.hpp"
+
+namespace repute::core {
+
+StageTotals& StageTotals::operator+=(const StageTotals& other) noexcept {
+    filtration_ops += other.filtration_ops;
+    locate_ops += other.locate_ops;
+    verify_ops += other.verify_ops;
+    candidates += other.candidates;
+    accepted += other.accepted;
+    return *this;
+}
+
+namespace {
+
+/// Filtration + verification of one strand's code sequence. Appends to
+/// `out` until the first-n cap; accumulates per-stage ops into `stages`.
+void map_strand(const index::FmIndex& fm,
+                const genomics::Reference& reference,
+                const filter::Seeder& seeder,
+                std::span<const std::uint8_t> codes,
+                genomics::Strand strand, std::uint32_t delta,
+                const KernelConfig& config,
+                std::vector<ReadMapping>& out, StageTotals& stages) {
+    const auto& w = config.weights;
+
+    // --- Filtration: DP (or heuristic) seed selection.
+    const filter::SeedPlan plan = seeder.select(fm, codes, delta);
+    stages.filtration_ops +=
+        plan.fm_extends * w.fm_extend + plan.dp_cells * w.dp_cell;
+
+    // --- Candidate gathering: locate hits; REPUTE's modified flow also
+    // collapses duplicate diagonals before verification.
+    filter::CandidateConfig cand_config;
+    cand_config.max_hits_per_seed = config.max_hits_per_seed;
+    cand_config.collapse_diagonals = config.collapse_candidates;
+    const filter::CandidateSet candidates = filter::gather_candidates(
+        fm, plan, static_cast<std::uint32_t>(codes.size()), delta,
+        cand_config);
+    const std::uint64_t locate_cost =
+        w.locate_base + w.locate_step * (fm.sa_sample() - 1) / 2;
+    stages.locate_ops += candidates.located_hits * locate_cost;
+    stages.verify_ops += candidates.raw_hits * w.per_candidate;
+    stages.candidates += candidates.positions.size();
+
+    // --- Verification: Myers bit-vector over each candidate window.
+    const align::MyersMatcher matcher(codes);
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    const auto text_len = static_cast<std::uint32_t>(fm.size());
+    std::vector<std::uint8_t> window;
+    window.reserve(n + 2 * delta);
+
+    for (const std::uint32_t start : candidates.positions) {
+        if (out.size() >= config.max_locations_per_read) break; // first-n
+        const std::uint32_t win_lo = start >= delta ? start - delta : 0;
+        if (win_lo >= text_len) continue;
+        const std::uint32_t win_len =
+            std::min<std::uint32_t>(n + 2 * delta, text_len - win_lo);
+        if (win_len + delta < n) continue; // window cannot fit the read
+
+        window.resize(win_len);
+        reference.sequence().extract(win_lo, win_len, window.data());
+        const auto hit = matcher.best_in(window);
+        stages.verify_ops += matcher.scan_cost(win_len) * w.myers_word;
+
+        if (hit.distance <= delta) {
+            ReadMapping m;
+            // Report the candidate diagonal (clamped): the alignment
+            // start lies within +-delta of it, and every mapper in the
+            // comparison uses the same convention, so the accuracy
+            // protocols compare like with like.
+            m.position = start;
+            m.edit_distance = static_cast<std::uint16_t>(hit.distance);
+            m.strand = strand;
+            out.push_back(m);
+            ++stages.accepted;
+        }
+    }
+}
+
+} // namespace
+
+std::uint64_t map_read_workitem(const index::FmIndex& fm,
+                                const genomics::Reference& reference,
+                                const filter::Seeder& seeder,
+                                const genomics::Read& read,
+                                std::uint32_t delta,
+                                const KernelConfig& config,
+                                std::vector<ReadMapping>& out,
+                                StageTotals* stages) {
+    out.clear();
+    StageTotals local;
+    map_strand(fm, reference, seeder, read.codes,
+               genomics::Strand::Forward, delta, config, out, local);
+    const auto rc = read.reverse_complement();
+    map_strand(fm, reference, seeder, rc, genomics::Strand::Reverse,
+               delta, config, out, local);
+    std::sort(out.begin(), out.end(),
+              [](const ReadMapping& a, const ReadMapping& b) {
+                  return a.position != b.position
+                             ? a.position < b.position
+                             : a.strand < b.strand;
+              });
+    // Streaming flows can verify (and accept) the same window through
+    // several seeds; the host-side merge removes the duplicates.
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const ReadMapping& a, const ReadMapping& b) {
+                              return a.position == b.position &&
+                                     a.strand == b.strand;
+                          }),
+              out.end());
+    if (stages != nullptr) *stages += local;
+    return local.total_ops();
+}
+
+std::uint64_t kernel_scratch_bytes(const filter::Seeder& seeder,
+                                   std::size_t read_length,
+                                   std::uint32_t delta) {
+    const std::uint64_t window_bytes = read_length + 2 * delta;
+    const std::uint64_t myers_words = (read_length + 63) / 64;
+    const std::uint64_t myers_bytes = myers_words * 8 * (4 + 4); // Peq+state
+    const std::uint64_t dedup_cache = 64 * 4; // recent-diagonal ring
+    return seeder.scratch_bound(read_length, delta) + window_bytes +
+           myers_bytes + dedup_cache + 128 /*misc locals*/;
+}
+
+} // namespace repute::core

@@ -1,0 +1,92 @@
+#pragma once
+// The REPUTE map kernel: filtration + verification for one read, both
+// strands, expressed as an OpenCL-style work-item body.
+//
+// Kernel flow (paper §II): DP filtration chooses delta+1 k-mers; their
+// FM-index hits become candidate diagonals; candidates are deduplicated
+// and each window is verified with the Myers bit-vector kernel; accepted
+// alignments are written into the first-n output slots. Candidates are
+// verified directly from the diagonal list instead of materializing a
+// per-read candidate table — the paper's "kernel flow modified to
+// minimize the increase in memory footprint" point.
+//
+// Work accounting: every stage reports abstract operations, weighted so
+// one unit is roughly one inner-loop step; the device model turns ops
+// into modeled seconds (see ocl::Device).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "filter/seed.hpp"
+#include "genomics/sequence.hpp"
+#include "index/fm_index.hpp"
+
+namespace repute::core {
+
+/// Cost weights for the device time model (one unit ~ one inner-loop
+/// step of the modeled kernel).
+struct OpWeights {
+    std::uint64_t fm_extend = 8;      ///< 2 occ queries + bookkeeping
+    std::uint64_t dp_cell = 2;        ///< one DP min/add
+    /// SA locate = base + step * (sa_sample - 1) / 2 (the average LF
+    /// walk length grows with the sampling interval).
+    std::uint64_t locate_base = 19;
+    std::uint64_t locate_step = 14;
+    std::uint64_t myers_word = 4;     ///< one 64-bit Myers column word
+    std::uint64_t per_candidate = 48; ///< window fetch + dedup
+};
+
+struct KernelConfig {
+    std::uint32_t s_min = 12;
+    std::uint32_t max_locations_per_read = 100; ///< first-n output cap
+    std::uint32_t max_hits_per_seed = 2048;
+    /// REPUTE's modified kernel flow (true): gather candidates, collapse
+    /// duplicate diagonals, verify once per window. CORAL's streaming
+    /// flow (false): verify every seed hit as it comes — no cross-seed
+    /// dedup, so windows shared by several seeds are re-verified; the
+    /// duplicated work grows with delta+1 and is the main reason the DP
+    /// filtration wins at long reads / high error budgets (§IV).
+    bool collapse_candidates = true;
+    OpWeights weights;
+};
+
+/// Per-stage accounting of one or more kernel executions. All fields
+/// are abstract ops except the trailing counters.
+struct StageTotals {
+    std::uint64_t filtration_ops = 0; ///< seed selection (FM + DP)
+    std::uint64_t locate_ops = 0;     ///< SA locate walks
+    std::uint64_t verify_ops = 0;     ///< Myers verification + windows
+    std::uint64_t candidates = 0;     ///< windows passed to verification
+    std::uint64_t accepted = 0;       ///< mappings written (pre-merge)
+
+    std::uint64_t total_ops() const noexcept {
+        return filtration_ops + locate_ops + verify_ops;
+    }
+    StageTotals& operator+=(const StageTotals& other) noexcept;
+};
+
+/// Full pipeline for one read (both strands). Fills `out` (cleared
+/// first) with at most `config.max_locations_per_read` mappings sorted
+/// by (position, strand), and returns the abstract ops consumed.
+/// `reference` must be the sequence the `fm` index was built from.
+/// When `stages` is non-null the per-stage breakdown is accumulated
+/// into it (caller provides one per work-item or synchronizes).
+std::uint64_t map_read_workitem(const index::FmIndex& fm,
+                                const genomics::Reference& reference,
+                                const filter::Seeder& seeder,
+                                const genomics::Read& read,
+                                std::uint32_t delta,
+                                const KernelConfig& config,
+                                std::vector<ReadMapping>& out,
+                                StageTotals* stages = nullptr);
+
+/// Static private-memory requirement per work-item for a launch with
+/// these parameters (seeder scratch + verification window + Myers state
+/// + dedup cache). Drives GPU occupancy and out-of-resource behavior.
+std::uint64_t kernel_scratch_bytes(const filter::Seeder& seeder,
+                                   std::size_t read_length,
+                                   std::uint32_t delta);
+
+} // namespace repute::core

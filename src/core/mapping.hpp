@@ -1,0 +1,80 @@
+#pragma once
+// Mapping result types and the Mapper interface every tool in the
+// comparison implements (REPUTE, CORAL and the five baseline mappers).
+//
+// A mapping is the paper's output tuple: reference position, edit
+// distance and strand (§IV: "REPUTE gives the mapping positions, edit
+// distance and strand"). first-n semantics: each read stores at most
+// max_locations_per_read mappings, the cap imposed by static OpenCL
+// output buffers.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genomics/sam_lite.hpp"
+#include "genomics/sequence.hpp"
+#include "ocl/device.hpp"
+
+namespace repute::core {
+
+struct ReadMapping {
+    std::uint32_t position = 0; ///< 0-based read start on forward strand
+    std::uint16_t edit_distance = 0;
+    genomics::Strand strand = genomics::Strand::Forward;
+
+    bool operator==(const ReadMapping&) const noexcept = default;
+};
+
+struct StageTotals; // kernels.hpp
+
+/// Per-device execution record attached to a map run.
+struct DeviceRun {
+    std::string device_name;
+    std::size_t reads = 0;
+    ocl::LaunchStats stats;
+    double power_scale = 1.0;
+    /// Per-stage op breakdown (filtration / locate / verify) — filled by
+    /// mappers that instrument their kernels (REPUTE/CORAL do).
+    std::uint64_t filtration_ops = 0;
+    std::uint64_t locate_ops = 0;
+    std::uint64_t verify_ops = 0;
+    std::uint64_t candidates = 0;
+};
+
+struct MapResult {
+    /// per_read[i] holds the (<= cap) mappings of read i, sorted by
+    /// (position, strand).
+    std::vector<std::vector<ReadMapping>> per_read;
+    /// End-to-end modeled mapping time: devices run task-parallel, so
+    /// this is the slowest device's total plus merge overhead.
+    double mapping_seconds = 0.0;
+    std::vector<DeviceRun> device_runs;
+
+    std::uint64_t total_mappings() const noexcept;
+    std::size_t reads_mapped() const noexcept; ///< reads with >= 1 mapping
+};
+
+class Mapper {
+public:
+    virtual ~Mapper() = default;
+
+    /// Maps every read of `batch` at edit-distance budget `delta`.
+    virtual MapResult map(const genomics::ReadBatch& batch,
+                          std::uint32_t delta) = 0;
+
+    virtual std::string_view name() const noexcept = 0;
+
+    /// Fraction of device active power this mapper draws (see
+    /// energy::DeviceUsage::power_scale).
+    virtual double power_scale() const noexcept { return 1.0; }
+};
+
+/// Converts a map result to SAM-lite records (primary = lowest edit
+/// distance; others flagged secondary).
+std::vector<genomics::SamRecord> to_sam(const genomics::ReadBatch& batch,
+                                        const MapResult& result,
+                                        const std::string& reference_name);
+
+} // namespace repute::core

@@ -1,0 +1,16 @@
+#pragma once
+// Human-readable run reports: one-call summaries of a MapResult for
+// logs and the example programs.
+
+#include <string>
+
+#include "core/mapping.hpp"
+
+namespace repute::core {
+
+/// Multi-line summary: read/mapping counts, mappings-per-read
+/// histogram, per-device time/utilization and stage breakdown.
+std::string format_map_report(const genomics::ReadBatch& batch,
+                              const MapResult& result);
+
+} // namespace repute::core

@@ -1,0 +1,231 @@
+#include "core/repute_mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "filter/heuristic_seeder.hpp"
+#include "filter/memopt_seeder.hpp"
+#include "util/logging.hpp"
+
+namespace repute::core {
+
+HeterogeneousMapper::HeterogeneousMapper(
+    std::string display_name, const genomics::Reference& reference,
+    const index::FmIndex& fm, std::unique_ptr<filter::Seeder> seeder,
+    HeterogeneousMapperConfig config, std::vector<DeviceShare> shares)
+    : name_(std::move(display_name)), reference_(&reference), fm_(&fm),
+      seeder_(std::move(seeder)), config_(config) {
+    if (seeder_ == nullptr) {
+        throw std::invalid_argument(name_ + ": seeder must not be null");
+    }
+    double total = 0.0;
+    for (const DeviceShare& s : shares) {
+        if (s.device != nullptr && s.fraction > 0.0) {
+            total += s.fraction;
+            shares_.push_back(s);
+        }
+    }
+    if (shares_.empty() || total <= 0.0) {
+        throw std::invalid_argument(
+            name_ + ": needs at least one device with a positive share");
+    }
+    for (DeviceShare& s : shares_) s.fraction /= total;
+}
+
+std::vector<std::size_t> HeterogeneousMapper::split_workload(
+    std::size_t total) const {
+    std::vector<std::size_t> counts(shares_.size(), 0);
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i + 1 < shares_.size(); ++i) {
+        counts[i] = static_cast<std::size_t>(
+            static_cast<double>(total) * shares_[i].fraction);
+        assigned += counts[i];
+    }
+    counts.back() = total - assigned;
+    return counts;
+}
+
+MapResult HeterogeneousMapper::map(const genomics::ReadBatch& batch,
+                                   std::uint32_t delta) {
+    MapResult result;
+    result.per_read.resize(batch.size());
+    if (batch.empty()) return result;
+
+    // Per-read stage accounting; work items own disjoint slots and the
+    // per-device reduction happens after all events complete.
+    std::vector<StageTotals> read_stages(batch.size());
+
+    const std::size_t n = batch.read_length;
+    const std::uint64_t scratch = kernel_scratch_bytes(*seeder_, n, delta);
+    const std::uint64_t out_bytes_per_read =
+        static_cast<std::uint64_t>(config_.kernel.max_locations_per_read) *
+        8; // packed (position, edit, strand) slot
+
+    std::vector<ocl::Device*> devices;
+    devices.reserve(shares_.size());
+    for (const DeviceShare& s : shares_) devices.push_back(s.device);
+    ocl::Context context(devices);
+
+    const auto counts = split_workload(batch.size());
+
+    // Per-device state kept alive until every event completed.
+    struct DeviceWork {
+        ocl::Buffer resident;       ///< reference + index image
+        ocl::Buffer reads_buffer;   ///< reused across chunk launches
+        ocl::Buffer output_buffer;  ///< reused across chunk launches
+        std::vector<ocl::Event> events;
+    };
+    std::vector<DeviceWork> work(shares_.size());
+
+    for (std::size_t d = 0; d < shares_.size(); ++d) {
+        if (counts[d] == 0) continue;
+        ocl::Device& device = *shares_[d].device;
+        DeviceWork& dw = work[d];
+
+        dw.resident = context.allocate(
+            device,
+            reference_->sequence().memory_bytes() + fm_->memory_bytes(),
+            "index+reference");
+
+        // Largest chunk whose read and output buffers fit the device
+        // ceilings (quarter-of-RAM per buffer, remaining global memory
+        // in total). Oversized workloads run as several kernel
+        // invocations reusing the same buffers — the paper's fallback.
+        const auto& profile = device.profile();
+        const std::uint64_t quarter = profile.max_single_allocation();
+        const std::uint64_t free_bytes =
+            profile.global_memory_bytes - device.allocated_bytes();
+        std::uint64_t max_chunk64 = counts[d];
+        max_chunk64 = std::min(max_chunk64, quarter / out_bytes_per_read);
+        max_chunk64 = std::min(max_chunk64, quarter / n);
+        max_chunk64 =
+            std::min(max_chunk64, free_bytes / (n + out_bytes_per_read));
+        if (max_chunk64 == 0) {
+            throw ocl::OclError(
+                ocl::OclStatus::MemObjectAllocFail,
+                name_ + ": device " + device.name() +
+                    " cannot hold the buffers of even one read");
+        }
+        const auto max_chunk = static_cast<std::size_t>(max_chunk64);
+        if (max_chunk < counts[d]) {
+            util::logf(util::LogLevel::Info,
+                       "%s: %zu reads exceed %s memory; running %zu-read "
+                       "kernel invocations",
+                       name_.c_str(), counts[d], device.name().c_str(),
+                       max_chunk);
+        }
+
+        dw.reads_buffer =
+            context.allocate(device, max_chunk * n, "reads");
+        dw.output_buffer = context.allocate(
+            device, max_chunk * out_bytes_per_read, "mappings");
+
+        std::size_t base = 0;
+        for (std::size_t e = 0; e < d; ++e) base += counts[e];
+
+        ocl::CommandQueue queue(device);
+        std::size_t remaining = counts[d];
+        while (remaining > 0) {
+            const std::size_t chunk = std::min(remaining, max_chunk);
+            ocl::KernelLaunch launch;
+            launch.name = name_ + "::map";
+            launch.n_items = chunk;
+            launch.scratch_bytes_per_item = scratch;
+            launch.body = [this, &batch, &result, &read_stages, base,
+                           delta](std::size_t i) -> std::uint64_t {
+                // Work items write disjoint slots: no synchronization.
+                return map_read_workitem(*fm_, *reference_, *seeder_,
+                                         batch.reads[base + i], delta,
+                                         config_.kernel,
+                                         result.per_read[base + i],
+                                         &read_stages[base + i]);
+            };
+            dw.events.push_back(queue.enqueue(std::move(launch)));
+            base += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    // Task-parallel completion: devices ran concurrently; the mapping
+    // time is the slowest device's serial total.
+    double slowest = 0.0;
+    std::size_t range_start = 0;
+    for (std::size_t d = 0; d < shares_.size(); ++d) {
+        if (counts[d] == 0) continue;
+        DeviceRun run;
+        run.device_name = shares_[d].device->name();
+        run.reads = counts[d];
+        run.power_scale = config_.power_scale;
+        double device_seconds = 0.0;
+        for (ocl::Event& event : work[d].events) {
+            const ocl::LaunchStats& stats = event.wait();
+            device_seconds += stats.seconds;
+            run.stats.items += stats.items;
+            run.stats.total_ops += stats.total_ops;
+            run.stats.scratch_bytes_per_item = stats.scratch_bytes_per_item;
+            run.stats.utilization = stats.utilization;
+        }
+        run.stats.seconds = device_seconds;
+        for (std::size_t r = range_start; r < range_start + counts[d];
+             ++r) {
+            run.filtration_ops += read_stages[r].filtration_ops;
+            run.locate_ops += read_stages[r].locate_ops;
+            run.verify_ops += read_stages[r].verify_ops;
+            run.candidates += read_stages[r].candidates;
+        }
+        slowest = std::max(slowest, device_seconds);
+        result.device_runs.push_back(std::move(run));
+        range_start += counts[d];
+    }
+    result.mapping_seconds = slowest;
+    return result;
+}
+
+std::unique_ptr<HeterogeneousMapper> make_repute(
+    const genomics::Reference& reference, const index::FmIndex& fm,
+    std::uint32_t s_min, std::vector<DeviceShare> shares,
+    KernelConfig kernel) {
+    kernel.s_min = s_min;
+    HeterogeneousMapperConfig config;
+    config.kernel = kernel;
+    return std::make_unique<HeterogeneousMapper>(
+        "REPUTE", reference, fm,
+        std::make_unique<filter::MemoryOptimizedSeeder>(s_min), config,
+        std::move(shares));
+}
+
+std::unique_ptr<HeterogeneousMapper> make_coral(
+    const genomics::Reference& reference, const index::FmIndex& fm,
+    std::uint32_t s_min, std::vector<DeviceShare> shares,
+    KernelConfig kernel) {
+    kernel.s_min = s_min;
+    kernel.collapse_candidates = false; // streaming per-hit verification
+    HeterogeneousMapperConfig config;
+    config.kernel = kernel;
+    return std::make_unique<HeterogeneousMapper>(
+        "CORAL", reference, fm,
+        std::make_unique<filter::HeuristicSeeder>(s_min), config,
+        std::move(shares));
+}
+
+std::vector<DeviceShare> balanced_shares(
+    const std::vector<ocl::Device*>& devices,
+    std::uint64_t scratch_bytes_per_item) {
+    std::vector<DeviceShare> shares;
+    shares.reserve(devices.size());
+    for (ocl::Device* device : devices) {
+        if (device == nullptr) continue;
+        const auto& profile = device->profile();
+        double fraction = 0.0;
+        if (scratch_bytes_per_item <= profile.private_memory_per_unit) {
+            fraction = profile.ops_per_unit_per_second *
+                       profile.compute_units *
+                       device->utilization_for_scratch(
+                           scratch_bytes_per_item);
+        }
+        shares.push_back({device, fraction});
+    }
+    return shares;
+}
+
+} // namespace repute::core

@@ -1,0 +1,102 @@
+#pragma once
+// REPUTE's host program: multi-device task-parallel mapping.
+//
+// The host (paper §III) splits the read set across OpenCL devices per a
+// user-specified distribution, allocates the static buffers each device
+// needs (index + reference, read chunk, first-n output), launches the
+// map kernel on every device's queue simultaneously, and merges results.
+// When a chunk's output buffer would violate a device's allocation
+// ceiling, the chunk is processed in several smaller kernel runs — the
+// exact fallback the paper describes ("we have to limit the number of
+// mappings per read or run the kernel multiple times with smaller read
+// sets").
+//
+// The same host logic with the heuristic seeder is CORAL (the OpenCL
+// predecessor REPUTE is compared against), so the class is parameterized
+// by the Seeder and both tools are thin factories over it.
+
+#include <memory>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/mapping.hpp"
+#include "filter/seed.hpp"
+#include "genomics/sequence.hpp"
+#include "index/fm_index.hpp"
+#include "ocl/context.hpp"
+#include "ocl/queue.hpp"
+
+namespace repute::core {
+
+/// A device plus the fraction of the read set it should map.
+struct DeviceShare {
+    ocl::Device* device = nullptr;
+    double fraction = 1.0;
+};
+
+struct HeterogeneousMapperConfig {
+    KernelConfig kernel;
+    /// Wall power the mapper draws relative to device calibration.
+    double power_scale = 1.0;
+};
+
+class HeterogeneousMapper final : public Mapper {
+public:
+    /// `reference` and `fm` must outlive the mapper. Shares are
+    /// normalized; zero-fraction shares are dropped. Throws
+    /// std::invalid_argument when no usable share remains.
+    HeterogeneousMapper(std::string display_name,
+                        const genomics::Reference& reference,
+                        const index::FmIndex& fm,
+                        std::unique_ptr<filter::Seeder> seeder,
+                        HeterogeneousMapperConfig config,
+                        std::vector<DeviceShare> shares);
+
+    MapResult map(const genomics::ReadBatch& batch,
+                  std::uint32_t delta) override;
+
+    std::string_view name() const noexcept override { return name_; }
+    double power_scale() const noexcept override {
+        return config_.power_scale;
+    }
+
+    const filter::Seeder& seeder() const noexcept { return *seeder_; }
+    const HeterogeneousMapperConfig& config() const noexcept {
+        return config_;
+    }
+
+    /// Number of reads of `total` assigned to each share, in order.
+    std::vector<std::size_t> split_workload(std::size_t total) const;
+
+private:
+    std::string name_;
+    const genomics::Reference* reference_;
+    const index::FmIndex* fm_;
+    std::unique_ptr<filter::Seeder> seeder_;
+    HeterogeneousMapperConfig config_;
+    std::vector<DeviceShare> shares_;
+};
+
+/// REPUTE with the paper's memory-optimized DP seeder.
+std::unique_ptr<HeterogeneousMapper> make_repute(
+    const genomics::Reference& reference, const index::FmIndex& fm,
+    std::uint32_t s_min, std::vector<DeviceShare> shares,
+    KernelConfig kernel = {});
+
+/// CORAL: the same OpenCL host flow with the serial variable-length
+/// k-mer heuristic.
+std::unique_ptr<HeterogeneousMapper> make_coral(
+    const genomics::Reference& reference, const index::FmIndex& fm,
+    std::uint32_t s_min, std::vector<DeviceShare> shares,
+    KernelConfig kernel = {});
+
+/// Workload shares proportional to each device's occupancy-adjusted
+/// throughput for a kernel with the given per-item scratch requirement —
+/// the "judicious distribution" the paper calls for (§IV, Fig. 3).
+/// Devices that cannot run the kernel at all (scratch over their private
+/// memory) receive a zero share.
+std::vector<DeviceShare> balanced_shares(
+    const std::vector<ocl::Device*>& devices,
+    std::uint64_t scratch_bytes_per_item);
+
+} // namespace repute::core

@@ -1,0 +1,49 @@
+#pragma once
+// Workload-split auto-tuning.
+//
+// Paper §IV: "The distribution of workload among various devices ...
+// should be performed judiciously to obtain optimum performance"
+// (Fig. 3 shows the cost of getting it wrong). balanced_shares() uses
+// the devices' *nominal* throughputs; this tuner instead measures each
+// device on a small probe slice of the actual read set — capturing
+// occupancy effects, dispatch overheads and the workload's own
+// character — and solves for shares that make all devices finish
+// together.
+
+#include <vector>
+
+#include "core/repute_mapper.hpp"
+#include "genomics/sequence.hpp"
+
+namespace repute::core {
+
+struct TuneConfig {
+    /// Reads probed per device (drawn evenly from the batch so repeat
+    /// reads are represented).
+    std::size_t probe_reads = 200;
+    /// Devices slower than this fraction of the fastest are dropped
+    /// (their dispatch overhead would dominate their contribution).
+    double min_useful_fraction = 0.02;
+};
+
+struct TuneResult {
+    std::vector<DeviceShare> shares;
+    /// Measured per-device throughput on the probe (reads/second).
+    std::vector<double> reads_per_second;
+    /// Predicted mapping time for the full batch under `shares`.
+    double predicted_seconds = 0.0;
+};
+
+/// Probes `devices` with slices of `batch` mapped by a REPUTE kernel at
+/// (s_min, delta) and returns finish-together shares. Devices that
+/// cannot run the kernel (scratch over private memory) get share 0.
+/// Throws std::invalid_argument when no device can run the kernel or
+/// the batch is empty.
+TuneResult tune_shares(const genomics::Reference& reference,
+                       const index::FmIndex& fm,
+                       const genomics::ReadBatch& batch,
+                       std::uint32_t delta, std::uint32_t s_min,
+                       std::vector<ocl::Device*> devices,
+                       const TuneConfig& config = {});
+
+} // namespace repute::core

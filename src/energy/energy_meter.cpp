@@ -1,0 +1,38 @@
+#include "energy/energy_meter.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace repute::energy {
+
+EnergyReport measure(double mapping_seconds,
+                     std::span<const DeviceUsage> usage,
+                     double idle_watts) {
+    if (mapping_seconds <= 0.0) {
+        throw std::invalid_argument("mapping time must be positive");
+    }
+    EnergyReport report;
+    report.mapping_seconds = mapping_seconds;
+    report.idle_watts = idle_watts;
+
+    double joules = 0.0;
+    for (const DeviceUsage& u : usage) {
+        if (u.device == nullptr) continue;
+        const double delta =
+            u.device->profile().power.active_watts * u.power_scale;
+        joules += delta * u.busy_seconds;
+    }
+    report.energy_joules = joules;
+    report.average_power_watts = idle_watts + joules / mapping_seconds;
+    return report;
+}
+
+std::string to_string(const EnergyReport& report) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer, "P=%.1fW E=%.1fJ over %.2fs",
+                  report.average_power_watts, report.energy_joules,
+                  report.mapping_seconds);
+    return buffer;
+}
+
+} // namespace repute::energy

@@ -1,0 +1,53 @@
+#pragma once
+// Power/energy measurement model reproducing the paper's §III-D
+// protocol:
+//
+//   "We measure the average power consumption during the mapping process
+//    and subtract it with the idle power ... multiply the power
+//    consumption with mapping time to measure energy consumption."
+//
+// The wall-socket meter of the paper becomes a model: each device
+// contributes its calibrated active-power delta while busy; a per-mapper
+// power scale captures how hard the mapper actually drives the silicon
+// (the hand-threaded baselines never pull the wall power the saturating
+// OpenCL kernels do — visible in Table IV, where RazerS3 draws ~80 W
+// over idle on System 1 while CORAL/REPUTE draw ~200 W).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ocl/device.hpp"
+
+namespace repute::energy {
+
+/// One device's contribution to a mapping run.
+struct DeviceUsage {
+    const ocl::Device* device = nullptr;
+    double busy_seconds = 0.0;
+    /// Fraction of the device's calibrated active power this mapper
+    /// draws while busy (1.0 = saturating OpenCL kernel).
+    double power_scale = 1.0;
+};
+
+struct EnergyReport {
+    double mapping_seconds = 0.0;
+    double idle_watts = 0.0;
+    /// Average wall power during mapping (idle included) — the paper's
+    /// P(W) column in Table IV.
+    double average_power_watts = 0.0;
+    /// Energy attributable to mapping (average - idle) x time — the
+    /// paper's E(J) column.
+    double energy_joules = 0.0;
+};
+
+/// Applies the §III-D protocol to a finished run. `mapping_seconds` is
+/// the end-to-end mapping time (devices may be busy for only part of
+/// it). Throws std::invalid_argument on non-positive mapping time.
+EnergyReport measure(double mapping_seconds,
+                     std::span<const DeviceUsage> usage, double idle_watts);
+
+/// Formats a one-line summary ("P=455.0W E=1554.7J over 5.27s").
+std::string to_string(const EnergyReport& report);
+
+} // namespace repute::energy

@@ -1,0 +1,57 @@
+#include "filter/candidates.hpp"
+
+#include <algorithm>
+
+namespace repute::filter {
+
+CandidateSet gather_candidates(const index::FmIndex& fm,
+                               const SeedPlan& plan,
+                               std::uint32_t read_length,
+                               std::uint32_t delta,
+                               const CandidateConfig& config) {
+    CandidateSet out;
+    const auto text_len = static_cast<std::uint32_t>(fm.size());
+
+    std::vector<std::uint32_t> hits;
+    for (const Seed& seed : plan.seeds) {
+        if (seed.range.empty()) continue;
+        hits.clear();
+        fm.locate_range(seed.range, config.max_hits_per_seed, hits);
+        out.located_hits += hits.size();
+        for (const std::uint32_t t : hits) {
+            // Diagonal read start; seeds near the text start clamp to 0.
+            const std::uint32_t start =
+                t >= seed.start ? t - seed.start : 0;
+            if (start >= text_len) continue;
+            out.positions.push_back(start);
+        }
+    }
+    out.raw_hits = out.positions.size();
+
+    std::sort(out.positions.begin(), out.positions.end());
+    if (config.collapse_diagonals) {
+        const std::uint32_t radius =
+            config.merge_radius == 0 ? delta : config.merge_radius;
+
+        // Collapse diagonals within `radius`: their delta-padded
+        // windows cover the same alignments.
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < out.positions.size(); ++i) {
+            if (kept == 0 ||
+                out.positions[i] > out.positions[kept - 1] + radius) {
+                out.positions[kept++] = out.positions[i];
+            }
+        }
+        out.positions.resize(kept);
+    }
+
+    // Drop candidates whose window would fall entirely past the text.
+    while (!out.positions.empty() &&
+           out.positions.back() + 1 > text_len + delta) {
+        out.positions.pop_back();
+    }
+    (void)read_length;
+    return out;
+}
+
+} // namespace repute::filter

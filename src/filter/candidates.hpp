@@ -1,0 +1,51 @@
+#pragma once
+// Candidate-location gathering.
+//
+// Converts a SeedPlan into the list of reference windows the
+// verification kernel must align. Every FM-index hit of a seed at text
+// position t proposes the diagonal read start t - seed.start; duplicate
+// and near-duplicate diagonals (within merge_radius) verify the same
+// window, so they are collapsed — the standard dedup every pigeonhole
+// mapper performs between filtration and verification.
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/seed.hpp"
+#include "index/fm_index.hpp"
+
+namespace repute::filter {
+
+struct CandidateConfig {
+    /// Hard cap on located hits per seed; seeds more frequent than this
+    /// are truncated (first-n semantics, paper §III restriction a).
+    std::uint32_t max_hits_per_seed = 1024;
+    /// Diagonals closer than this collapse into one candidate. The
+    /// natural value is delta (windows overlap completely within it).
+    std::uint32_t merge_radius = 0;
+    /// REPUTE's modified kernel flow gathers candidates and collapses
+    /// duplicate diagonals before verification. Streaming kernels
+    /// (CORAL) verify seed hits as they come — several of the delta+1
+    /// seeds hit every true location, so the same window is verified
+    /// repeatedly; set false to model that flow (hits are still sorted
+    /// for deterministic output, but not collapsed).
+    bool collapse_diagonals = true;
+};
+
+struct CandidateSet {
+    /// Sorted, deduplicated candidate read-start positions (clamped into
+    /// the reference).
+    std::vector<std::uint32_t> positions;
+    std::uint64_t located_hits = 0; ///< SA locate operations performed
+    std::uint64_t raw_hits = 0;     ///< hits before dedup (capped)
+};
+
+/// Gathers candidates for a read of length `read_length` mapped with
+/// error budget `delta` from `plan` against `fm`.
+CandidateSet gather_candidates(const index::FmIndex& fm,
+                               const SeedPlan& plan,
+                               std::uint32_t read_length,
+                               std::uint32_t delta,
+                               const CandidateConfig& config);
+
+} // namespace repute::filter

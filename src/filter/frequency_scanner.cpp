@@ -1,0 +1,31 @@
+#include "filter/frequency_scanner.hpp"
+
+namespace repute::filter {
+
+std::uint64_t FrequencyScanner::suffix_frequencies(
+    std::uint32_t min_start, std::uint32_t end,
+    std::span<std::uint32_t> out) const {
+    auto range = fm_->whole_range();
+    std::uint64_t steps = 0;
+    for (std::uint32_t d = end; d-- > min_start;) {
+        if (!range.empty()) {
+            range = fm_->extend(range, read_[d]);
+            ++steps;
+        }
+        out[d - min_start] = range.count();
+    }
+    return steps;
+}
+
+std::uint32_t FrequencyScanner::frequency(std::uint32_t start,
+                                          std::uint32_t end,
+                                          std::uint64_t* fm_extends) const {
+    auto range = fm_->whole_range();
+    for (std::uint32_t d = end; d-- > start && !range.empty();) {
+        range = fm_->extend(range, read_[d]);
+        if (fm_extends) ++*fm_extends;
+    }
+    return range.count();
+}
+
+} // namespace repute::filter

@@ -1,0 +1,42 @@
+#pragma once
+// Incremental k-mer frequency scanning.
+//
+// The DP seeders need freq(d, e) — the number of reference occurrences of
+// read[d, e) — for many (d, e) pairs sharing the same end e. FM-Index
+// backward search extends patterns by *prepending* a character, so for a
+// fixed end e the frequencies for all starts d = e-1, e-2, ... fall out
+// of one backward scan at one extension step each. Once the range goes
+// empty it stays empty for every smaller d, so the scan short-circuits.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/fm_index.hpp"
+
+namespace repute::filter {
+
+class FrequencyScanner {
+public:
+    FrequencyScanner(const index::FmIndex& fm,
+                     std::span<const std::uint8_t> read)
+        : fm_(&fm), read_(read) {}
+
+    /// Fills `out[k]` with freq(min_start + k, end) for
+    /// k in [0, end - min_start), i.e. frequencies of every suffix of
+    /// read[min_start, end) that ends at `end`. Returns the number of FM
+    /// extension steps performed (work accounting).
+    std::uint64_t suffix_frequencies(std::uint32_t min_start,
+                                     std::uint32_t end,
+                                     std::span<std::uint32_t> out) const;
+
+    /// Frequency of the single k-mer read[start, end).
+    std::uint32_t frequency(std::uint32_t start, std::uint32_t end,
+                            std::uint64_t* fm_extends = nullptr) const;
+
+private:
+    const index::FmIndex* fm_;
+    std::span<const std::uint8_t> read_;
+};
+
+} // namespace repute::filter

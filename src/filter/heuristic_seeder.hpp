@@ -1,0 +1,50 @@
+#pragma once
+// CORAL-style heuristic filtration (paper §I, §II-B contrast).
+//
+// CORAL examines k-mers serially with a variable-length selection
+// criterion: a k-mer is grown until it is specific enough (few candidate
+// locations) or until growing further would starve the remaining k-mers
+// of their minimum length. Greedy and local — cheap to run, but unlike
+// the DP it never revisits earlier choices, so the total candidate count
+// is suboptimal; the gap widens with read length and error count, which
+// is exactly the REPUTE-vs-CORAL trend in Tables I-III.
+//
+// Seeds are grown right-to-left because FM backward search extends by
+// prepending characters, making each growth step O(1).
+
+#include "filter/seed.hpp"
+
+namespace repute::filter {
+
+class HeuristicSeeder final : public Seeder {
+public:
+    /// `specificity_threshold`: stop growing a k-mer once its candidate
+    /// count drops to this value or below. The default (32) is
+    /// calibrated to CORAL's published specificity gap against REPUTE's
+    /// DP filtration (REPUTE paper §I: the DP "improves specificity
+    /// compared to [the] heuristic approach"); a serial greedy pass
+    /// settles for moderately specific k-mers instead of burning read
+    /// length that later k-mers will need.
+    explicit HeuristicSeeder(std::uint32_t s_min = 12,
+                             std::uint32_t specificity_threshold = 32)
+        : s_min_(s_min), threshold_(specificity_threshold) {}
+
+    SeedPlan select(const index::FmIndex& fm,
+                    std::span<const std::uint8_t> read,
+                    std::uint32_t delta) const override;
+
+    std::string_view name() const noexcept override { return "heuristic"; }
+
+    std::uint64_t scratch_bound(std::size_t, std::uint32_t delta)
+        const override {
+        return (delta + 1) * sizeof(Seed);
+    }
+
+    std::uint32_t s_min() const noexcept { return s_min_; }
+
+private:
+    std::uint32_t s_min_;
+    std::uint32_t threshold_;
+};
+
+} // namespace repute::filter

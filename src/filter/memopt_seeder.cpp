@@ -1,0 +1,107 @@
+#include "filter/memopt_seeder.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "filter/frequency_scanner.hpp"
+
+namespace repute::filter {
+
+namespace {
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) noexcept {
+    return (a == kInf || b == kInf || a > kInf - b) ? kInf : a + b;
+}
+} // namespace
+
+SeedPlan MemoryOptimizedSeeder::select(const index::FmIndex& fm,
+                                       std::span<const std::uint8_t> read,
+                                       std::uint32_t delta) const {
+    validate_read_parameters(read.size(), delta, s_min_);
+    const auto n = static_cast<std::uint32_t>(read.size());
+    const std::uint32_t n_seeds = delta + 1;
+    const std::uint32_t e = exploration_space(n, delta, s_min_);
+
+    SeedPlan plan;
+    FrequencyScanner scanner(fm, read);
+
+    // Window-sized DP rows: row[w] corresponds to prefix end
+    // p = x*s_min + w for the iteration currently indexed by x.
+    std::vector<std::uint32_t> prev(e + 1, kInf), curr(e + 1, kInf);
+    // dividers[(x-2)*(e+1) + w] = best divider d for (x, p).
+    std::vector<std::uint16_t> dividers(
+        static_cast<std::size_t>(delta) * (e + 1), 0);
+    // Scratch for one backward frequency scan (deepest possible scan is
+    // a full maximal seed: s_min + e bases).
+    std::vector<std::uint32_t> freqs(s_min_ + e);
+
+    // Iteration 1: a single k-mer covering [0, p), p = s_min + w.
+    for (std::uint32_t w = 0; w <= e; ++w) {
+        const std::uint32_t p = s_min_ + w;
+        auto out = std::span<std::uint32_t>(freqs.data(), p);
+        plan.fm_extends += scanner.suffix_frequencies(0, p, out);
+        prev[w] = out[0]; // freq(0, p)
+        ++plan.dp_cells;
+    }
+
+    // Iterations x = 2..delta+1 (the paper's "delta iterations"): the
+    // 1st section is the first x-1 k-mers (solved, in `prev`), the 2nd
+    // section is the x-th k-mer read[d, p).
+    for (std::uint32_t x = 2; x <= n_seeds; ++x) {
+        const std::uint32_t d_min = (x - 1) * s_min_;
+        std::fill(curr.begin(), curr.end(), kInf);
+        for (std::uint32_t w = 0; w <= e; ++w) {
+            const std::uint32_t p = x * s_min_ + w;
+            // One backward scan yields freq(d, p) for all d down to
+            // d_min; out[k] = freq(d_min + k, p).
+            auto out = std::span<std::uint32_t>(freqs.data(), p - d_min);
+            plan.fm_extends += scanner.suffix_frequencies(d_min, p, out);
+
+            std::uint32_t best = kInf;
+            std::uint16_t best_d = 0;
+            // d = d_min + w' with w' <= w (the 2nd section keeps length
+            // >= s_min). Scanning ascending keeps tie-breaks identical
+            // to OptimalSeeder.
+            for (std::uint32_t wp = 0; wp <= w; ++wp) {
+                ++plan.dp_cells;
+                if (prev[wp] == kInf) continue;
+                const std::uint32_t d = d_min + wp;
+                const std::uint32_t total =
+                    sat_add(prev[wp], out[d - d_min]);
+                if (total < best) {
+                    best = total;
+                    best_d = static_cast<std::uint16_t>(d);
+                    if (best == 0) break;
+                }
+            }
+            curr[w] = best;
+            dividers[static_cast<std::size_t>(x - 2) * (e + 1) + w] =
+                best_d;
+        }
+        std::swap(prev, curr);
+    }
+
+    // Backtracking (paper Fig. 2, bottom): recover dividers from the
+    // last k-mer to the first.
+    std::vector<std::uint16_t> boundaries(n_seeds);
+    std::uint32_t p = n;
+    for (std::uint32_t x = n_seeds; x >= 2; --x) {
+        const std::uint32_t w = p - x * s_min_;
+        const std::uint16_t d =
+            dividers[static_cast<std::size_t>(x - 2) * (e + 1) + w];
+        boundaries[x - 1] = d;
+        p = d;
+    }
+    boundaries[0] = 0;
+
+    SeedPlan final_plan = plan_from_boundaries(fm, read, boundaries);
+    final_plan.fm_extends += plan.fm_extends;
+    final_plan.dp_cells = plan.dp_cells;
+    final_plan.scratch_bytes =
+        (prev.size() + curr.size() + freqs.size()) * sizeof(std::uint32_t) +
+        dividers.size() * sizeof(std::uint16_t);
+    return final_plan;
+}
+
+} // namespace repute::filter

@@ -1,0 +1,62 @@
+#pragma once
+// REPUTE's memory-optimized DP filtration (paper §II-B, Fig. 2).
+//
+// Produces exactly the partitions of the full Optimal Seed Solver, but
+// with the DP confined to the feasible "exploration space" of
+// E + 1 = n - s_min*(delta+1) + 1 prefixes per iteration:
+//
+//   * iteration x (x = 2..delta+1) examines prefix ends
+//     p in [x*s_min, x*s_min + E] only — every other prefix cannot be
+//     completed into delta+1 seeds of length >= s_min;
+//   * DP rows and the per-iteration divider records are window-sized
+//     (u16 cells for dividers — the paper's bit-width optimization);
+//   * k-mer frequencies are recomputed per iteration with short backward
+//     scans instead of being materialized into an n x Lmax table.
+//
+// The trade-off surface the paper reports falls out directly: smaller
+// s_min => larger window => better partitions but more scratch memory
+// and more filtration work; larger s_min => tiny window but more
+// candidates to verify (Fig. 4).
+
+#include "filter/seed.hpp"
+
+namespace repute::filter {
+
+class MemoryOptimizedSeeder final : public Seeder {
+public:
+    explicit MemoryOptimizedSeeder(std::uint32_t s_min = 12)
+        : s_min_(s_min) {}
+
+    SeedPlan select(const index::FmIndex& fm,
+                    std::span<const std::uint8_t> read,
+                    std::uint32_t delta) const override;
+
+    std::string_view name() const noexcept override { return "repute-dp"; }
+
+    /// Window-sized DP rows + per-iteration u16 dividers + one scan
+    /// buffer (the paper's bounded exploration space).
+    std::uint64_t scratch_bound(std::size_t read_length,
+                                std::uint32_t delta) const override {
+        const std::uint64_t e =
+            exploration_space(read_length, delta, s_min_);
+        return (2 * (e + 1) + (s_min_ + e)) * 4 +
+               static_cast<std::uint64_t>(delta) * (e + 1) * 2;
+    }
+
+    std::uint32_t s_min() const noexcept { return s_min_; }
+
+    /// Exploration-space size E for given read parameters (number of
+    /// extra prefixes beyond the minimal one, >= 0).
+    static std::uint32_t exploration_space(std::size_t read_length,
+                                           std::uint32_t delta,
+                                           std::uint32_t s_min) noexcept {
+        const auto needed =
+            static_cast<std::uint32_t>((delta + 1) * s_min);
+        return static_cast<std::uint32_t>(read_length) - needed;
+    }
+
+private:
+    std::uint32_t s_min_;
+};
+
+} // namespace repute::filter

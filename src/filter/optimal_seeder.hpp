@@ -1,0 +1,46 @@
+#pragma once
+// Full Optimal Seed Solver (Xin et al. 2016) — DP seed selection.
+//
+// Finds the partition of the read into delta+1 k-mers (each >= s_min)
+// whose total candidate count is minimal:
+//
+//   opt[x][p] = min candidates when the first x k-mers cover read[0, p)
+//   opt[1][p] = freq(0, p)
+//   opt[x][p] = min_{d} opt[x-1][d] + freq(d, p),
+//               d in [(x-1)*s_min, p - s_min]
+//
+// This class is the memory-hungry reference: it materializes the full
+// k-mer frequency table (one row per prefix end, Lmax = n - delta*s_min
+// columns) and full-width DP/divider rows. REPUTE's contribution
+// (MemoryOptimizedSeeder) produces identical partitions from a bounded
+// exploration window — the pair is compared in the ablation bench.
+
+#include "filter/seed.hpp"
+
+namespace repute::filter {
+
+class OptimalSeeder final : public Seeder {
+public:
+    explicit OptimalSeeder(std::uint32_t s_min = 12) : s_min_(s_min) {}
+
+    SeedPlan select(const index::FmIndex& fm,
+                    std::span<const std::uint8_t> read,
+                    std::uint32_t delta) const override;
+
+    std::string_view name() const noexcept override { return "oss-full"; }
+
+    /// Full frequency table + full-width DP rows + divider matrix.
+    std::uint64_t scratch_bound(std::size_t read_length,
+                                std::uint32_t delta) const override {
+        const auto n = static_cast<std::uint64_t>(read_length);
+        const std::uint64_t l_max = n - delta * s_min_;
+        return n * l_max * 4 + 2 * (n + 1) * 4 + (delta + 2) * (n + 1) * 2;
+    }
+
+    std::uint32_t s_min() const noexcept { return s_min_; }
+
+private:
+    std::uint32_t s_min_;
+};
+
+} // namespace repute::filter

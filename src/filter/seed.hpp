@@ -1,0 +1,77 @@
+#pragma once
+// Seed-selection (filtration) interface.
+//
+// Pigeonhole principle (paper §II-B): a read with at most delta errors,
+// partitioned into delta+1 contiguous k-mers, has at least one k-mer that
+// occurs exactly in the reference at every true mapping location. A
+// Seeder chooses that partition; the quality metric is the total number
+// of candidate locations its k-mers produce, since every candidate must
+// be verified by the (expensive) alignment kernel.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "index/fm_index.hpp"
+
+namespace repute::filter {
+
+/// One k-mer of the partition with its FM-index match range.
+struct Seed {
+    std::uint16_t start = 0;  ///< offset in the read
+    std::uint16_t length = 0;
+    index::FmIndex::Range range; ///< suffix rows matching the k-mer
+
+    std::uint32_t candidate_count() const noexcept { return range.count(); }
+};
+
+/// Result of filtration for one read (one strand).
+struct SeedPlan {
+    std::vector<Seed> seeds;          ///< exactly delta+1 entries
+    std::uint64_t total_candidates = 0;
+
+    // Work accounting consumed by the device performance model.
+    std::uint64_t fm_extends = 0; ///< backward-search extension steps
+    std::uint64_t dp_cells = 0;   ///< DP cells touched (0 for heuristics)
+
+    /// Peak bytes of per-read kernel scratch the strategy needs — the
+    /// quantity the paper's memory optimization reduces (private-memory
+    /// pressure limits GPU occupancy, Fig. 3/4 discussion).
+    std::uint64_t scratch_bytes = 0;
+};
+
+/// Strategy interface. Implementations must be stateless w.r.t. reads
+/// (safe to share across threads).
+class Seeder {
+public:
+    virtual ~Seeder() = default;
+
+    /// Partitions `read` into `delta + 1` seeds. `read` holds 2-bit
+    /// codes. Throws std::invalid_argument when the read cannot host
+    /// delta+1 seeds of the configured minimum length.
+    virtual SeedPlan select(const index::FmIndex& fm,
+                            std::span<const std::uint8_t> read,
+                            std::uint32_t delta) const = 0;
+
+    virtual std::string_view name() const noexcept = 0;
+
+    /// Static per-work-item scratch bound for given read parameters —
+    /// OpenCL 1.2 kernels allocate private memory statically, so the
+    /// launch must budget for the worst case, not the per-read actual.
+    virtual std::uint64_t scratch_bound(std::size_t read_length,
+                                        std::uint32_t delta) const = 0;
+};
+
+/// Shared validation helper: checks n >= (delta+1) * s_min.
+void validate_read_parameters(std::size_t read_length, std::uint32_t delta,
+                              std::uint32_t s_min);
+
+/// Computes the FM ranges for an already-chosen partition (boundaries =
+/// seed start offsets, ascending, first == 0) and assembles a SeedPlan.
+SeedPlan plan_from_boundaries(const index::FmIndex& fm,
+                              std::span<const std::uint8_t> read,
+                              std::span<const std::uint16_t> boundaries);
+
+} // namespace repute::filter

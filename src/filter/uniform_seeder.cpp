@@ -1,0 +1,27 @@
+#include "filter/uniform_seeder.hpp"
+
+namespace repute::filter {
+
+SeedPlan UniformSeeder::select(const index::FmIndex& fm,
+                               std::span<const std::uint8_t> read,
+                               std::uint32_t delta) const {
+    validate_read_parameters(read.size(), delta, s_min_);
+    const std::uint32_t n_seeds = delta + 1;
+    const auto n = static_cast<std::uint32_t>(read.size());
+
+    // Distribute n over n_seeds as evenly as possible; the first
+    // (n % n_seeds) k-mers get one extra base.
+    std::vector<std::uint16_t> boundaries(n_seeds);
+    const std::uint32_t base = n / n_seeds;
+    const std::uint32_t extra = n % n_seeds;
+    std::uint32_t pos = 0;
+    for (std::uint32_t s = 0; s < n_seeds; ++s) {
+        boundaries[s] = static_cast<std::uint16_t>(pos);
+        pos += base + (s < extra ? 1 : 0);
+    }
+    SeedPlan plan = plan_from_boundaries(fm, read, boundaries);
+    plan.scratch_bytes = n_seeds * sizeof(Seed);
+    return plan;
+}
+
+} // namespace repute::filter

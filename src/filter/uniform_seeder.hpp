@@ -1,0 +1,32 @@
+#pragma once
+// Naive pigeonhole partition: delta+1 k-mers of (near-)equal length.
+//
+// The classical baseline every filtration paper compares against; no
+// frequency information is used, so repeat-overlapping k-mers explode
+// the candidate count. Serves as the control arm of the filtration
+// ablation benches.
+
+#include "filter/seed.hpp"
+
+namespace repute::filter {
+
+class UniformSeeder final : public Seeder {
+public:
+    explicit UniformSeeder(std::uint32_t s_min = 10) : s_min_(s_min) {}
+
+    SeedPlan select(const index::FmIndex& fm,
+                    std::span<const std::uint8_t> read,
+                    std::uint32_t delta) const override;
+
+    std::string_view name() const noexcept override { return "uniform"; }
+
+    std::uint64_t scratch_bound(std::size_t, std::uint32_t delta)
+        const override {
+        return (delta + 1) * sizeof(Seed);
+    }
+
+private:
+    std::uint32_t s_min_;
+};
+
+} // namespace repute::filter

@@ -1,0 +1,47 @@
+#pragma once
+// FASTA / FASTQ readers and writers.
+//
+// Line-based parsers supporting multi-line FASTA records and 4-line FASTQ
+// records. Used by the examples to load real data when available and to
+// persist simulated datasets for cross-tool comparison.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genomics/sequence.hpp"
+
+namespace repute::genomics {
+
+struct FastaRecord {
+    std::string name;     ///< header without '>' up to first whitespace
+    std::string sequence; ///< raw ASCII bases
+};
+
+/// Parses all records from a FASTA stream; throws std::runtime_error on a
+/// structurally malformed file (e.g. sequence data before any header).
+std::vector<FastaRecord> read_fasta(std::istream& in);
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Writes records wrapped at `line_width` columns.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width = 70);
+
+struct FastqRecord {
+    std::string name;
+    std::string sequence;
+    std::string quality; ///< same length as sequence
+};
+
+std::vector<FastqRecord> read_fastq(std::istream& in);
+std::vector<FastqRecord> read_fastq_file(const std::string& path);
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records);
+
+/// Converts FASTQ records into a fixed-length ReadBatch; records whose
+/// length differs from the majority length are dropped (mirrors the
+/// paper's fixed-n kernels). Returns number of dropped records via out
+/// param if non-null.
+ReadBatch to_read_batch(const std::vector<FastqRecord>& records,
+                        std::size_t* dropped = nullptr);
+
+} // namespace repute::genomics

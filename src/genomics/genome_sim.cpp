@@ -1,0 +1,101 @@
+#include "genomics/genome_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace repute::genomics {
+
+namespace {
+
+using util::Xoshiro256;
+
+/// Draws one base code under a GC bias: P(G)+P(C) = gc.
+std::uint8_t draw_base(Xoshiro256& rng, double gc) {
+    const double u = rng.uniform();
+    if (u < gc) return rng.chance(0.5) ? 1 : 2;   // C or G
+    return rng.chance(0.5) ? 0 : 3;               // A or T
+}
+
+std::vector<std::uint8_t> random_segment(Xoshiro256& rng, std::size_t len,
+                                         double gc) {
+    std::vector<std::uint8_t> seg(len);
+    for (auto& b : seg) b = draw_base(rng, gc);
+    return seg;
+}
+
+/// Copy of `master` with per-base substitution probability `divergence`.
+std::vector<std::uint8_t> diverged_copy(Xoshiro256& rng,
+                                        const std::vector<std::uint8_t>& master,
+                                        double divergence) {
+    std::vector<std::uint8_t> copy = master;
+    for (auto& b : copy) {
+        if (rng.chance(divergence)) {
+            b = static_cast<std::uint8_t>((b + 1 + rng.bounded(3)) & 3u);
+        }
+    }
+    return copy;
+}
+
+} // namespace
+
+Reference simulate_genome(const GenomeSimConfig& config, std::string name) {
+    if (config.length == 0) {
+        throw std::invalid_argument("genome length must be positive");
+    }
+    if (config.interspersed_fraction + config.tandem_fraction >= 1.0) {
+        throw std::invalid_argument(
+            "repeat fractions must leave room for background sequence");
+    }
+
+    Xoshiro256 rng(config.seed);
+
+    // Master copies for each interspersed repeat family.
+    std::vector<std::vector<std::uint8_t>> families;
+    families.reserve(config.n_repeat_families);
+    for (std::size_t f = 0; f < config.n_repeat_families; ++f) {
+        families.push_back(
+            random_segment(rng, config.repeat_family_length,
+                           config.gc_content));
+    }
+
+    std::vector<std::uint8_t> genome;
+    genome.reserve(config.length);
+
+    while (genome.size() < config.length) {
+        const double u = rng.uniform();
+        if (!families.empty() && u < config.interspersed_fraction) {
+            const auto& master = families[rng.bounded(families.size())];
+            auto copy = diverged_copy(rng, master, config.repeat_divergence);
+            genome.insert(genome.end(), copy.begin(), copy.end());
+        } else if (u < config.interspersed_fraction + config.tandem_fraction) {
+            const std::size_t motif_len =
+                config.tandem_motif_min +
+                rng.bounded(config.tandem_motif_max - config.tandem_motif_min +
+                            1);
+            const std::size_t copies =
+                config.tandem_copies_min +
+                rng.bounded(config.tandem_copies_max -
+                            config.tandem_copies_min + 1);
+            const auto motif =
+                random_segment(rng, motif_len, config.gc_content);
+            for (std::size_t c = 0; c < copies; ++c) {
+                genome.insert(genome.end(), motif.begin(), motif.end());
+            }
+        } else {
+            // Background stretch between repeat insertions.
+            const std::size_t len = 200 + rng.bounded(800);
+            auto seg = random_segment(rng, len, config.gc_content);
+            genome.insert(genome.end(), seg.begin(), seg.end());
+        }
+    }
+    genome.resize(config.length);
+
+    util::PackedDna packed(
+        std::span<const std::uint8_t>(genome.data(), genome.size()));
+    return Reference(std::move(name), std::move(packed));
+}
+
+} // namespace repute::genomics

@@ -1,0 +1,46 @@
+#pragma once
+// Synthetic reference genome generator.
+//
+// Substitute for human chromosome 21 (GRCh38), which is not available
+// offline. What the filtration stage actually cares about is the k-mer
+// frequency spectrum: real genomes are repeat-rich, so different k-mers
+// of one read can have wildly different candidate counts — that skew is
+// what optimal seed selection exploits (paper Fig. 1). The generator
+// therefore plants:
+//   * tandem repeats (microsatellite-style short motifs repeated in runs),
+//   * interspersed repeats (Alu/LINE-style segments copied genome-wide
+//     with per-copy divergence),
+//   * GC-biased background sequence,
+// yielding a heavy-tailed k-mer spectrum comparable in shape to chr21.
+
+#include <cstdint>
+
+#include "genomics/sequence.hpp"
+
+namespace repute::genomics {
+
+struct GenomeSimConfig {
+    std::size_t length = 8'000'000;  ///< bases
+    std::uint64_t seed = 21;         ///< master seed (chr21 homage)
+    double gc_content = 0.41;        ///< chr21-like GC fraction
+
+    // Interspersed repeats: `n_repeat_families` master segments, each
+    // copied until `interspersed_fraction` of the genome is repeat-derived.
+    double interspersed_fraction = 0.40; ///< chr21 is ~46% repetitive
+    std::size_t n_repeat_families = 12;
+    std::size_t repeat_family_length = 300; ///< Alu-sized
+    double repeat_divergence = 0.08; ///< per-base mutation rate per copy
+
+    // Tandem repeats: short motifs repeated back-to-back.
+    double tandem_fraction = 0.03;
+    std::size_t tandem_motif_min = 2;
+    std::size_t tandem_motif_max = 6;
+    std::size_t tandem_copies_min = 10;
+    std::size_t tandem_copies_max = 60;
+};
+
+/// Generates a reference named `name` under the given configuration.
+Reference simulate_genome(const GenomeSimConfig& config,
+                          std::string name = "chr21-sim");
+
+} // namespace repute::genomics

@@ -1,0 +1,57 @@
+#include "genomics/multi_reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repute::genomics {
+
+MultiReference::MultiReference(const std::vector<FastaRecord>& records,
+                               std::string name) {
+    if (records.empty()) {
+        throw std::invalid_argument(
+            "MultiReference: at least one sequence required");
+    }
+    std::string concatenated;
+    std::size_t total = 0;
+    for (const auto& r : records) total += r.sequence.size();
+    concatenated.reserve(total);
+
+    starts_.push_back(0);
+    for (const auto& r : records) {
+        if (r.sequence.empty()) {
+            throw std::invalid_argument("MultiReference: empty sequence " +
+                                        r.name);
+        }
+        names_.push_back(r.name);
+        concatenated += r.sequence;
+        starts_.push_back(static_cast<std::uint32_t>(concatenated.size()));
+    }
+    reference_ = Reference::from_ascii(std::move(name), concatenated);
+}
+
+MultiReference::Location MultiReference::resolve(
+    std::uint32_t global_position) const {
+    if (global_position >= starts_.back()) {
+        throw std::out_of_range("MultiReference: position past text end");
+    }
+    // Last start <= position.
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(),
+                                     global_position);
+    const auto index =
+        static_cast<std::size_t>(it - starts_.begin()) - 1;
+    return {index, global_position - starts_[index]};
+}
+
+bool MultiReference::within_one_sequence(std::uint32_t global_position,
+                                         std::uint32_t length) const {
+    if (length == 0) return true;
+    if (global_position >= starts_.back() ||
+        starts_.back() - global_position < length) {
+        return false;
+    }
+    const auto first = resolve(global_position);
+    const auto last = resolve(global_position + length - 1);
+    return first.sequence_index == last.sequence_index;
+}
+
+} // namespace repute::genomics

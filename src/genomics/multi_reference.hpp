@@ -1,0 +1,60 @@
+#pragma once
+// Multi-sequence reference support.
+//
+// The paper maps against one chromosome; a practical tool must accept a
+// whole-genome FASTA. The standard trick (used by BWA, Bowtie, GEM): the
+// sequences are concatenated into one indexable text and mapping
+// positions are resolved back to (sequence name, local offset) at output
+// time; mappings whose window straddles a boundary are rejected, since
+// their alignments would span two chromosomes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "genomics/fastx.hpp"
+#include "genomics/sequence.hpp"
+
+namespace repute::genomics {
+
+class MultiReference {
+public:
+    /// Builds from FASTA records (each becomes one sequence). Throws
+    /// std::invalid_argument when `records` is empty or any sequence is.
+    explicit MultiReference(const std::vector<FastaRecord>& records,
+                            std::string name = "multi");
+
+    /// The concatenated reference (index this).
+    const Reference& concatenated() const noexcept { return reference_; }
+
+    std::size_t sequence_count() const noexcept { return names_.size(); }
+    const std::string& sequence_name(std::size_t i) const {
+        return names_.at(i);
+    }
+    /// Length of sequence i.
+    std::uint32_t sequence_length(std::size_t i) const {
+        return starts_.at(i + 1) - starts_.at(i);
+    }
+
+    struct Location {
+        std::size_t sequence_index = 0;
+        std::uint32_t offset = 0; ///< 0-based within the sequence
+    };
+
+    /// Maps a concatenated-text position back to its sequence. Throws
+    /// std::out_of_range past the end of the text.
+    Location resolve(std::uint32_t global_position) const;
+
+    /// True when [global_position, global_position + length) stays
+    /// within one sequence — i.e. the mapping is reportable.
+    bool within_one_sequence(std::uint32_t global_position,
+                             std::uint32_t length) const;
+
+private:
+    Reference reference_;
+    std::vector<std::string> names_;
+    std::vector<std::uint32_t> starts_; ///< size names_.size() + 1
+};
+
+} // namespace repute::genomics

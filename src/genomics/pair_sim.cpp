@@ -1,0 +1,111 @@
+#include "genomics/pair_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace repute::genomics {
+
+namespace {
+
+using util::Xoshiro256;
+
+/// Single-mate corruption: substitutions/indels capped at `budget`,
+/// length restored from the window tail (same contract as read_sim).
+std::uint32_t corrupt_mate(Xoshiro256& rng,
+                           std::vector<std::uint8_t>& bases,
+                           std::size_t target_len, std::uint32_t budget,
+                           double indel_fraction) {
+    const auto n_errors =
+        static_cast<std::uint32_t>(rng.bounded(budget + 1));
+    std::uint32_t applied = 0;
+    for (std::uint32_t e = 0; e < n_errors; ++e) {
+        const double kind = rng.uniform();
+        if (kind >= indel_fraction || bases.size() <= target_len) {
+            const std::size_t pos =
+                rng.bounded(std::min(bases.size(), target_len));
+            bases[pos] = static_cast<std::uint8_t>(
+                (bases[pos] + 1 + rng.bounded(3)) & 3u);
+        } else if (rng.chance(0.5)) {
+            const std::size_t pos = rng.bounded(target_len);
+            bases.insert(bases.begin() + static_cast<std::ptrdiff_t>(pos),
+                         static_cast<std::uint8_t>(rng.bounded(4)));
+        } else {
+            const std::size_t pos = rng.bounded(target_len);
+            bases.erase(bases.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+        ++applied;
+    }
+    return applied;
+}
+
+} // namespace
+
+SimulatedPairs simulate_pairs(const Reference& reference,
+                              const PairSimConfig& config) {
+    const auto max_fragment = static_cast<std::uint32_t>(
+        std::max<double>(static_cast<double>(config.read_length),
+                         4.0 * config.insert_mean));
+    const std::size_t slack = config.max_errors;
+    if (reference.size() < max_fragment + slack) {
+        throw std::invalid_argument(
+            "simulate_pairs: reference too short for the insert model");
+    }
+
+    Xoshiro256 rng(config.seed);
+    SimulatedPairs out;
+    out.first.read_length = config.read_length;
+    out.second.read_length = config.read_length;
+    out.first.reads.reserve(config.n_pairs);
+    out.second.reads.reserve(config.n_pairs);
+    out.origins.reserve(config.n_pairs);
+
+    for (std::size_t i = 0; i < config.n_pairs; ++i) {
+        const double drawn =
+            rng.normal(config.insert_mean, config.insert_stddev);
+        const auto fragment = std::clamp<std::uint32_t>(
+            static_cast<std::uint32_t>(std::lround(drawn)),
+            static_cast<std::uint32_t>(config.read_length), max_fragment);
+        const std::size_t max_start =
+            reference.size() - fragment - slack;
+        const auto start =
+            static_cast<std::uint32_t>(rng.bounded(max_start + 1));
+
+        // Mate 1: fragment 5' end, forward strand.
+        std::vector<std::uint8_t> mate1 = reference.sequence().extract(
+            start, config.read_length + slack);
+        const std::uint32_t edits1 =
+            corrupt_mate(rng, mate1, config.read_length,
+                         config.max_errors, config.indel_fraction);
+        mate1.resize(config.read_length);
+
+        // Mate 2: fragment 3' end, reverse complement. Corrupt in
+        // forward space first so the anchor stays exact (see read_sim).
+        const std::uint32_t mate2_start =
+            start + fragment - static_cast<std::uint32_t>(
+                                   config.read_length);
+        std::vector<std::uint8_t> mate2 = reference.sequence().extract(
+            mate2_start, config.read_length + slack);
+        const std::uint32_t edits2 =
+            corrupt_mate(rng, mate2, config.read_length,
+                         config.max_errors, config.indel_fraction);
+        mate2.resize(config.read_length);
+        std::reverse(mate2.begin(), mate2.end());
+        for (auto& b : mate2) b = util::complement_code(b);
+
+        Read r1, r2;
+        r1.id = r2.id = static_cast<std::uint32_t>(i);
+        r1.name = "simpair." + std::to_string(i) + "/1";
+        r2.name = "simpair." + std::to_string(i) + "/2";
+        r1.codes = std::move(mate1);
+        r2.codes = std::move(mate2);
+        out.first.reads.push_back(std::move(r1));
+        out.second.reads.push_back(std::move(r2));
+        out.origins.push_back({start, fragment, edits1, edits2});
+    }
+    return out;
+}
+
+} // namespace repute::genomics

@@ -1,0 +1,48 @@
+#pragma once
+// Paired-end read simulation.
+//
+// Illumina FR library model: a fragment of the genome is sampled with a
+// Gaussian insert-size distribution; read 1 is the fragment's 5' end on
+// the forward strand, read 2 is the reverse complement of its 3' end.
+// Each mate is corrupted by the same error models as single-end reads.
+// Ground truth (fragment start/length, per-mate origins) powers the
+// proper-pairing tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/read_sim.hpp"
+#include "genomics/sequence.hpp"
+
+namespace repute::genomics {
+
+struct PairSimConfig {
+    std::size_t n_pairs = 10'000;
+    std::size_t read_length = 100;
+    std::uint32_t max_errors = 5;
+    double indel_fraction = 0.15;
+    double insert_mean = 350.0;  ///< outer fragment length
+    double insert_stddev = 35.0;
+    std::uint64_t seed = 200;
+};
+
+struct PairOrigin {
+    std::uint32_t fragment_start = 0;
+    std::uint32_t fragment_length = 0;
+    std::uint32_t edits1 = 0;
+    std::uint32_t edits2 = 0;
+};
+
+struct SimulatedPairs {
+    ReadBatch first;   ///< read 1 of each pair (forward orientation)
+    ReadBatch second;  ///< read 2 of each pair (reverse orientation)
+    std::vector<PairOrigin> origins;
+};
+
+/// Samples pairs under `config`. Fragment lengths are clamped to
+/// [read_length, 4 * insert_mean]. Throws std::invalid_argument when
+/// the reference cannot host the largest fragment.
+SimulatedPairs simulate_pairs(const Reference& reference,
+                              const PairSimConfig& config);
+
+} // namespace repute::genomics

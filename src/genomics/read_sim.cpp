@@ -1,0 +1,169 @@
+#include "genomics/read_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace repute::genomics {
+
+namespace {
+
+using util::Xoshiro256;
+
+/// Applies `n_errors` random edits to `bases`, keeping length fixed by
+/// compensating indels with reference bases pulled from the template
+/// tail. The caller passes a template longer than the read so deletions
+/// can be back-filled.
+std::uint32_t corrupt(Xoshiro256& rng, std::vector<std::uint8_t>& bases,
+                      std::size_t target_len, std::uint32_t n_errors,
+                      double indel_fraction) {
+    std::uint32_t applied = 0;
+    for (std::uint32_t e = 0; e < n_errors; ++e) {
+        const double kind = rng.uniform();
+        if (kind >= indel_fraction || bases.size() <= target_len) {
+            // Substitution: replace with a different base.
+            const std::size_t pos = rng.bounded(std::min(bases.size(),
+                                                         target_len));
+            bases[pos] = static_cast<std::uint8_t>(
+                (bases[pos] + 1 + rng.bounded(3)) & 3u);
+        } else if (rng.chance(0.5)) {
+            // Insertion of a random base.
+            const std::size_t pos = rng.bounded(target_len);
+            bases.insert(bases.begin() + static_cast<std::ptrdiff_t>(pos),
+                         static_cast<std::uint8_t>(rng.bounded(4)));
+        } else {
+            // Deletion; the surplus template tail re-fills the length.
+            const std::size_t pos = rng.bounded(target_len);
+            bases.erase(bases.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+        ++applied;
+    }
+    return applied;
+}
+
+/// Phred score at read position i under the linear ramp.
+double phred_at(const ReadSimConfig& config, std::size_t i) {
+    const double t =
+        config.read_length <= 1
+            ? 0.0
+            : static_cast<double>(i) /
+                  static_cast<double>(config.read_length - 1);
+    return config.phred_start +
+           (config.phred_end - config.phred_start) * t;
+}
+
+/// Quality-model corruption: per-base error probability 10^(-q/10),
+/// capped at max_errors total. Length kept via the template tail as in
+/// corrupt(). Returns errors applied.
+std::uint32_t corrupt_by_quality(Xoshiro256& rng,
+                                 std::vector<std::uint8_t>& bases,
+                                 const ReadSimConfig& config) {
+    std::uint32_t applied = 0;
+    for (std::size_t i = 0;
+         i < config.read_length && applied < config.max_errors; ++i) {
+        const double p_err = std::pow(10.0, -phred_at(config, i) / 10.0);
+        if (!rng.chance(p_err)) continue;
+        if (rng.uniform() >= config.indel_fraction ||
+            bases.size() <= config.read_length) {
+            bases[i] = static_cast<std::uint8_t>(
+                (bases[i] + 1 + rng.bounded(3)) & 3u);
+        } else if (rng.chance(0.5)) {
+            bases.insert(bases.begin() + static_cast<std::ptrdiff_t>(i),
+                         static_cast<std::uint8_t>(rng.bounded(4)));
+        } else {
+            bases.erase(bases.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        ++applied;
+    }
+    return applied;
+}
+
+std::string quality_string(const ReadSimConfig& config) {
+    std::string q(config.read_length, 'I');
+    for (std::size_t i = 0; i < config.read_length; ++i) {
+        const int phred = std::clamp(
+            static_cast<int>(std::lround(phred_at(config, i))), 2, 41);
+        q[i] = static_cast<char>(33 + phred);
+    }
+    return q;
+}
+
+} // namespace
+
+SimulatedReads simulate_reads(const Reference& reference,
+                              const ReadSimConfig& config) {
+    const std::size_t window = config.read_length + config.max_errors;
+    if (reference.size() < window) {
+        throw std::invalid_argument(
+            "reference too short for requested read length + error budget");
+    }
+
+    Xoshiro256 rng(config.seed);
+    SimulatedReads out;
+    out.batch.read_length = config.read_length;
+    out.batch.reads.reserve(config.n_reads);
+    out.origins.reserve(config.n_reads);
+
+    const std::size_t max_start = reference.size() - window;
+    for (std::size_t i = 0; i < config.n_reads; ++i) {
+        const auto start =
+            static_cast<std::uint32_t>(rng.bounded(max_start + 1));
+        const Strand strand =
+            rng.chance(0.5) ? Strand::Forward : Strand::Reverse;
+
+        // Template = read_length + max_errors bases so deletions can be
+        // compensated from genuine downstream reference sequence. The
+        // corruption is applied in forward coordinates (anchored at
+        // `start`) and reverse-strand reads are complemented afterwards,
+        // so `start` is the exact forward-strand alignment start for
+        // both strands.
+        std::vector<std::uint8_t> tmpl =
+            reference.sequence().extract(start, window);
+
+        std::uint32_t applied = 0;
+        if (config.quality_model) {
+            applied = corrupt_by_quality(rng, tmpl, config);
+        } else {
+            const auto n_errors = static_cast<std::uint32_t>(
+                rng.bounded(config.max_errors + 1));
+            applied = corrupt(rng, tmpl, config.read_length, n_errors,
+                              config.indel_fraction);
+        }
+        tmpl.resize(config.read_length);
+        if (strand == Strand::Reverse) {
+            std::reverse(tmpl.begin(), tmpl.end());
+            for (auto& b : tmpl) b = util::complement_code(b);
+        }
+
+        Read read;
+        read.id = static_cast<std::uint32_t>(i);
+        read.name = "simread." + std::to_string(i);
+        read.codes = std::move(tmpl);
+        if (config.quality_model) {
+            read.quality = quality_string(config);
+            if (strand == Strand::Reverse) {
+                // FASTQ qualities follow the read orientation.
+                std::reverse(read.quality.begin(), read.quality.end());
+            }
+        }
+        out.batch.reads.push_back(std::move(read));
+        out.origins.push_back({start, strand, applied});
+    }
+    return out;
+}
+
+std::vector<FastqRecord> to_fastq_records(const SimulatedReads& sim) {
+    std::vector<FastqRecord> records;
+    records.reserve(sim.batch.size());
+    for (const Read& read : sim.batch.reads) {
+        records.push_back(
+            {read.name, read.to_string(),
+             read.quality.empty() ? std::string(read.length(), 'I')
+                                  : read.quality});
+    }
+    return records;
+}
+
+} // namespace repute::genomics

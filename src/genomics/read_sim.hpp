@@ -1,0 +1,60 @@
+#pragma once
+// Read simulator with a sequencing-error model.
+//
+// Stand-in for the paper's real read sets (ERR012100_1, n=100 and
+// SRR826460_1, n=150). Reads are sampled uniformly from both strands of
+// the reference and corrupted with substitutions and indels whose total
+// count is drawn from [0, max_errors], so a batch simulated for error
+// budget delta is mappable at edit distance <= delta. Each read carries
+// its ground-truth origin, which powers the oracle-based accuracy checks
+// in the tests (the benchmark protocol itself uses the paper's gold-
+// standard comparison instead).
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/fastx.hpp"
+#include "genomics/sequence.hpp"
+
+namespace repute::genomics {
+
+struct ReadSimConfig {
+    std::size_t n_reads = 100'000;
+    std::size_t read_length = 100;
+    std::uint32_t max_errors = 5;   ///< per-read edit budget (uniform 0..max)
+    double indel_fraction = 0.15;   ///< fraction of errors that are indels
+    std::uint64_t seed = 100;
+
+    /// Illumina-like quality model: instead of a uniform error count,
+    /// each base errs with probability 10^(-q/10) where the Phred score
+    /// q ramps linearly from phred_start (5' end) to phred_end (3'
+    /// end); the total stays capped at max_errors so the mapping
+    /// guarantee holds. Reads carry their Phred+33 quality strings.
+    bool quality_model = false;
+    double phred_start = 36.0;
+    double phred_end = 20.0;
+};
+
+/// Ground truth for one simulated read.
+struct ReadOrigin {
+    std::uint32_t position = 0;  ///< 0-based start on the forward strand
+    Strand strand = Strand::Forward;
+    std::uint32_t edits = 0;     ///< errors actually injected
+};
+
+struct SimulatedReads {
+    ReadBatch batch;
+    std::vector<ReadOrigin> origins; ///< parallel to batch.reads
+};
+
+/// Samples reads from `reference` under `config`.
+/// Throws std::invalid_argument if the reference is shorter than
+/// read_length + max_errors (no valid sampling window).
+SimulatedReads simulate_reads(const Reference& reference,
+                              const ReadSimConfig& config);
+
+/// Converts simulated reads into FASTQ records (quality strings from
+/// the quality model when enabled, otherwise constant 'I').
+std::vector<FastqRecord> to_fastq_records(const SimulatedReads& sim);
+
+} // namespace repute::genomics

@@ -1,0 +1,43 @@
+#include "genomics/sequence.hpp"
+
+#include "util/prng.hpp"
+
+namespace repute::genomics {
+
+std::string Read::to_string() const {
+    std::string s(codes.size(), '\0');
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        s[i] = util::code_to_base(codes[i]);
+    }
+    return s;
+}
+
+std::vector<std::uint8_t> Read::reverse_complement() const {
+    std::vector<std::uint8_t> rc(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        rc[i] = util::complement_code(codes[codes.size() - 1 - i]);
+    }
+    return rc;
+}
+
+Reference Reference::from_ascii(std::string name, std::string_view ascii,
+                                std::uint64_t n_seed) {
+    util::PackedDna packed;
+    for (std::size_t i = 0; i < ascii.size(); ++i) {
+        const char c = ascii[i];
+        switch (c) {
+            case 'A': case 'a': packed.push_back(0); break;
+            case 'C': case 'c': packed.push_back(1); break;
+            case 'G': case 'g': packed.push_back(2); break;
+            case 'T': case 't': packed.push_back(3); break;
+            default:
+                // Deterministic stand-in base for N / ambiguity codes.
+                packed.push_back(static_cast<std::uint8_t>(
+                    util::mix64(n_seed ^ (i * 0x9E3779B97F4A7C15ULL)) & 3u));
+                break;
+        }
+    }
+    return Reference(std::move(name), std::move(packed));
+}
+
+} // namespace repute::genomics

@@ -1,0 +1,70 @@
+#pragma once
+// Sequence containers shared by the whole pipeline.
+//
+// A Reference is a named chromosome stored 2-bit packed (N bases are
+// randomized at load time, the standard trick used by FM-index mappers so
+// the index alphabet stays {A,C,G,T}). A Read is a short unpacked
+// sequence — reads are streamed through kernels as plain code arrays.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/packed_dna.hpp"
+
+namespace repute::genomics {
+
+/// Strand of the reference a read aligns to.
+enum class Strand : std::uint8_t { Forward = 0, Reverse = 1 };
+
+constexpr char strand_char(Strand s) noexcept {
+    return s == Strand::Forward ? '+' : '-';
+}
+
+struct Read {
+    std::uint32_t id = 0;         ///< dense index in the batch
+    std::string name;             ///< FASTQ name (may be empty)
+    std::vector<std::uint8_t> codes; ///< 2-bit codes, one byte per base
+    std::string quality; ///< Phred+33 string (empty when unmodeled)
+
+    std::size_t length() const noexcept { return codes.size(); }
+    std::string to_string() const;
+    /// Reverse-complemented copy of the base codes.
+    std::vector<std::uint8_t> reverse_complement() const;
+};
+
+/// A batch of same-length reads (the paper maps fixed-length read sets:
+/// n = 100 and n = 150).
+struct ReadBatch {
+    std::vector<Read> reads;
+    std::size_t read_length = 0;
+
+    std::size_t size() const noexcept { return reads.size(); }
+    bool empty() const noexcept { return reads.empty(); }
+};
+
+class Reference {
+public:
+    Reference() = default;
+    Reference(std::string name, util::PackedDna sequence)
+        : name_(std::move(name)), sequence_(std::move(sequence)) {}
+
+    /// Builds from ASCII; 'N'/'n' and any non-ACGT byte are replaced by a
+    /// deterministic pseudo-random base derived from `n_seed` + position.
+    static Reference from_ascii(std::string name, std::string_view ascii,
+                                std::uint64_t n_seed = 1);
+
+    const std::string& name() const noexcept { return name_; }
+    const util::PackedDna& sequence() const noexcept { return sequence_; }
+    std::size_t size() const noexcept { return sequence_.size(); }
+
+    std::uint8_t code_at(std::size_t i) const noexcept {
+        return sequence_.code_at(i);
+    }
+
+private:
+    std::string name_;
+    util::PackedDna sequence_;
+};
+
+} // namespace repute::genomics

@@ -1,0 +1,87 @@
+#include "genomics/spectrum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repute::genomics {
+
+namespace {
+
+std::vector<std::uint32_t> count_table(const Reference& reference,
+                                       std::uint32_t k) {
+    if (k < 4 || k > 14) {
+        throw std::invalid_argument("kmer_spectrum: k must be in [4, 14]");
+    }
+    if (reference.size() < k) {
+        throw std::invalid_argument("kmer_spectrum: reference shorter than k");
+    }
+    std::vector<std::uint32_t> counts(1ULL << (2 * k), 0);
+    const std::uint64_t mask = (1ULL << (2 * k)) - 1;
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        key = ((key << 2) | reference.code_at(i)) & mask;
+        if (i + 1 >= k) ++counts[key];
+    }
+    return counts;
+}
+
+} // namespace
+
+SpectrumSummary kmer_spectrum(const Reference& reference, std::uint32_t k) {
+    const auto counts = count_table(reference, k);
+
+    SpectrumSummary s;
+    s.k = k;
+    s.total_kmers = reference.size() - k + 1;
+    for (const std::uint32_t c : counts) {
+        if (c == 0) continue;
+        ++s.distinct_kmers;
+        s.max_frequency = std::max(s.max_frequency, c);
+    }
+    s.mean_frequency = s.distinct_kmers == 0
+                           ? 0.0
+                           : static_cast<double>(s.total_kmers) /
+                                 static_cast<double>(s.distinct_kmers);
+
+    // Position-weighted percentile and repetitive fraction: a k-mer of
+    // frequency f contributes f positions at frequency f.
+    std::vector<std::uint32_t> nonzero;
+    nonzero.reserve(s.distinct_kmers);
+    std::uint64_t repetitive_positions = 0;
+    for (const std::uint32_t c : counts) {
+        if (c == 0) continue;
+        nonzero.push_back(c);
+        if (c > 4) repetitive_positions += c;
+    }
+    s.repetitive_fraction =
+        static_cast<double>(repetitive_positions) /
+        static_cast<double>(s.total_kmers);
+
+    std::sort(nonzero.begin(), nonzero.end());
+    std::uint64_t cumulative = 0;
+    const auto threshold = static_cast<std::uint64_t>(
+        0.99 * static_cast<double>(s.total_kmers));
+    for (const std::uint32_t c : nonzero) {
+        cumulative += c;
+        if (cumulative >= threshold) {
+            s.p99_frequency = c;
+            break;
+        }
+    }
+    return s;
+}
+
+std::vector<std::uint32_t> kmer_frequency_profile(
+    const Reference& reference, std::uint32_t k) {
+    const auto counts = count_table(reference, k);
+    std::vector<std::uint32_t> profile(reference.size() - k + 1);
+    const std::uint64_t mask = (1ULL << (2 * k)) - 1;
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        key = ((key << 2) | reference.code_at(i)) & mask;
+        if (i + 1 >= k) profile[i + 1 - k] = counts[key];
+    }
+    return profile;
+}
+
+} // namespace repute::genomics

@@ -1,0 +1,39 @@
+#pragma once
+// k-mer spectrum analysis.
+//
+// The filtration strategies differ exactly when the reference's k-mer
+// frequency spectrum is skewed (repeats); this module quantifies that
+// skew. Used to validate that the synthetic chr21 stand-in reproduces
+// the heavy-tailed spectrum of real chromosomes (DESIGN.md §2), and by
+// the pigeonhole demo to find illustrative reads.
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/sequence.hpp"
+
+namespace repute::genomics {
+
+struct SpectrumSummary {
+    std::uint32_t k = 0;
+    std::uint64_t total_kmers = 0;    ///< n - k + 1 positions
+    std::uint64_t distinct_kmers = 0;
+    double mean_frequency = 0.0;      ///< total / distinct
+    std::uint32_t max_frequency = 0;
+    std::uint32_t p99_frequency = 0;  ///< 99th percentile over positions
+    /// Fraction of positions whose k-mer occurs more than 4 times —
+    /// a direct proxy for "how much work does naive filtration waste".
+    double repetitive_fraction = 0.0;
+};
+
+/// Exact spectrum for k <= 14 (counting table of 4^k u32 cells).
+/// Throws std::invalid_argument outside [4, 14] or when the reference
+/// is shorter than k.
+SpectrumSummary kmer_spectrum(const Reference& reference, std::uint32_t k);
+
+/// Per-position frequency profile: out[i] = frequency of the k-mer at
+/// position i (same constraints as kmer_spectrum).
+std::vector<std::uint32_t> kmer_frequency_profile(
+    const Reference& reference, std::uint32_t k);
+
+} // namespace repute::genomics

@@ -1,0 +1,61 @@
+#include "index/approx_search.hpp"
+
+namespace repute::index {
+
+namespace {
+
+struct SearchContext {
+    const FmIndex* fm;
+    std::span<const std::uint8_t> pattern;
+    std::uint32_t max_errors;
+    std::uint64_t node_budget;
+    ApproxSearchStats stats;
+    std::vector<ApproxHit> hits;
+};
+
+/// Expands the node (range, position i, errors used). `i` counts down;
+/// i == 0 means the whole pattern is matched.
+void expand(SearchContext& ctx, FmIndex::Range range, std::size_t i,
+            std::uint8_t errors) {
+    if (ctx.stats.visited_nodes >= ctx.node_budget) {
+        ctx.stats.budget_exhausted = true;
+        return;
+    }
+    ++ctx.stats.visited_nodes;
+
+    if (i == 0) {
+        ctx.hits.push_back({range, errors});
+        return;
+    }
+    const std::uint8_t expected = ctx.pattern[i - 1];
+    // Exact branch first: it is the one most likely to stay alive and
+    // keeps hit order stable (fewest-error matches surface first).
+    {
+        const auto next = ctx.fm->extend(range, expected);
+        if (!next.empty()) expand(ctx, next, i - 1, errors);
+    }
+    if (errors < ctx.max_errors) {
+        for (std::uint8_t c = 0; c < 4; ++c) {
+            if (c == expected) continue;
+            const auto next = ctx.fm->extend(range, c);
+            if (!next.empty()) {
+                expand(ctx, next, i - 1,
+                       static_cast<std::uint8_t>(errors + 1));
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<ApproxHit> approximate_search(
+    const FmIndex& fm, std::span<const std::uint8_t> pattern,
+    std::uint32_t max_errors, ApproxSearchStats* stats,
+    std::uint64_t node_budget) {
+    SearchContext ctx{&fm, pattern, max_errors, node_budget, {}, {}};
+    expand(ctx, fm.whole_range(), pattern.size(), 0);
+    if (stats != nullptr) *stats = ctx.stats;
+    return std::move(ctx.hits);
+}
+
+} // namespace repute::index

@@ -1,0 +1,40 @@
+#pragma once
+// Backtracking approximate backward search over the FM-Index.
+//
+// Enumerates every string within Hamming distance `max_errors` of the
+// pattern that occurs in the indexed text, as a set of disjoint suffix
+// ranges. This is the engine behind stratified FM-index mappers (Yara,
+// Bowtie lineage): seeds are searched *with* errors instead of exactly,
+// trading an exponentially growing search tree for the right to use
+// fewer/longer seeds. The visited-node count is the honest cost of that
+// trade and is reported for the device time model.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/fm_index.hpp"
+
+namespace repute::index {
+
+struct ApproxHit {
+    FmIndex::Range range;
+    std::uint8_t errors = 0; ///< substitutions spent on this match
+};
+
+struct ApproxSearchStats {
+    std::uint64_t visited_nodes = 0; ///< backtracking tree nodes expanded
+    bool budget_exhausted = false;   ///< true when node_budget truncated
+};
+
+/// Searches `pattern` (2-bit codes) backward with up to `max_errors`
+/// substitutions. Hits with identical ranges at different error counts
+/// are all reported (callers typically verify anyway). Expansion stops
+/// after `node_budget` nodes to bound pathological cases.
+std::vector<ApproxHit> approximate_search(const FmIndex& fm,
+                                          std::span<const std::uint8_t> pattern,
+                                          std::uint32_t max_errors,
+                                          ApproxSearchStats* stats = nullptr,
+                                          std::uint64_t node_budget = 1u << 20);
+
+} // namespace repute::index

@@ -1,0 +1,187 @@
+#include "index/bi_fm_index.hpp"
+
+#include <algorithm>
+
+namespace repute::index {
+
+namespace {
+
+/// Reversed copy of the reference text (NOT reverse-complemented — the
+/// second index is over the plain reversed string).
+genomics::Reference reversed_reference(
+    const genomics::Reference& reference) {
+    util::PackedDna reversed;
+    for (std::size_t i = reference.size(); i-- > 0;) {
+        reversed.push_back(reference.code_at(i));
+    }
+    return genomics::Reference(reference.name() + ".rev",
+                               std::move(reversed));
+}
+
+/// Occurrences of symbols strictly smaller than `code` (sentinel
+/// included) in BWT[lo, hi) of `fm`.
+std::uint32_t rank_smaller(const FmIndex& fm, std::uint8_t code,
+                           std::uint32_t lo, std::uint32_t hi) noexcept {
+    std::uint32_t smaller =
+        (fm.sentinel_row() >= lo && fm.sentinel_row() < hi) ? 1u : 0u;
+    for (std::uint8_t b = 0; b < code; ++b) {
+        smaller += fm.occ(b, hi) - fm.occ(b, lo);
+    }
+    return smaller;
+}
+
+} // namespace
+
+BiFmIndex::BiFmIndex(const genomics::Reference& reference)
+    : forward_(std::make_unique<FmIndex>(reference)),
+      reverse_(std::make_unique<FmIndex>(reversed_reference(reference))) {}
+
+BiFmIndex::BiRange BiFmIndex::extend_left(BiRange range,
+                                          std::uint8_t code) const noexcept {
+    const auto fwd = forward_->extend(range.fwd, code);
+    const std::uint32_t smaller =
+        rank_smaller(*forward_, code, range.fwd.lo, range.fwd.hi);
+    const std::uint32_t lo = range.rev.lo + smaller;
+    return {fwd, {lo, lo + fwd.count()}};
+}
+
+BiFmIndex::BiRange BiFmIndex::extend_right(BiRange range,
+                                           std::uint8_t code) const noexcept {
+    const auto rev = reverse_->extend(range.rev, code);
+    const std::uint32_t smaller =
+        rank_smaller(*reverse_, code, range.rev.lo, range.rev.hi);
+    const std::uint32_t lo = range.fwd.lo + smaller;
+    return {{lo, lo + rev.count()}, rev};
+}
+
+BiFmIndex::BiRange BiFmIndex::match(
+    std::span<const std::uint8_t> pattern) const noexcept {
+    BiRange range = whole_range();
+    for (const std::uint8_t c : pattern) {
+        if (range.empty()) break;
+        range = extend_right(range, c);
+    }
+    return range;
+}
+
+// ---------------------------------------------------- search scheme
+
+namespace {
+
+struct SchemeContext {
+    const BiFmIndex* index;
+    std::span<const std::uint8_t> pattern;
+    std::uint32_t max_errors;
+    std::uint32_t anchor_begin; ///< [anchor_begin, anchor_end) exact
+    std::uint64_t node_budget;
+    ApproxSearchStats* stats;
+    std::vector<ApproxHit>* hits;
+};
+
+bool budget_ok(SchemeContext& ctx) {
+    if (ctx.stats->visited_nodes >= ctx.node_budget) {
+        ctx.stats->budget_exhausted = true;
+        return false;
+    }
+    ++ctx.stats->visited_nodes;
+    return true;
+}
+
+/// Phase 2: extend left over [0, anchor_begin), positions descending.
+void extend_leftward(SchemeContext& ctx, BiFmIndex::BiRange range,
+                     std::uint32_t position, std::uint8_t errors) {
+    if (!budget_ok(ctx)) return;
+    if (position == 0) {
+        ctx.hits->push_back({range.fwd, errors});
+        return;
+    }
+    const std::uint8_t expected = ctx.pattern[position - 1];
+    for (std::uint8_t c = 0; c < 4; ++c) {
+        const std::uint8_t cost = (c == expected) ? 0 : 1;
+        if (errors + cost > ctx.max_errors) continue;
+        const auto next = ctx.index->extend_left(range, c);
+        if (!next.empty()) {
+            extend_leftward(ctx, next, position - 1,
+                            static_cast<std::uint8_t>(errors + cost));
+        }
+    }
+}
+
+/// Phase 1: extend right over [anchor_end, m), then hand to phase 2.
+void extend_rightward(SchemeContext& ctx, BiFmIndex::BiRange range,
+                      std::uint32_t position, std::uint8_t errors) {
+    if (!budget_ok(ctx)) return;
+    if (position == ctx.pattern.size()) {
+        extend_leftward(ctx, range, ctx.anchor_begin, errors);
+        return;
+    }
+    const std::uint8_t expected = ctx.pattern[position];
+    for (std::uint8_t c = 0; c < 4; ++c) {
+        const std::uint8_t cost = (c == expected) ? 0 : 1;
+        if (errors + cost > ctx.max_errors) continue;
+        const auto next = ctx.index->extend_right(range, c);
+        if (!next.empty()) {
+            extend_rightward(ctx, next, position + 1,
+                             static_cast<std::uint8_t>(errors + cost));
+        }
+    }
+}
+
+} // namespace
+
+std::vector<ApproxHit> bidirectional_approximate_search(
+    const BiFmIndex& index, std::span<const std::uint8_t> pattern,
+    std::uint32_t max_errors, ApproxSearchStats* stats,
+    std::uint64_t node_budget) {
+    ApproxSearchStats local;
+    std::vector<ApproxHit> hits;
+    const std::uint32_t pieces = max_errors + 1;
+    const auto m = static_cast<std::uint32_t>(pattern.size());
+
+    for (std::uint32_t a = 0; a < pieces && m >= pieces; ++a) {
+        const std::uint32_t begin = a * m / pieces;
+        const std::uint32_t end = (a + 1) * m / pieces;
+
+        // Anchor: exact bidirectional match of pattern[begin, end),
+        // grown to the right.
+        BiFmIndex::BiRange range = index.whole_range();
+        bool alive = true;
+        for (std::uint32_t i = begin; i < end; ++i) {
+            ++local.visited_nodes;
+            range = index.extend_right(range, pattern[i]);
+            if (range.empty()) {
+                alive = false;
+                break;
+            }
+        }
+        if (!alive) continue;
+
+        SchemeContext ctx{&index,      pattern,     max_errors, begin,
+                          node_budget, &local,      &hits};
+        extend_rightward(ctx, range, end, 0);
+    }
+
+    // Different anchors can reach the same matched string; dedup by the
+    // forward range, keeping the lowest error count.
+    std::sort(hits.begin(), hits.end(),
+              [](const ApproxHit& a, const ApproxHit& b) {
+                  if (a.range.lo != b.range.lo) {
+                      return a.range.lo < b.range.lo;
+                  }
+                  if (a.range.hi != b.range.hi) {
+                      return a.range.hi < b.range.hi;
+                  }
+                  return a.errors < b.errors;
+              });
+    hits.erase(std::unique(hits.begin(), hits.end(),
+                           [](const ApproxHit& a, const ApproxHit& b) {
+                               return a.range.lo == b.range.lo &&
+                                      a.range.hi == b.range.hi;
+                           }),
+               hits.end());
+
+    if (stats != nullptr) *stats = local;
+    return hits;
+}
+
+} // namespace repute::index

@@ -1,0 +1,206 @@
+#include "index/fm_index.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "index/suffix_array.hpp"
+#include "util/serialize.hpp"
+
+namespace repute::index {
+
+namespace {
+
+constexpr std::uint64_t kLowBits = 0x5555555555555555ULL;
+
+/// 2-bit replication patterns for codes 0..3.
+constexpr std::uint64_t kReplicate[4] = {
+    0x0000000000000000ULL, kLowBits, ~kLowBits, ~0ULL};
+
+/// Count of symbols equal to `code` among the first `m` (<=32) symbols
+/// packed in `word`.
+inline std::uint32_t count_eq(std::uint64_t word, std::uint8_t code,
+                              std::uint32_t m) noexcept {
+    const std::uint64_t x = word ^ kReplicate[code];
+    const std::uint64_t diff = (x | (x >> 1)) & kLowBits;
+    const std::uint64_t region =
+        (m >= 32) ? ~0ULL : ((1ULL << (2 * m)) - 1);
+    return static_cast<std::uint32_t>(
+        std::popcount(~diff & kLowBits & region));
+}
+
+} // namespace
+
+FmIndex::FmIndex(const genomics::Reference& reference,
+                 std::uint32_t sa_sample, std::uint32_t checkpoint_every)
+    : n_(reference.size()), sa_sample_(sa_sample == 0 ? 1 : sa_sample),
+      checkpoint_every_(checkpoint_every) {
+    if (checkpoint_every_ < 32 ||
+        (checkpoint_every_ & (checkpoint_every_ - 1)) != 0) {
+        throw std::invalid_argument(
+            "FmIndex: checkpoint_every must be a power of two >= 32");
+    }
+    const auto& text = reference.sequence();
+    const auto sa = build_suffix_array(text); // n+1 rows, SA[0] == n
+    const auto rows = static_cast<std::uint32_t>(sa.size());
+
+    // C array: sentinel sorts before everything and occupies one row.
+    std::array<std::uint32_t, 4> counts{};
+    for (std::size_t i = 0; i < n_; ++i) ++counts[text.code_at(i)];
+    c_[0] = 1;
+    for (int c = 1; c <= 4; ++c) {
+        c_[static_cast<std::size_t>(c)] =
+            c_[static_cast<std::size_t>(c - 1)] +
+            counts[static_cast<std::size_t>(c - 1)];
+    }
+
+    // BWT[i] = text[SA[i] - 1]; the row with SA[i] == 0 holds the
+    // sentinel, which we record separately (its packed slot stores 0).
+    bwt_.assign((rows + 31) / 32, 0);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        std::uint8_t code = 0;
+        if (sa[i] == 0) {
+            sentinel_row_ = i;
+        } else {
+            code = text.code_at(static_cast<std::size_t>(sa[i]) - 1);
+        }
+        bwt_[i >> 5] |= static_cast<std::uint64_t>(code) << ((i & 31) * 2);
+    }
+
+    // Occ checkpoints: cumulative counts at every checkpoint_every_
+    // rows, over the *raw* packed BWT — the sentinel slot is counted as
+    // its stored code 0 here and compensated once in occ().
+    const std::uint32_t n_checkpoints = rows / checkpoint_every_ + 1;
+    checkpoints_.assign(n_checkpoints, {});
+    std::array<std::uint32_t, 4> running{};
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        if (i % checkpoint_every_ == 0) {
+            checkpoints_[i / checkpoint_every_] = running;
+        }
+        ++running[bwt_code(i)];
+    }
+    if (rows % checkpoint_every_ == 0) {
+        checkpoints_[rows / checkpoint_every_] = running;
+    }
+
+    // Suffix-array samples: mark rows whose SA value is a multiple of
+    // sa_sample (SA value 0 included, so locate always terminates).
+    sampled_rows_ = util::BitVector(rows);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        if (static_cast<std::uint32_t>(sa[i]) % sa_sample_ == 0) {
+            sampled_rows_.set(i);
+        }
+    }
+    sampled_rows_.build_rank();
+    samples_.reserve(sampled_rows_.count_ones());
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        if (sampled_rows_.get(i)) {
+            samples_.push_back(static_cast<std::uint32_t>(sa[i]));
+        }
+    }
+}
+
+std::uint32_t FmIndex::occ(std::uint8_t code,
+                           std::uint32_t row) const noexcept {
+    const std::uint32_t cp = row / checkpoint_every_;
+    std::uint32_t count = checkpoints_[cp][code];
+    std::uint32_t i = cp * checkpoint_every_;
+    while (i + 32 <= row) {
+        count += count_eq(bwt_[i >> 5], code, 32);
+        i += 32;
+    }
+    if (i < row) count += count_eq(bwt_[i >> 5], code, row - i);
+    // The sentinel's packed slot stores code 0; un-count it.
+    if (code == 0 && sentinel_row_ < row) --count;
+    return count;
+}
+
+std::uint32_t FmIndex::lf(std::uint32_t row) const noexcept {
+    if (row == sentinel_row_) return 0;
+    const std::uint8_t code = bwt_code(row);
+    return c_[code] + occ(code, row);
+}
+
+FmIndex::Range FmIndex::extend(Range r, std::uint8_t code) const noexcept {
+    return {c_[code] + occ(code, r.lo), c_[code] + occ(code, r.hi)};
+}
+
+FmIndex::Range FmIndex::search(
+    std::span<const std::uint8_t> pattern) const noexcept {
+    Range r = whole_range();
+    for (std::size_t i = pattern.size(); i-- > 0 && !r.empty();) {
+        r = extend(r, pattern[i]);
+    }
+    return r;
+}
+
+std::uint32_t FmIndex::locate(std::uint32_t row) const noexcept {
+    std::uint32_t steps = 0;
+    while (!sampled_rows_.get(row)) {
+        row = lf(row);
+        ++steps;
+    }
+    return samples_[sampled_rows_.rank1(row)] + steps;
+}
+
+void FmIndex::locate_range(Range r, std::size_t max_hits,
+                           std::vector<std::uint32_t>& out) const {
+    const std::size_t limit =
+        std::min<std::size_t>(max_hits, r.count());
+    for (std::size_t k = 0; k < limit; ++k) {
+        out.push_back(locate(r.lo + static_cast<std::uint32_t>(k)));
+    }
+}
+
+void FmIndex::save(std::ostream& out) const {
+    util::write_magic(out, 0x464D4958u); // "FMIX"
+    util::write_pod<std::uint64_t>(out, n_);
+    for (const auto c : c_) util::write_pod<std::uint32_t>(out, c);
+    util::write_vector(out, bwt_);
+    util::write_pod<std::uint32_t>(out, sentinel_row_);
+    std::vector<std::uint32_t> flat;
+    flat.reserve(checkpoints_.size() * 4);
+    for (const auto& cp : checkpoints_) {
+        flat.insert(flat.end(), cp.begin(), cp.end());
+    }
+    util::write_vector(out, flat);
+    util::write_pod<std::uint32_t>(out, sa_sample_);
+    util::write_pod<std::uint32_t>(out, checkpoint_every_);
+    sampled_rows_.save(out);
+    util::write_vector(out, samples_);
+}
+
+FmIndex FmIndex::load(std::istream& in) {
+    util::check_magic(in, 0x464D4958u, "FmIndex");
+    FmIndex fm;
+    fm.n_ = util::read_pod<std::uint64_t>(in);
+    for (auto& c : fm.c_) c = util::read_pod<std::uint32_t>(in);
+    fm.bwt_ = util::read_vector<std::uint64_t>(in);
+    fm.sentinel_row_ = util::read_pod<std::uint32_t>(in);
+    const auto flat = util::read_vector<std::uint32_t>(in);
+    if (flat.size() % 4 != 0) {
+        throw std::runtime_error("FmIndex: corrupt checkpoint table");
+    }
+    fm.checkpoints_.resize(flat.size() / 4);
+    for (std::size_t i = 0; i < fm.checkpoints_.size(); ++i) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            fm.checkpoints_[i][c] = flat[i * 4 + c];
+        }
+    }
+    fm.sa_sample_ = util::read_pod<std::uint32_t>(in);
+    fm.checkpoint_every_ = util::read_pod<std::uint32_t>(in);
+    fm.sampled_rows_ = util::BitVector::load(in);
+    fm.samples_ = util::read_vector<std::uint32_t>(in);
+    if (fm.samples_.size() != fm.sampled_rows_.count_ones()) {
+        throw std::runtime_error("FmIndex: corrupt SA samples");
+    }
+    return fm;
+}
+
+std::size_t FmIndex::memory_bytes() const noexcept {
+    return bwt_.size() * sizeof(std::uint64_t) +
+           checkpoints_.size() * sizeof(checkpoints_[0]) +
+           samples_.size() * sizeof(std::uint32_t) +
+           (sampled_rows_.size() + 7) / 8 + sampled_rows_.size() / 4;
+}
+
+} // namespace repute::index

@@ -1,0 +1,114 @@
+#pragma once
+// FM-Index (Ferragina & Manzini 2000) over 2-bit DNA with a sampled
+// suffix array for locate queries — the preprocessing data structure of
+// the paper (§II-A), shared by REPUTE, CORAL and the FM-based baselines.
+//
+// Layout choices match the paper's memory-footprint concerns:
+//   * the BWT is stored 2 bits/symbol with occ checkpoints every 128
+//     symbols (1 byte/base overhead, popcount rank within a block),
+//   * the suffix array is sampled every `sa_sample` text positions
+//     (paper §IV cites Bowtie2-style interval sampling as the fix for
+//     its full-SA footprint — we implement that fix).
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "genomics/sequence.hpp"
+#include "util/bitvector.hpp"
+#include "util/packed_dna.hpp"
+
+namespace repute::index {
+
+class FmIndex {
+public:
+    /// Half-open row interval [lo, hi) in the conceptual sorted-suffix
+    /// matrix. Empty when lo >= hi.
+    struct Range {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+
+        std::uint32_t count() const noexcept { return hi - lo; }
+        bool empty() const noexcept { return lo >= hi; }
+        bool operator==(const Range&) const noexcept = default;
+    };
+
+    /// Builds the index for `reference`. `sa_sample` = 1 keeps the full
+    /// suffix array (fastest locate, paper's original configuration);
+    /// larger values trade locate speed for memory. `checkpoint_every`
+    /// (a power of two, >= 32) spaces the occ checkpoints: wider spacing
+    /// shrinks the rank directory but lengthens each occ scan — the
+    /// second index-footprint knob the paper's §IV discussion points at.
+    explicit FmIndex(const genomics::Reference& reference,
+                     std::uint32_t sa_sample = 4,
+                     std::uint32_t checkpoint_every = 128);
+
+    /// Text length (without sentinel).
+    std::size_t size() const noexcept { return n_; }
+
+    /// Range covering every suffix (n+1 rows including the sentinel).
+    Range whole_range() const noexcept {
+        return {0, static_cast<std::uint32_t>(n_ + 1)};
+    }
+
+    /// Backward-search step: narrows `r` for pattern P to the range for
+    /// pattern cP. O(1).
+    Range extend(Range r, std::uint8_t code) const noexcept;
+
+    /// Full backward search of `pattern` (2-bit codes, searched from its
+    /// last symbol to its first). O(|pattern|).
+    Range search(std::span<const std::uint8_t> pattern) const noexcept;
+
+    /// Text position of the suffix at `row`. O(sa_sample) LF steps.
+    std::uint32_t locate(std::uint32_t row) const noexcept;
+
+    /// Locates up to `max_hits` rows of `r` into `out` (appended).
+    void locate_range(Range r, std::size_t max_hits,
+                      std::vector<std::uint32_t>& out) const;
+
+    /// Number of occurrences of `code` in BWT[0, row).
+    std::uint32_t occ(std::uint8_t code, std::uint32_t row) const noexcept;
+
+    /// Last-to-first mapping.
+    std::uint32_t lf(std::uint32_t row) const noexcept;
+
+    /// Row whose BWT symbol is the sentinel (needed by bidirectional
+    /// range synchronization).
+    std::uint32_t sentinel_row() const noexcept { return sentinel_row_; }
+
+    std::uint32_t sa_sample() const noexcept { return sa_sample_; }
+    std::uint32_t checkpoint_every() const noexcept {
+        return checkpoint_every_;
+    }
+
+    /// Heap bytes used by the index (footprint accounting for the device
+    /// memory ceilings).
+    std::size_t memory_bytes() const noexcept;
+
+    /// Binary serialization — build once, reuse across runs (index
+    /// construction dominates start-up for large references).
+    void save(std::ostream& out) const;
+    static FmIndex load(std::istream& in);
+
+private:
+    FmIndex() = default; // for load()
+
+    std::size_t n_ = 0;                       ///< text length
+    std::array<std::uint32_t, 5> c_{};        ///< C[c], c_[4] = n+1
+    std::vector<std::uint64_t> bwt_;          ///< packed BWT, n+1 symbols
+    std::uint32_t sentinel_row_ = 0;          ///< row whose BWT char is $
+    std::vector<std::array<std::uint32_t, 4>> checkpoints_;
+    std::uint32_t sa_sample_ = 4;
+    std::uint32_t checkpoint_every_ = 128;
+    util::BitVector sampled_rows_;            ///< rank-enabled marks
+    std::vector<std::uint32_t> samples_;      ///< SA values at marked rows
+
+    std::uint8_t bwt_code(std::uint32_t i) const noexcept {
+        return static_cast<std::uint8_t>((bwt_[i >> 5] >> ((i & 31) * 2)) &
+                                         3u);
+    }
+};
+
+} // namespace repute::index

@@ -1,0 +1,231 @@
+#include "index/suffix_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace repute::index {
+
+namespace {
+
+// SA-IS core. Types: S-type suffix (smaller than its right neighbour),
+// L-type (larger). LMS = leftmost S-type positions. Induced sorting
+// places LMS suffixes, induces L from them, then S from L.
+
+/// is_s[i] == true when suffix i is S-type.
+std::vector<bool> classify(std::span<const std::int32_t> text) {
+    const std::size_t n = text.size();
+    std::vector<bool> is_s(n, false);
+    is_s[n - 1] = true; // sentinel is S by definition
+    for (std::size_t i = n - 1; i-- > 0;) {
+        is_s[i] = text[i] < text[i + 1] ||
+                  (text[i] == text[i + 1] && is_s[i + 1]);
+    }
+    return is_s;
+}
+
+bool is_lms(const std::vector<bool>& is_s, std::size_t i) {
+    return i > 0 && is_s[i] && !is_s[i - 1];
+}
+
+/// Bucket start (heads=true) or end (heads=false) offsets per symbol.
+std::vector<std::int32_t> buckets(std::span<const std::int32_t> text,
+                                  std::int32_t alphabet_size, bool heads) {
+    std::vector<std::int32_t> count(alphabet_size, 0);
+    for (const std::int32_t c : text) ++count[c];
+    std::vector<std::int32_t> out(alphabet_size, 0);
+    std::int32_t sum = 0;
+    for (std::int32_t c = 0; c < alphabet_size; ++c) {
+        if (heads) {
+            out[c] = sum;
+            sum += count[c];
+        } else {
+            sum += count[c];
+            out[c] = sum;
+        }
+    }
+    return out;
+}
+
+void induce(std::span<const std::int32_t> text, std::int32_t alphabet_size,
+            const std::vector<bool>& is_s, std::vector<std::int32_t>& sa) {
+    const std::size_t n = text.size();
+    // Induce L-type from sorted LMS positions.
+    auto heads = buckets(text, alphabet_size, /*heads=*/true);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t j = sa[i] - 1;
+        if (sa[i] > 0 && !is_s[static_cast<std::size_t>(j)]) {
+            sa[heads[text[j]]++] = j;
+        }
+    }
+    // Induce S-type right-to-left.
+    auto tails = buckets(text, alphabet_size, /*heads=*/false);
+    for (std::size_t i = n; i-- > 0;) {
+        const std::int32_t j = sa[i] - 1;
+        if (sa[i] > 0 && is_s[static_cast<std::size_t>(j)]) {
+            sa[--tails[text[j]]] = j;
+        }
+    }
+}
+
+std::vector<std::int32_t> sais_impl(std::span<const std::int32_t> text,
+                                    std::int32_t alphabet_size) {
+    const std::size_t n = text.size();
+    std::vector<std::int32_t> sa(n, -1);
+    if (n == 1) {
+        sa[0] = 0;
+        return sa;
+    }
+
+    const auto is_s = classify(text);
+
+    // Step 1: place LMS suffixes at their bucket tails (unsorted), induce.
+    {
+        auto tails = buckets(text, alphabet_size, /*heads=*/false);
+        for (std::size_t i = 1; i < n; ++i) {
+            if (is_lms(is_s, i)) {
+                sa[--tails[text[i]]] = static_cast<std::int32_t>(i);
+            }
+        }
+    }
+    induce(text, alphabet_size, is_s, sa);
+
+    // Step 2: compact sorted LMS substrings, name them.
+    std::vector<std::int32_t> lms_order;
+    lms_order.reserve(n / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (sa[i] > 0 && is_lms(is_s, static_cast<std::size_t>(sa[i]))) {
+            lms_order.push_back(sa[i]);
+        }
+    }
+    // The sentinel suffix (position n-1) is LMS and sorts first.
+    // sa[0] == n-1 always after induction; include it.
+    std::vector<std::int32_t> lms_all;
+    lms_all.push_back(static_cast<std::int32_t>(n - 1));
+    for (const std::int32_t p : lms_order) {
+        if (p != static_cast<std::int32_t>(n - 1)) lms_all.push_back(p);
+    }
+
+    // Assign names by comparing consecutive LMS substrings.
+    std::vector<std::int32_t> name_of(n, -1);
+    std::int32_t next_name = 0;
+    name_of[static_cast<std::size_t>(lms_all[0])] = next_name;
+    auto lms_substring_equal = [&](std::int32_t a, std::int32_t b) {
+        // Compare LMS substrings starting at a and b (inclusive of the
+        // terminating LMS position).
+        for (std::size_t off = 0;; ++off) {
+            const std::size_t ia = static_cast<std::size_t>(a) + off;
+            const std::size_t ib = static_cast<std::size_t>(b) + off;
+            if (ia >= n || ib >= n) return false;
+            const bool lms_a = off > 0 && is_lms(is_s, ia);
+            const bool lms_b = off > 0 && is_lms(is_s, ib);
+            if (lms_a != lms_b) return false;
+            if (lms_a && lms_b) return true;
+            if (text[ia] != text[ib] || is_s[ia] != is_s[ib]) return false;
+        }
+    };
+    for (std::size_t k = 1; k < lms_all.size(); ++k) {
+        if (!lms_substring_equal(lms_all[k - 1], lms_all[k])) ++next_name;
+        name_of[static_cast<std::size_t>(lms_all[k])] = next_name;
+    }
+    const std::int32_t n_names = next_name + 1;
+
+    // Ordered list of LMS positions by text order.
+    std::vector<std::int32_t> lms_positions;
+    lms_positions.reserve(lms_all.size());
+    for (std::size_t i = 1; i < n; ++i) {
+        if (is_lms(is_s, i)) {
+            lms_positions.push_back(static_cast<std::int32_t>(i));
+        }
+    }
+
+    // Step 3: sort LMS suffixes — recurse if names collide.
+    std::vector<std::int32_t> lms_sorted;
+    if (n_names == static_cast<std::int32_t>(lms_positions.size())) {
+        // All names unique; order is determined directly.
+        lms_sorted.resize(lms_positions.size());
+        for (const std::int32_t p : lms_positions) {
+            lms_sorted[static_cast<std::size_t>(
+                name_of[static_cast<std::size_t>(p)])] = p;
+        }
+    } else {
+        std::vector<std::int32_t> reduced;
+        reduced.reserve(lms_positions.size());
+        for (const std::int32_t p : lms_positions) {
+            reduced.push_back(name_of[static_cast<std::size_t>(p)]);
+        }
+        const auto sub_sa = sais_impl(reduced, n_names);
+        lms_sorted.resize(sub_sa.size());
+        for (std::size_t i = 0; i < sub_sa.size(); ++i) {
+            lms_sorted[i] =
+                lms_positions[static_cast<std::size_t>(sub_sa[i])];
+        }
+    }
+
+    // Step 4: final induced sort from correctly ordered LMS suffixes.
+    std::fill(sa.begin(), sa.end(), -1);
+    {
+        auto tails = buckets(text, alphabet_size, /*heads=*/false);
+        for (std::size_t k = lms_sorted.size(); k-- > 0;) {
+            const std::int32_t p = lms_sorted[k];
+            sa[--tails[text[p]]] = p;
+        }
+    }
+    induce(text, alphabet_size, is_s, sa);
+    return sa;
+}
+
+} // namespace
+
+std::vector<std::int32_t> sais(std::span<const std::int32_t> text,
+                               std::int32_t alphabet_size) {
+    if (text.empty()) return {};
+    if (text.back() != 0) {
+        throw std::invalid_argument("sais: text must end with sentinel 0");
+    }
+    for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+        if (text[i] <= 0) {
+            throw std::invalid_argument(
+                "sais: sentinel 0 must be unique and final (violated at " +
+                std::to_string(i) + ")");
+        }
+        if (text[i] >= alphabet_size) {
+            throw std::invalid_argument("sais: symbol out of alphabet");
+        }
+    }
+    return sais_impl(text, alphabet_size);
+}
+
+std::vector<std::int32_t> build_suffix_array(const util::PackedDna& dna) {
+    const std::size_t n = dna.size();
+    std::vector<std::int32_t> text(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        text[i] = static_cast<std::int32_t>(dna.code_at(i)) + 1;
+    }
+    text[n] = 0;
+    return sais_impl(text, 5);
+}
+
+std::vector<std::int32_t> build_suffix_array_naive(
+    const util::PackedDna& dna) {
+    const std::size_t n = dna.size();
+    std::vector<std::int32_t> sa(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+        sa[i] = static_cast<std::int32_t>(i);
+    }
+    std::sort(sa.begin(), sa.end(), [&](std::int32_t a, std::int32_t b) {
+        std::size_t ia = static_cast<std::size_t>(a);
+        std::size_t ib = static_cast<std::size_t>(b);
+        while (ia < n && ib < n) {
+            const auto ca = dna.code_at(ia);
+            const auto cb = dna.code_at(ib);
+            if (ca != cb) return ca < cb;
+            ++ia;
+            ++ib;
+        }
+        return ia > ib; // shorter suffix (ran off the end first) is smaller
+    });
+    return sa;
+}
+
+} // namespace repute::index

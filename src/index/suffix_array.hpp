@@ -1,0 +1,36 @@
+#pragma once
+// Suffix array construction via SA-IS (Nong, Zhang & Chan 2009).
+//
+// Linear time, linear extra space; the induced-sorting algorithm used by
+// most production FM-index builders. Exposed both as a general integer-
+// alphabet routine (used recursively) and as a DNA convenience wrapper
+// that appends the sentinel internally.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/packed_dna.hpp"
+
+namespace repute::index {
+
+/// Computes the suffix array of `text`, an integer string over alphabet
+/// [0, alphabet_size) whose FINAL character must be the unique smallest
+/// symbol (the sentinel, conventionally 0 appearing exactly once).
+/// Returns SA of size text.size(); SA[0] is always the sentinel suffix.
+/// Throws std::invalid_argument if the sentinel contract is violated.
+std::vector<std::int32_t> sais(std::span<const std::int32_t> text,
+                               std::int32_t alphabet_size);
+
+/// Suffix array of a packed DNA text. Internally maps codes 0..3 to 1..4
+/// and appends sentinel 0, then strips the sentinel row, so the result
+/// has exactly `dna.size() + 1` entries with SA[0] == dna.size() (the
+/// empty/sentinel suffix), matching what the FM-index expects.
+std::vector<std::int32_t> build_suffix_array(const util::PackedDna& dna);
+
+/// O(n^2 log n) reference implementation (std::sort on suffix compare);
+/// used only by tests to cross-check SA-IS on small inputs.
+std::vector<std::int32_t> build_suffix_array_naive(
+    const util::PackedDna& dna);
+
+} // namespace repute::index

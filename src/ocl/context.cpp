@@ -1,0 +1,78 @@
+#include "ocl/context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repute::ocl {
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : device_(other.device_), bytes_(other.bytes_),
+      name_(std::move(other.name_)) {
+    other.device_ = nullptr;
+    other.bytes_ = 0;
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+        release();
+        device_ = other.device_;
+        bytes_ = other.bytes_;
+        name_ = std::move(other.name_);
+        other.device_ = nullptr;
+        other.bytes_ = 0;
+    }
+    return *this;
+}
+
+Buffer::~Buffer() { release(); }
+
+void Buffer::release() noexcept {
+    if (device_ != nullptr) {
+        device_->allocated_ -= bytes_;
+        device_ = nullptr;
+        bytes_ = 0;
+    }
+}
+
+Context::Context(std::vector<Device*> devices)
+    : devices_(std::move(devices)) {
+    if (devices_.empty()) {
+        throw std::invalid_argument("Context requires at least one device");
+    }
+    for (const Device* d : devices_) {
+        if (d == nullptr) {
+            throw std::invalid_argument("Context received a null device");
+        }
+    }
+}
+
+Buffer Context::allocate(Device& device, std::uint64_t bytes,
+                         std::string name) {
+    const auto& profile = device.profile();
+    if (bytes > profile.max_single_allocation()) {
+        throw OclError(OclStatus::InvalidBufferSize,
+                       "buffer '" + name + "' of " + std::to_string(bytes) +
+                           " bytes exceeds 1/4 of " + profile.name +
+                           " memory (" +
+                           std::to_string(profile.max_single_allocation()) +
+                           ")");
+    }
+    if (device.allocated_ + bytes > profile.global_memory_bytes) {
+        throw OclError(OclStatus::MemObjectAllocFail,
+                       "allocating '" + name + "' (" +
+                           std::to_string(bytes) + " bytes) exhausts " +
+                           profile.name + " global memory");
+    }
+    device.allocated_ += bytes;
+    return Buffer(&device, bytes, std::move(name));
+}
+
+std::uint64_t Context::available_for_allocation(
+    const Device& device) const {
+    const auto& profile = device.profile();
+    const std::uint64_t free_bytes =
+        profile.global_memory_bytes - device.allocated_bytes();
+    return std::min(free_bytes, profile.max_single_allocation());
+}
+
+} // namespace repute::ocl

@@ -1,0 +1,72 @@
+#pragma once
+// Context and Buffer: device-memory accounting with the OpenCL 1.2
+// restrictions the paper designs around (§III):
+//   a) no dynamic allocation inside kernels — outputs are fixed-size
+//      buffers sized for first-n results,
+//   b) no single buffer larger than 1/4 of device memory.
+//
+// Buffers are accounting objects: the payload lives in ordinary host
+// vectors (the simulated devices share the host address space), but
+// every allocation is charged against the owning device and the two
+// ceilings are enforced, so host code hits exactly the sizing decisions
+// the paper describes (limit mappings per read, or split the read set
+// and run the kernel multiple times).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ocl/device.hpp"
+
+namespace repute::ocl {
+
+class Context;
+
+/// RAII device allocation. Move-only.
+class Buffer {
+public:
+    Buffer() = default;
+    Buffer(Buffer&& other) noexcept;
+    Buffer& operator=(Buffer&& other) noexcept;
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer();
+
+    std::uint64_t bytes() const noexcept { return bytes_; }
+    const std::string& name() const noexcept { return name_; }
+    bool valid() const noexcept { return device_ != nullptr; }
+
+    /// Releases the allocation early.
+    void release() noexcept;
+
+private:
+    friend class Context;
+    Buffer(Device* device, std::uint64_t bytes, std::string name)
+        : device_(device), bytes_(bytes), name_(std::move(name)) {}
+
+    Device* device_ = nullptr;
+    std::uint64_t bytes_ = 0;
+    std::string name_;
+};
+
+class Context {
+public:
+    /// Devices must outlive the context.
+    explicit Context(std::vector<Device*> devices);
+
+    const std::vector<Device*>& devices() const noexcept { return devices_; }
+
+    /// Allocates `bytes` on `device`. Throws OclError with
+    /// InvalidBufferSize (single-buffer ceiling) or MemObjectAllocFail
+    /// (global memory exhausted).
+    Buffer allocate(Device& device, std::uint64_t bytes, std::string name);
+
+    /// Largest single allocation currently possible on `device`.
+    std::uint64_t available_for_allocation(const Device& device) const;
+
+private:
+    std::vector<Device*> devices_;
+};
+
+} // namespace repute::ocl

@@ -1,0 +1,77 @@
+#include "ocl/device.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace repute::ocl {
+
+Device::Device(DeviceProfile profile) : profile_(std::move(profile)) {
+    // Execute with real parallelism up to the host's core count; the
+    // modeled compute-unit count only affects the time model.
+    const std::size_t threads =
+        std::min<std::size_t>(profile_.compute_units,
+                              std::max(1u, std::thread::hardware_concurrency()));
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+double Device::utilization_for_scratch(
+    std::uint64_t scratch_bytes_per_item) const noexcept {
+    if (scratch_bytes_per_item == 0) return 1.0;
+    const double resident =
+        static_cast<double>(profile_.private_memory_per_unit) /
+        static_cast<double>(scratch_bytes_per_item);
+    if (profile_.min_resident_items <= 1) {
+        return resident >= 1.0 ? 1.0 : resident;
+    }
+    return std::min(1.0,
+                    resident /
+                        static_cast<double>(profile_.min_resident_items));
+}
+
+LaunchStats Device::execute(std::size_t n_items, const WorkItem& body,
+                            std::uint64_t scratch_bytes_per_item) {
+    if (scratch_bytes_per_item > profile_.private_memory_per_unit) {
+        throw OclError(
+            OclStatus::OutOfResources,
+            "kernel on " + profile_.name + " needs " +
+                std::to_string(scratch_bytes_per_item) +
+                " bytes of private memory per work-item, device offers " +
+                std::to_string(profile_.private_memory_per_unit));
+    }
+
+    const std::lock_guard exec_lock(exec_mutex_);
+
+    std::atomic<std::uint64_t> total_ops{0};
+    pool_->parallel_for(n_items, [&](std::size_t i) {
+        total_ops.fetch_add(body(i), std::memory_order_relaxed);
+    });
+
+    LaunchStats stats;
+    stats.items = n_items;
+    stats.total_ops = total_ops.load();
+    stats.scratch_bytes_per_item = scratch_bytes_per_item;
+    stats.utilization = utilization_for_scratch(scratch_bytes_per_item);
+    const double throughput = profile_.ops_per_unit_per_second *
+                              profile_.compute_units * stats.utilization;
+    stats.seconds = profile_.dispatch_overhead_seconds +
+                    static_cast<double>(stats.total_ops) / throughput;
+
+    {
+        const std::lock_guard time_lock(time_mutex_);
+        busy_seconds_ += stats.seconds;
+    }
+    return stats;
+}
+
+double Device::busy_seconds() const noexcept {
+    const std::lock_guard lock(time_mutex_);
+    return busy_seconds_;
+}
+
+void Device::reset_busy_time() noexcept {
+    const std::lock_guard lock(time_mutex_);
+    busy_seconds_ = 0.0;
+}
+
+} // namespace repute::ocl

@@ -1,0 +1,126 @@
+#pragma once
+// Simulated OpenCL device.
+//
+// Substitution for a real OpenCL 1.2 runtime (none is available in this
+// environment — see DESIGN.md §2). The programming model is preserved:
+// devices expose compute units, global/private memory ceilings and
+// in-order queues; kernels are dispatched as NDRanges of independent
+// work-items. Execution is real (host threads compute real results);
+// *time* is modeled: each work-item reports the abstract operations it
+// performed (FM extensions, DP cells, Myers word-ops, SA locates) and
+// the device converts operations to seconds through a calibrated
+// throughput, with a GPU-style occupancy penalty when per-item scratch
+// memory limits residency. This keeps every trade-off the paper explores
+// (workload splits, Fig. 3; scratch-vs-s_min, Fig. 4; out-of-resource
+// failures) live in the reproduction while making results deterministic
+// and host-independent.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/threadpool.hpp"
+
+namespace repute::ocl {
+
+enum class DeviceType { Cpu, Gpu, Embedded };
+
+/// Error codes mirroring the OpenCL status values the paper's host code
+/// has to handle.
+enum class OclStatus {
+    Success,
+    OutOfResources,     ///< per-item scratch exceeds private memory
+    MemObjectAllocFail, ///< global memory exhausted
+    InvalidBufferSize,  ///< single buffer above the 1/4-RAM ceiling
+};
+
+class OclError : public std::runtime_error {
+public:
+    OclError(OclStatus status, const std::string& message)
+        : std::runtime_error(message), status_(status) {}
+    OclStatus status() const noexcept { return status_; }
+
+private:
+    OclStatus status_;
+};
+
+struct PowerSpec {
+    double active_watts = 0.0; ///< delta over system idle when busy
+};
+
+struct DeviceProfile {
+    std::string name;
+    DeviceType type = DeviceType::Cpu;
+    std::uint32_t compute_units = 1;
+    /// Modeled work-item operations per second per compute unit.
+    double ops_per_unit_per_second = 1e8;
+    std::uint64_t global_memory_bytes = 1ULL << 30;
+    /// Per-compute-unit scratch pool shared by resident work-items.
+    std::uint64_t private_memory_per_unit = 64 * 1024;
+    /// Resident work-items per unit needed to hide latency (1 for CPUs;
+    /// >1 for GPUs, where low occupancy stalls the pipeline).
+    std::uint32_t min_resident_items = 1;
+    double dispatch_overhead_seconds = 1e-4;
+    PowerSpec power;
+
+    /// OpenCL 1.2 restriction (paper §III-b): one allocation may not
+    /// exceed a quarter of device memory.
+    std::uint64_t max_single_allocation() const noexcept {
+        return global_memory_bytes / 4;
+    }
+};
+
+/// Aggregate statistics of one kernel execution.
+struct LaunchStats {
+    std::uint64_t items = 0;
+    std::uint64_t total_ops = 0;
+    std::uint64_t scratch_bytes_per_item = 0;
+    double seconds = 0.0;   ///< modeled duration on the device
+    double utilization = 1.0;
+};
+
+class Device {
+public:
+    explicit Device(DeviceProfile profile);
+
+    const DeviceProfile& profile() const noexcept { return profile_; }
+    const std::string& name() const noexcept { return profile_.name; }
+
+    /// Work-item body: receives the global id, returns the abstract ops
+    /// it consumed.
+    using WorkItem = std::function<std::uint64_t(std::size_t)>;
+
+    /// Executes `n_items` work-items (blocking). Throws OclError
+    /// (OutOfResources) when `scratch_bytes_per_item` exceeds private
+    /// memory. Thread-safe; concurrent callers serialize on the device
+    /// like in-order queues sharing hardware.
+    LaunchStats execute(std::size_t n_items, const WorkItem& body,
+                        std::uint64_t scratch_bytes_per_item);
+
+    /// Modeled occupancy-adjusted utilization for a given per-item
+    /// scratch requirement (1.0 = full throughput).
+    double utilization_for_scratch(
+        std::uint64_t scratch_bytes_per_item) const noexcept;
+
+    /// Total modeled busy seconds accumulated by execute() calls.
+    double busy_seconds() const noexcept;
+    void reset_busy_time() noexcept;
+
+    /// Bytes currently allocated on the device (maintained by Context).
+    std::uint64_t allocated_bytes() const noexcept { return allocated_; }
+
+private:
+    friend class Context;
+    friend class Buffer;
+
+    DeviceProfile profile_;
+    std::unique_ptr<util::ThreadPool> pool_;
+    std::mutex exec_mutex_;   ///< serializes launches (in-order device)
+    double busy_seconds_ = 0.0;
+    mutable std::mutex time_mutex_;
+    std::uint64_t allocated_ = 0;
+};
+
+} // namespace repute::ocl

@@ -1,0 +1,107 @@
+#include "ocl/platform.hpp"
+
+#include <stdexcept>
+
+namespace repute::ocl {
+
+DeviceProfile profile_i7_2600() {
+    DeviceProfile p;
+    p.name = "i7-2600";
+    p.type = DeviceType::Cpu;
+    p.compute_units = 8; // 4 cores, 2-way SMT
+    p.ops_per_unit_per_second = 1.0e9;
+    p.global_memory_bytes = 16ULL << 30;
+    p.private_memory_per_unit = 256 * 1024; // generous L2 share
+    p.min_resident_items = 1;
+    p.dispatch_overhead_seconds = 5e-5;
+    p.power.active_watts = 195.0; // wall delta at full load (Table IV)
+    return p;
+}
+
+DeviceProfile profile_gtx590(int ordinal) {
+    DeviceProfile p;
+    p.name = "gtx590-" + std::to_string(ordinal);
+    p.type = DeviceType::Gpu;
+    p.compute_units = 256; // modeled lanes of one GF110 die
+    p.ops_per_unit_per_second = 19.0e6; // 4.9e9 total, ~0.6x the i7
+    p.global_memory_bytes = 1536ULL << 20; // 1.5 GB
+    p.private_memory_per_unit = 8 * 1024;
+    p.min_resident_items = 3; // needs residency to hide memory latency
+    p.dispatch_overhead_seconds = 4e-4;
+    p.power.active_watts = 50.0; // throttled integer kernel per die
+    return p;
+}
+
+DeviceProfile profile_a73_cluster() {
+    DeviceProfile p;
+    p.name = "hikey970-a73";
+    p.type = DeviceType::Embedded;
+    p.compute_units = 4;
+    p.ops_per_unit_per_second = 600.0e6;
+    p.global_memory_bytes = 3ULL << 30; // half of the shared 6 GB
+    p.private_memory_per_unit = 128 * 1024;
+    p.min_resident_items = 1;
+    p.dispatch_overhead_seconds = 1e-4;
+    p.power.active_watts = 3.0;
+    return p;
+}
+
+DeviceProfile profile_a53_cluster() {
+    DeviceProfile p;
+    p.name = "hikey970-a53";
+    p.type = DeviceType::Embedded;
+    p.compute_units = 4;
+    p.ops_per_unit_per_second = 240.0e6;
+    p.global_memory_bytes = 3ULL << 30;
+    p.private_memory_per_unit = 64 * 1024;
+    p.min_resident_items = 1;
+    p.dispatch_overhead_seconds = 1e-4;
+    p.power.active_watts = 1.5;
+    return p;
+}
+
+Platform::Platform(std::string name, double idle_watts,
+                   std::vector<DeviceProfile> profiles)
+    : name_(std::move(name)), idle_watts_(idle_watts) {
+    devices_.reserve(profiles.size());
+    for (auto& profile : profiles) {
+        devices_.push_back(std::make_unique<Device>(std::move(profile)));
+    }
+}
+
+Platform Platform::system1() {
+    return Platform("system1-workstation", 160.0,
+                    {profile_i7_2600(), profile_gtx590(0),
+                     profile_gtx590(1)});
+}
+
+Platform Platform::system2() {
+    return Platform("system2-hikey970", 3.5,
+                    {profile_a73_cluster(), profile_a53_cluster()});
+}
+
+std::vector<Device*> Platform::devices() {
+    std::vector<Device*> out;
+    out.reserve(devices_.size());
+    for (const auto& d : devices_) out.push_back(d.get());
+    return out;
+}
+
+Device& Platform::device(std::string_view device_name) {
+    if (Device* d = find(device_name)) return *d;
+    throw std::out_of_range("platform " + name_ + " has no device '" +
+                            std::string(device_name) + "'");
+}
+
+Device* Platform::find(std::string_view device_name) noexcept {
+    for (const auto& d : devices_) {
+        if (d->name() == device_name) return d.get();
+    }
+    return nullptr;
+}
+
+void Platform::reset_busy_times() noexcept {
+    for (const auto& d : devices_) d->reset_busy_time();
+}
+
+} // namespace repute::ocl

@@ -1,0 +1,57 @@
+#pragma once
+// Calibrated platforms reproducing the paper's two systems (§III):
+//
+//   System 1: Intel Core i7-2600 (4C/8T @ 3.4 GHz, 16 GB) +
+//             2x GeForce GTX 590 (1.5 GB each)
+//   System 2: HiKey970 SoC — ARM Cortex-A73 quad + Cortex-A53 quad,
+//             6 GB shared RAM
+//
+// Throughputs are calibrated so that the *relative* speeds match the
+// paper (each GTX 590 ~0.75x the i7 on this divergent integer kernel;
+// the whole HiKey970 ~0.42x the i7), and absolute scale roughly matches
+// Table I (~250k reads/s for REPUTE-cpu at n=100, delta=3). Power deltas
+// are fitted to Table IV. See DESIGN.md §2 for the substitution note.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ocl/device.hpp"
+
+namespace repute::ocl {
+
+class Platform {
+public:
+    /// System 1 devices: "i7-2600", "gtx590-0", "gtx590-1".
+    static Platform system1();
+    /// System 2 devices: "hikey970-a73", "hikey970-a53".
+    static Platform system2();
+    /// Custom platform.
+    Platform(std::string name, double idle_watts,
+             std::vector<DeviceProfile> profiles);
+
+    const std::string& name() const noexcept { return name_; }
+    /// Wall-socket idle power of the whole system (paper §III-D).
+    double idle_watts() const noexcept { return idle_watts_; }
+
+    std::vector<Device*> devices();
+    /// Throws std::out_of_range when no device carries `name`.
+    Device& device(std::string_view device_name);
+    Device* find(std::string_view device_name) noexcept;
+
+    /// Resets accumulated busy time on every device.
+    void reset_busy_times() noexcept;
+
+private:
+    std::string name_;
+    double idle_watts_ = 0.0;
+    std::vector<std::unique_ptr<Device>> devices_;
+};
+
+/// Individual profile builders (exposed for tests and custom platforms).
+DeviceProfile profile_i7_2600();
+DeviceProfile profile_gtx590(int ordinal);
+DeviceProfile profile_a73_cluster();
+DeviceProfile profile_a53_cluster();
+
+} // namespace repute::ocl

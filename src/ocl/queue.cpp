@@ -1,0 +1,41 @@
+#include "ocl/queue.hpp"
+
+namespace repute::ocl {
+
+const LaunchStats& Event::wait() {
+    if (!done_) {
+        stats_ = future_.get();
+        done_ = true;
+    }
+    return stats_;
+}
+
+Event CommandQueue::enqueue(KernelLaunch launch) {
+    return enqueue(std::move(launch), {});
+}
+
+Event CommandQueue::enqueue(KernelLaunch launch,
+                            std::vector<Event> wait_list) {
+    Device* device = device_;
+    auto future =
+        std::async(std::launch::async,
+                   [device, launch = std::move(launch),
+                    wait_list = std::move(wait_list)]() mutable
+                   -> LaunchStats {
+                       // Dependencies first; a throwing dependency
+                       // propagates and fails this event as well.
+                       for (Event& dependency : wait_list) {
+                           dependency.wait();
+                       }
+                       return device->execute(launch.n_items, launch.body,
+                                              launch.scratch_bytes_per_item);
+                   })
+            .share();
+    return Event(std::move(future));
+}
+
+LaunchStats CommandQueue::run(KernelLaunch launch) {
+    return enqueue(std::move(launch)).wait();
+}
+
+} // namespace repute::ocl

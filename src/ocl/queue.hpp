@@ -1,0 +1,70 @@
+#pragma once
+// In-order command queue with asynchronous kernel launches.
+//
+// REPUTE's host program creates one queue per device, enqueues the
+// mapping kernel on each with its share of the reads, and waits on all
+// events — the task-parallel multi-device pattern of the paper (§III-B).
+// enqueue() returns immediately; the kernel runs on a launcher thread
+// using the device's worker pool. Event::wait() joins and yields the
+// modeled LaunchStats.
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "ocl/device.hpp"
+
+namespace repute::ocl {
+
+/// Kernel launch description (the NDRange plus the cost-model inputs).
+struct KernelLaunch {
+    std::string name;
+    std::size_t n_items = 0;
+    Device::WorkItem body; ///< must be safe to call concurrently
+    std::uint64_t scratch_bytes_per_item = 0;
+};
+
+class Event {
+public:
+    Event() = default;
+
+    /// Blocks until the kernel completes; rethrows kernel exceptions
+    /// (including OclError). Idempotent.
+    const LaunchStats& wait();
+
+    bool valid() const noexcept { return future_.valid() || done_; }
+
+private:
+    friend class CommandQueue;
+    explicit Event(std::shared_future<LaunchStats> future)
+        : future_(std::move(future)) {}
+
+    std::shared_future<LaunchStats> future_;
+    LaunchStats stats_;
+    bool done_ = false;
+};
+
+class CommandQueue {
+public:
+    /// The device must outlive the queue.
+    explicit CommandQueue(Device& device) : device_(&device) {}
+
+    Device& device() const noexcept { return *device_; }
+
+    /// Asynchronous launch; kernels on one queue execute in order
+    /// (the device serializes), queues on different devices overlap.
+    Event enqueue(KernelLaunch launch);
+
+    /// Launch with an event wait-list (OpenCL clEnqueueNDRangeKernel
+    /// semantics): the kernel starts only after every event in
+    /// `wait_list` completed. A failed dependency fails this event too.
+    Event enqueue(KernelLaunch launch, std::vector<Event> wait_list);
+
+    /// Synchronous convenience: enqueue + wait.
+    LaunchStats run(KernelLaunch launch);
+
+private:
+    Device* device_;
+};
+
+} // namespace repute::ocl

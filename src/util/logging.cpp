@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace repute::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_write_mutex;
+
+constexpr const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO ";
+        case LogLevel::Warn: return "WARN ";
+        case LogLevel::Error: return "ERROR";
+    }
+    return "?????";
+}
+
+} // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+    if (level < g_level.load()) return;
+    const std::lock_guard lock(g_write_mutex);
+    std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                 static_cast<int>(message.size()), message.data());
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+    if (level < g_level.load()) return;
+    char buffer[1024];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buffer, sizeof buffer, fmt, args);
+    va_end(args);
+    log_line(level, buffer);
+}
+
+} // namespace repute::util

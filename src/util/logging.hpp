@@ -1,0 +1,31 @@
+#pragma once
+// Minimal leveled logger writing to stderr (printf-style formatting;
+// the toolchain's libstdc++ predates <format>).
+//
+// Default level is Warn so benchmarks and tests stay quiet; examples bump
+// it to Info. Line-at-a-time writes are serialized across threads.
+
+#include <string_view>
+
+namespace repute::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+void log_line(LogLevel level, std::string_view message);
+
+#if defined(__GNUC__)
+#define REPUTE_PRINTF_CHECK __attribute__((format(printf, 2, 3)))
+#else
+#define REPUTE_PRINTF_CHECK
+#endif
+
+/// printf-style leveled logging; drops the message cheaply when the
+/// level is below the threshold.
+void logf(LogLevel level, const char* fmt, ...) REPUTE_PRINTF_CHECK;
+
+#undef REPUTE_PRINTF_CHECK
+
+} // namespace repute::util

@@ -1,0 +1,99 @@
+#include "util/packed_dna.hpp"
+
+#include "util/serialize.hpp"
+
+#include <array>
+
+namespace repute::util {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> make_code_table() {
+    std::array<std::uint8_t, 256> t{};
+    t['A'] = 0; t['a'] = 0;
+    t['C'] = 1; t['c'] = 1;
+    t['G'] = 2; t['g'] = 2;
+    t['T'] = 3; t['t'] = 3;
+    return t;
+}
+
+constexpr auto kCodeTable = make_code_table();
+constexpr char kBaseTable[4] = {'A', 'C', 'G', 'T'};
+
+} // namespace
+
+std::uint8_t base_to_code(char c) noexcept {
+    return kCodeTable[static_cast<unsigned char>(c)];
+}
+
+char code_to_base(std::uint8_t code) noexcept {
+    return kBaseTable[code & 3u];
+}
+
+PackedDna::PackedDna(std::string_view ascii) {
+    words_.reserve((ascii.size() + 31) / 32);
+    for (const char c : ascii) push_back(base_to_code(c));
+}
+
+PackedDna::PackedDna(std::span<const std::uint8_t> codes) {
+    words_.reserve((codes.size() + 31) / 32);
+    for (const std::uint8_t code : codes) push_back(code);
+}
+
+void PackedDna::push_back(std::uint8_t code) {
+    if ((size_ & 31) == 0) words_.push_back(0);
+    set_code(size_, code);
+    ++size_;
+}
+
+void PackedDna::extract(std::size_t pos, std::size_t len,
+                        std::uint8_t* out) const noexcept {
+    for (std::size_t i = 0; i < len; ++i) out[i] = code_at(pos + i);
+}
+
+std::vector<std::uint8_t> PackedDna::extract(std::size_t pos,
+                                             std::size_t len) const {
+    std::vector<std::uint8_t> out(len);
+    extract(pos, len, out.data());
+    return out;
+}
+
+std::string PackedDna::to_string(std::size_t pos, std::size_t len) const {
+    std::string s(len, '\0');
+    for (std::size_t i = 0; i < len; ++i) s[i] = char_at(pos + i);
+    return s;
+}
+
+PackedDna PackedDna::reverse_complement() const {
+    PackedDna rc;
+    rc.words_.reserve(words_.size());
+    for (std::size_t i = size_; i > 0; --i) {
+        rc.push_back(complement_code(code_at(i - 1)));
+    }
+    return rc;
+}
+
+} // namespace repute::util
+
+namespace repute::util {
+
+// --- serialization ---------------------------------------------------
+
+void PackedDna::save(std::ostream& out) const {
+    write_magic(out, 0x50444E41u); // "PDNA"
+    write_pod<std::uint64_t>(out, size_);
+    write_vector(out, words_);
+}
+
+PackedDna PackedDna::load(std::istream& in) {
+    check_magic(in, 0x50444E41u, "PackedDna");
+    PackedDna dna;
+    dna.size_ = read_pod<std::uint64_t>(in);
+    dna.words_ = read_vector<std::uint64_t>(in);
+    if (dna.words_.size() != (dna.size_ + 31) / 32) {
+        throw std::runtime_error("PackedDna: corrupt word count");
+    }
+    return dna;
+}
+
+} // namespace repute::util

@@ -1,0 +1,46 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace repute::util {
+
+Summary summarize(std::span<const double> values) {
+    Summary s;
+    s.count = values.size();
+    if (values.empty()) return s;
+
+    double sum = 0.0;
+    s.min = values.front();
+    s.max = values.front();
+    for (const double v : values) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(values.size());
+
+    if (values.size() > 1) {
+        double sq = 0.0;
+        for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+        s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+    }
+
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    s.median = (sorted.size() % 2 == 1)
+                   ? sorted[mid]
+                   : 0.5 * (sorted[mid - 1] + sorted[mid]);
+    return s;
+}
+
+double geometric_mean(std::span<const double> values) {
+    if (values.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values) log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace repute::util

@@ -1,0 +1,25 @@
+#pragma once
+// Small descriptive-statistics helpers used when reporting benchmark
+// series (mean/median/stddev over repeated runs).
+
+#include <cstddef>
+#include <span>
+
+namespace repute::util {
+
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0; // sample standard deviation (n-1)
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+};
+
+/// Computes a five-number-ish summary; an empty span yields all zeros.
+Summary summarize(std::span<const double> values);
+
+/// Geometric mean; values must be positive. Empty span yields 0.
+double geometric_mean(std::span<const double> values);
+
+} // namespace repute::util

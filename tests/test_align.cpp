@@ -1,0 +1,239 @@
+// Alignment kernels: the DP references against hand-checked cases, and
+// the Myers bit-vector / banded DP against the full DP on random sweeps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "align/edit_distance.hpp"
+#include "align/myers.hpp"
+#include "util/packed_dna.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using repute::align::banded_semiglobal_distance;
+using repute::align::levenshtein;
+using repute::align::MyersMatcher;
+using repute::align::semiglobal_align;
+using repute::align::semiglobal_distance;
+using repute::util::Xoshiro256;
+
+std::vector<std::uint8_t> codes(const std::string& s) {
+    std::vector<std::uint8_t> out(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        out[i] = repute::util::base_to_code(s[i]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> random_codes(Xoshiro256& rng, std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& c : out) c = static_cast<std::uint8_t>(rng.bounded(4));
+    return out;
+}
+
+/// Applies up to `edits` random edits to a copy of `base`.
+std::vector<std::uint8_t> mutate(Xoshiro256& rng,
+                                 std::vector<std::uint8_t> base,
+                                 std::uint32_t edits) {
+    for (std::uint32_t e = 0; e < edits && !base.empty(); ++e) {
+        const auto kind = rng.bounded(3);
+        const std::size_t pos = rng.bounded(base.size());
+        if (kind == 0) {
+            base[pos] =
+                static_cast<std::uint8_t>((base[pos] + 1 + rng.bounded(3)) & 3);
+        } else if (kind == 1) {
+            base.insert(base.begin() + static_cast<std::ptrdiff_t>(pos),
+                        static_cast<std::uint8_t>(rng.bounded(4)));
+        } else {
+            base.erase(base.begin() + static_cast<std::ptrdiff_t>(pos));
+        }
+    }
+    return base;
+}
+
+// ----------------------------------------------------------- references
+
+TEST(Levenshtein, HandCheckedCases) {
+    EXPECT_EQ(levenshtein(codes(""), codes("")), 0u);
+    EXPECT_EQ(levenshtein(codes("ACGT"), codes("ACGT")), 0u);
+    EXPECT_EQ(levenshtein(codes("ACGT"), codes("")), 4u);
+    EXPECT_EQ(levenshtein(codes("ACGT"), codes("AGT")), 1u);  // deletion
+    EXPECT_EQ(levenshtein(codes("ACGT"), codes("AACGT")), 1u); // insertion
+    EXPECT_EQ(levenshtein(codes("ACGT"), codes("ACCT")), 1u);  // sub
+    EXPECT_EQ(levenshtein(codes("AAAA"), codes("TTTT")), 4u);
+    EXPECT_EQ(levenshtein(codes("GATTACA"), codes("TACT")), 4u);
+}
+
+TEST(Levenshtein, SymmetricAndTriangle) {
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 40; ++i) {
+        const auto a = random_codes(rng, 1 + rng.bounded(40));
+        const auto b = random_codes(rng, 1 + rng.bounded(40));
+        const auto c = random_codes(rng, 1 + rng.bounded(40));
+        const auto ab = levenshtein(a, b);
+        EXPECT_EQ(ab, levenshtein(b, a));
+        EXPECT_LE(levenshtein(a, c), ab + levenshtein(b, c));
+    }
+}
+
+TEST(SemiGlobal, ZeroWhenPatternIsSubstring) {
+    EXPECT_EQ(semiglobal_distance(codes("TACA"), codes("GATTACAG")), 0u);
+    EXPECT_EQ(semiglobal_distance(codes("GATT"), codes("GATTACAG")), 0u);
+    EXPECT_EQ(semiglobal_distance(codes("ACAG"), codes("GATTACAG")), 0u);
+}
+
+TEST(SemiGlobal, NeverExceedsGlobalDistance) {
+    Xoshiro256 rng(17);
+    for (int i = 0; i < 60; ++i) {
+        const auto p = random_codes(rng, 1 + rng.bounded(30));
+        const auto t = random_codes(rng, 1 + rng.bounded(60));
+        EXPECT_LE(semiglobal_distance(p, t), levenshtein(p, t));
+        EXPECT_LE(semiglobal_distance(p, t), p.size());
+    }
+}
+
+TEST(SemiGlobalAlign, TracebackConsistency) {
+    const auto result =
+        semiglobal_align(codes("TACA"), codes("GATTACAG"), 1);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->distance, 0u);
+    EXPECT_EQ(result->cigar, "4M");
+    EXPECT_EQ(result->text_start, 3u);
+    EXPECT_EQ(result->text_end, 7u);
+}
+
+TEST(SemiGlobalAlign, RejectsAboveMaxDistance) {
+    EXPECT_FALSE(
+        semiglobal_align(codes("AAAA"), codes("TTTTTTTT"), 2).has_value());
+    EXPECT_TRUE(
+        semiglobal_align(codes("AAAA"), codes("TTTTTTTT"), 4).has_value());
+}
+
+TEST(SemiGlobalAlign, CigarConsumesWholePattern) {
+    Xoshiro256 rng(23);
+    for (int i = 0; i < 40; ++i) {
+        const auto p = random_codes(rng, 4 + rng.bounded(40));
+        const auto t = mutate(rng, p, rng.bounded(4));
+        if (t.empty()) continue;
+        const auto result = semiglobal_align(
+            p, t, static_cast<std::uint32_t>(p.size()));
+        ASSERT_TRUE(result.has_value());
+        // Parse CIGAR: M and I consume pattern bases.
+        std::size_t consumed = 0, num = 0;
+        for (const char c : result->cigar) {
+            if (c >= '0' && c <= '9') {
+                num = num * 10 + static_cast<std::size_t>(c - '0');
+            } else {
+                if (c == 'M' || c == 'I') consumed += num;
+                num = 0;
+            }
+        }
+        EXPECT_EQ(consumed, p.size()) << "cigar " << result->cigar;
+        EXPECT_EQ(result->distance, semiglobal_distance(p, t));
+    }
+}
+
+// ----------------------------------------------------------- banded DP
+
+TEST(BandedSemiGlobal, MatchesFullDpWithinBand) {
+    Xoshiro256 rng(31);
+    for (int i = 0; i < 120; ++i) {
+        const auto p = random_codes(rng, 8 + rng.bounded(60));
+        const auto edits = static_cast<std::uint32_t>(rng.bounded(6));
+        auto t = mutate(rng, p, edits);
+        if (t.empty()) t = random_codes(rng, 4);
+        const std::uint32_t band = 1 + static_cast<std::uint32_t>(
+                                           rng.bounded(8));
+        const auto exact = semiglobal_distance(p, t);
+        const auto banded = banded_semiglobal_distance(p, t, band);
+        if (exact <= band) {
+            EXPECT_EQ(banded, exact)
+                << "band " << band << " |p|=" << p.size()
+                << " |t|=" << t.size();
+        } else {
+            EXPECT_EQ(banded, band + 1);
+        }
+    }
+}
+
+// -------------------------------------------------------- Myers matcher
+
+TEST(Myers, RejectsBadPatterns) {
+    EXPECT_THROW(MyersMatcher(codes("")), std::invalid_argument);
+    EXPECT_THROW(MyersMatcher(std::vector<std::uint8_t>(513, 0)),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(MyersMatcher(std::vector<std::uint8_t>(512, 1)));
+}
+
+TEST(Myers, ExactSubstringScoresZero) {
+    const MyersMatcher m(codes("TTACA"));
+    const auto hit = m.best_in(codes("GATTACAGATT"));
+    EXPECT_EQ(hit.distance, 0u);
+    EXPECT_EQ(hit.text_end, 7u);
+}
+
+class MyersSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(MyersSweep, MatchesFullDpSemiGlobal) {
+    const auto [pattern_len, seed] = GetParam();
+    Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 1000 + pattern_len);
+    for (int trial = 0; trial < 25; ++trial) {
+        const auto p = random_codes(rng, pattern_len);
+        // Mix of related and unrelated texts around the pattern length.
+        std::vector<std::uint8_t> t;
+        if (rng.chance(0.6)) {
+            t = mutate(rng, p, static_cast<std::uint32_t>(rng.bounded(10)));
+            // Embed in flanking sequence.
+            auto left = random_codes(rng, rng.bounded(20));
+            auto right = random_codes(rng, rng.bounded(20));
+            left.insert(left.end(), t.begin(), t.end());
+            left.insert(left.end(), right.begin(), right.end());
+            t = std::move(left);
+        } else {
+            t = random_codes(rng, 1 + rng.bounded(2 * pattern_len));
+        }
+        const MyersMatcher m(p);
+        const auto hit = m.best_in(t);
+        EXPECT_EQ(hit.distance, semiglobal_distance(p, t))
+            << "len " << pattern_len << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, MyersSweep,
+    ::testing::Combine(
+        // Word-boundary cases matter: 1 word (<=64), exactly 64,
+        // 2 words (100, 128), 3 words (150, 192), 4+ (200, 300).
+        ::testing::Values<std::size_t>(5, 17, 33, 63, 64, 65, 100, 127,
+                                       128, 129, 150, 192, 200, 300),
+        ::testing::Values(1, 2, 3)));
+
+TEST(Myers, EarliestBestEndReported) {
+    // Pattern occurs twice exactly; the earlier end must win.
+    const MyersMatcher m(codes("ACGT"));
+    const auto hit = m.best_in(codes("TTACGTTTACGTTT"));
+    EXPECT_EQ(hit.distance, 0u);
+    EXPECT_EQ(hit.text_end, 6u);
+}
+
+TEST(Myers, ScanCostScalesWithWords) {
+    Xoshiro256 rng(1);
+    const MyersMatcher one_word(random_codes(rng, 64));
+    const MyersMatcher three_words(random_codes(rng, 150));
+    EXPECT_EQ(one_word.scan_cost(100), 100u);
+    EXPECT_EQ(three_words.scan_cost(100), 300u);
+}
+
+TEST(Myers, EmptyTextReturnsPatternLength) {
+    const MyersMatcher m(codes("ACGTACGT"));
+    const auto hit = m.best_in({});
+    EXPECT_EQ(hit.distance, 8u);
+    EXPECT_EQ(hit.text_end, 0u);
+}
+
+} // namespace

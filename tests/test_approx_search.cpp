@@ -1,0 +1,175 @@
+// Approximate backward search: completeness against brute-force
+// Hamming-neighborhood enumeration, disjointness of hit ranges, node
+// budgets, and the error-budget growth that drives the Yara cost model.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "genomics/genome_sim.hpp"
+#include "index/approx_search.hpp"
+#include "index/fm_index.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using repute::genomics::GenomeSimConfig;
+using repute::genomics::Reference;
+using repute::genomics::simulate_genome;
+using repute::index::approximate_search;
+using repute::index::ApproxSearchStats;
+using repute::index::FmIndex;
+using repute::util::PackedDna;
+using repute::util::Xoshiro256;
+
+class ApproxSearchTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        GenomeSimConfig config;
+        config.length = 80'000;
+        config.seed = 17;
+        reference_ = new Reference(simulate_genome(config));
+        fm_ = new FmIndex(*reference_, 4);
+        text_ = new std::string(reference_->sequence().to_string());
+    }
+    static void TearDownTestSuite() {
+        delete text_;
+        delete fm_;
+        delete reference_;
+        text_ = nullptr;
+        fm_ = nullptr;
+        reference_ = nullptr;
+    }
+
+    /// Brute force: positions where text matches pattern within
+    /// Hamming distance e.
+    static std::set<std::uint32_t> hamming_matches(
+        const std::vector<std::uint8_t>& pattern, std::uint32_t e) {
+        std::set<std::uint32_t> out;
+        const auto& text = *text_;
+        for (std::size_t p = 0; p + pattern.size() <= text.size(); ++p) {
+            std::uint32_t mismatches = 0;
+            for (std::size_t i = 0;
+                 i < pattern.size() && mismatches <= e; ++i) {
+                mismatches += repute::util::base_to_code(text[p + i]) !=
+                                      pattern[i]
+                                  ? 1
+                                  : 0;
+            }
+            if (mismatches <= e) {
+                out.insert(static_cast<std::uint32_t>(p));
+            }
+        }
+        return out;
+    }
+
+    static std::set<std::uint32_t> locate_all(
+        const std::vector<repute::index::ApproxHit>& hits) {
+        std::set<std::uint32_t> out;
+        std::vector<std::uint32_t> positions;
+        for (const auto& hit : hits) {
+            positions.clear();
+            fm_->locate_range(hit.range, hit.range.count(), positions);
+            out.insert(positions.begin(), positions.end());
+        }
+        return out;
+    }
+
+    static Reference* reference_;
+    static FmIndex* fm_;
+    static std::string* text_;
+};
+
+Reference* ApproxSearchTest::reference_ = nullptr;
+FmIndex* ApproxSearchTest::fm_ = nullptr;
+std::string* ApproxSearchTest::text_ = nullptr;
+
+TEST_F(ApproxSearchTest, ZeroErrorsEqualsExactSearch) {
+    Xoshiro256 rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t pos = rng.bounded(reference_->size() - 20);
+        const auto pattern = reference_->sequence().extract(pos, 20);
+        const auto hits = approximate_search(*fm_, pattern, 0);
+        ASSERT_EQ(hits.size(), 1u);
+        EXPECT_EQ(hits[0].errors, 0u);
+        EXPECT_EQ(hits[0].range, fm_->search(pattern));
+    }
+}
+
+class ApproxSweep : public ApproxSearchTest,
+                    public ::testing::WithParamInterface<std::uint32_t> {};
+
+TEST_P(ApproxSweep, FindsExactlyTheHammingNeighborhood) {
+    const std::uint32_t e = GetParam();
+    Xoshiro256 rng(100 + e);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t len = 14 + rng.bounded(8);
+        const std::size_t pos = rng.bounded(reference_->size() - len);
+        auto pattern = reference_->sequence().extract(pos, len);
+        // Mutate up to e bases so the planted position needs errors.
+        for (std::uint32_t m = 0; m < e; ++m) {
+            const std::size_t at = rng.bounded(len);
+            pattern[at] =
+                static_cast<std::uint8_t>((pattern[at] + 1) & 3);
+        }
+        const auto hits = approximate_search(*fm_, pattern, e);
+        EXPECT_EQ(locate_all(hits), hamming_matches(pattern, e))
+            << "e=" << e << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ApproxSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST_F(ApproxSearchTest, HitRangesAreDisjoint) {
+    Xoshiro256 rng(5);
+    const std::size_t pos = rng.bounded(reference_->size() - 16);
+    const auto pattern = reference_->sequence().extract(pos, 16);
+    const auto hits = approximate_search(*fm_, pattern, 2);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+    for (const auto& hit : hits) {
+        intervals.emplace_back(hit.range.lo, hit.range.hi);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+        EXPECT_LE(intervals[i - 1].second, intervals[i].first)
+            << "overlapping ranges at " << i;
+    }
+}
+
+TEST_F(ApproxSearchTest, ErrorCountsAreMinimalForPlantedPattern) {
+    // A pattern present exactly must be reported with errors == 0 among
+    // its hits.
+    const auto pattern = reference_->sequence().extract(777, 18);
+    const auto hits = approximate_search(*fm_, pattern, 2);
+    bool found_exact = false;
+    for (const auto& hit : hits) {
+        if (hit.errors == 0) {
+            found_exact = true;
+            EXPECT_EQ(hit.range, fm_->search(pattern));
+        }
+    }
+    EXPECT_TRUE(found_exact);
+}
+
+TEST_F(ApproxSearchTest, NodeBudgetTruncatesAndReports) {
+    const auto pattern = reference_->sequence().extract(123, 24);
+    ApproxSearchStats stats;
+    (void)approximate_search(*fm_, pattern, 3, &stats, /*budget=*/50);
+    EXPECT_TRUE(stats.budget_exhausted);
+    EXPECT_LE(stats.visited_nodes, 50u);
+}
+
+TEST_F(ApproxSearchTest, VisitedNodesGrowWithBudget) {
+    const auto pattern = reference_->sequence().extract(4321, 24);
+    std::uint64_t previous = 0;
+    for (const std::uint32_t e : {0u, 1u, 2u, 3u}) {
+        ApproxSearchStats stats;
+        (void)approximate_search(*fm_, pattern, e, &stats);
+        EXPECT_GT(stats.visited_nodes, previous) << "e=" << e;
+        previous = stats.visited_nodes;
+    }
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+// Bidirectional FM-Index: range synchronization invariants, left/right
+// extension order independence, and the search-scheme's equivalence to
+// unidirectional backtracking search at lower node counts.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "genomics/genome_sim.hpp"
+#include "index/approx_search.hpp"
+#include "index/bi_fm_index.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using repute::genomics::GenomeSimConfig;
+using repute::genomics::Reference;
+using repute::genomics::simulate_genome;
+using repute::index::ApproxSearchStats;
+using repute::index::approximate_search;
+using repute::index::BiFmIndex;
+using repute::index::bidirectional_approximate_search;
+using repute::util::Xoshiro256;
+
+class BiFmIndexTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        GenomeSimConfig config;
+        config.length = 60'000;
+        config.seed = 31;
+        reference_ = new Reference(simulate_genome(config));
+        index_ = new BiFmIndex(*reference_);
+    }
+    static void TearDownTestSuite() {
+        delete index_;
+        delete reference_;
+        index_ = nullptr;
+        reference_ = nullptr;
+    }
+
+    static std::set<std::uint32_t> locate_hits(
+        const std::vector<repute::index::ApproxHit>& hits) {
+        std::set<std::uint32_t> out;
+        std::vector<std::uint32_t> positions;
+        for (const auto& hit : hits) {
+            positions.clear();
+            index_->forward().locate_range(hit.range, hit.range.count(),
+                                           positions);
+            out.insert(positions.begin(), positions.end());
+        }
+        return out;
+    }
+
+    static Reference* reference_;
+    static BiFmIndex* index_;
+};
+
+Reference* BiFmIndexTest::reference_ = nullptr;
+BiFmIndex* BiFmIndexTest::index_ = nullptr;
+
+TEST_F(BiFmIndexTest, MatchAgreesWithForwardSearch) {
+    Xoshiro256 rng(1);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t len = 1 + rng.bounded(30);
+        const std::size_t pos = rng.bounded(reference_->size() - len);
+        const auto pattern = reference_->sequence().extract(pos, len);
+        const auto bi = index_->match(pattern);
+        const auto fwd = index_->forward().search(pattern);
+        EXPECT_EQ(bi.fwd, fwd);
+        EXPECT_EQ(bi.count(), fwd.count());
+        EXPECT_EQ(bi.rev.count(), fwd.count()); // synchronized
+    }
+}
+
+TEST_F(BiFmIndexTest, ReverseRangeTracksReversedPattern) {
+    Xoshiro256 rng(2);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t len = 2 + rng.bounded(20);
+        const std::size_t pos = rng.bounded(reference_->size() - len);
+        const auto pattern = reference_->sequence().extract(pos, len);
+        const auto bi = index_->match(pattern);
+
+        std::vector<std::uint8_t> reversed(pattern.rbegin(),
+                                           pattern.rend());
+        EXPECT_EQ(bi.rev, index_->reverse().search(reversed));
+    }
+}
+
+TEST_F(BiFmIndexTest, ExtensionOrderIrrelevant) {
+    Xoshiro256 rng(3);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t len = 6 + rng.bounded(14);
+        const std::size_t pos = rng.bounded(reference_->size() - len);
+        const auto pattern = reference_->sequence().extract(pos, len);
+
+        // Grow from a random internal split: right then left.
+        const std::size_t split = 1 + rng.bounded(len - 1);
+        auto range = index_->whole_range();
+        for (std::size_t i = split; i < len; ++i) {
+            range = index_->extend_right(range, pattern[i]);
+        }
+        for (std::size_t i = split; i-- > 0;) {
+            range = index_->extend_left(range, pattern[i]);
+        }
+        EXPECT_EQ(range.fwd, index_->forward().search(pattern))
+            << "split " << split;
+    }
+}
+
+TEST_F(BiFmIndexTest, InterleavedExtensionsStaySynchronized) {
+    Xoshiro256 rng(4);
+    const auto pattern = reference_->sequence().extract(1000, 16);
+    // Build the same pattern inside-out with random direction choices.
+    std::size_t left = 8, right = 8;
+    auto range = index_->whole_range();
+    while (left > 0 || right < 16) {
+        const bool go_left =
+            right == 16 || (left > 0 && rng.chance(0.5));
+        if (go_left) {
+            --left;
+            range = index_->extend_left(range, pattern[left]);
+        } else {
+            range = index_->extend_right(range, pattern[right]);
+            ++right;
+        }
+        ASSERT_EQ(range.fwd.count(), range.rev.count());
+    }
+    EXPECT_EQ(range.fwd, index_->forward().search(pattern));
+}
+
+TEST_F(BiFmIndexTest, SchemeMatchesBacktrackingSearch) {
+    Xoshiro256 rng(5);
+    for (const std::uint32_t e : {0u, 1u, 2u, 3u}) {
+        for (int trial = 0; trial < 6; ++trial) {
+            const std::size_t len = 16 + rng.bounded(10);
+            const std::size_t pos =
+                rng.bounded(reference_->size() - len);
+            auto pattern = reference_->sequence().extract(pos, len);
+            for (std::uint32_t m = 0; m < e; ++m) {
+                const std::size_t at = rng.bounded(len);
+                pattern[at] =
+                    static_cast<std::uint8_t>((pattern[at] + 1) & 3);
+            }
+            const auto uni = approximate_search(
+                index_->forward(), pattern, e);
+            const auto bidi = bidirectional_approximate_search(
+                *index_, pattern, e);
+            EXPECT_EQ(locate_hits(bidi), locate_hits(uni))
+                << "e=" << e << " trial=" << trial;
+        }
+    }
+}
+
+TEST_F(BiFmIndexTest, SchemeVisitsFewerNodesAtHighBudgets) {
+    Xoshiro256 rng(6);
+    std::uint64_t uni_nodes = 0, bidi_nodes = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t pos = rng.bounded(reference_->size() - 30);
+        const auto pattern = reference_->sequence().extract(pos, 30);
+        ApproxSearchStats u, b;
+        (void)approximate_search(index_->forward(), pattern, 3, &u);
+        (void)bidirectional_approximate_search(*index_, pattern, 3, &b);
+        uni_nodes += u.visited_nodes;
+        bidi_nodes += b.visited_nodes;
+    }
+    EXPECT_LT(bidi_nodes * 2, uni_nodes)
+        << "scheme should at least halve the search tree at e=3";
+}
+
+TEST_F(BiFmIndexTest, NodeBudgetHonored) {
+    const auto pattern = reference_->sequence().extract(500, 24);
+    ApproxSearchStats stats;
+    (void)bidirectional_approximate_search(*index_, pattern, 3, &stats,
+                                           /*node_budget=*/40);
+    EXPECT_TRUE(stats.budget_exhausted);
+}
+
+TEST_F(BiFmIndexTest, MemoryIsTwiceTheForwardIndex) {
+    EXPECT_EQ(index_->memory_bytes(),
+              2 * index_->forward().memory_bytes());
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+// Determinism: results must be bit-identical across repeated runs,
+// thread counts, and modeled device shapes — thread scheduling must
+// never leak into mapping output (only into nothing at all: the time
+// model itself is op-count-based and deterministic too).
+
+#include <gtest/gtest.h>
+
+#include "core/repute_mapper.hpp"
+#include "genomics/genome_sim.hpp"
+#include "genomics/read_sim.hpp"
+#include "index/fm_index.hpp"
+#include "ocl/device.hpp"
+
+namespace {
+
+using repute::core::MapResult;
+using repute::genomics::GenomeSimConfig;
+using repute::genomics::ReadSimConfig;
+using repute::genomics::Reference;
+using repute::genomics::simulate_genome;
+using repute::genomics::simulate_reads;
+using repute::genomics::SimulatedReads;
+using repute::index::FmIndex;
+using repute::ocl::Device;
+using repute::ocl::DeviceProfile;
+
+DeviceProfile profile_with_units(std::uint32_t units) {
+    DeviceProfile p;
+    p.name = "det-" + std::to_string(units);
+    p.compute_units = units;
+    p.ops_per_unit_per_second = 1e9;
+    p.global_memory_bytes = 1ULL << 30;
+    p.private_memory_per_unit = 1 << 20;
+    p.dispatch_overhead_seconds = 0.0;
+    return p;
+}
+
+class DeterminismTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        GenomeSimConfig gconfig;
+        gconfig.length = 120'000;
+        gconfig.seed = 61;
+        reference_ = new Reference(simulate_genome(gconfig));
+        fm_ = new FmIndex(*reference_, 4);
+        ReadSimConfig rconfig;
+        rconfig.n_reads = 300;
+        rconfig.read_length = 100;
+        rconfig.max_errors = 5;
+        sim_ = new SimulatedReads(simulate_reads(*reference_, rconfig));
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        delete fm_;
+        delete reference_;
+        sim_ = nullptr;
+        fm_ = nullptr;
+        reference_ = nullptr;
+    }
+
+    static void expect_identical(const MapResult& a, const MapResult& b) {
+        ASSERT_EQ(a.per_read.size(), b.per_read.size());
+        for (std::size_t i = 0; i < a.per_read.size(); ++i) {
+            ASSERT_EQ(a.per_read[i], b.per_read[i]) << "read " << i;
+        }
+    }
+
+    static Reference* reference_;
+    static FmIndex* fm_;
+    static SimulatedReads* sim_;
+};
+
+Reference* DeterminismTest::reference_ = nullptr;
+FmIndex* DeterminismTest::fm_ = nullptr;
+SimulatedReads* DeterminismTest::sim_ = nullptr;
+
+TEST_F(DeterminismTest, RepeatedRunsIdentical) {
+    Device dev(profile_with_units(8));
+    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+                                            {{&dev, 1.0}});
+    const auto a = mapper->map(sim_->batch, 5);
+    const auto b = mapper->map(sim_->batch, 5);
+    expect_identical(a, b);
+    // The modeled time is deterministic too (same ops, same model).
+    EXPECT_DOUBLE_EQ(a.mapping_seconds, b.mapping_seconds);
+    EXPECT_EQ(a.device_runs[0].stats.total_ops,
+              b.device_runs[0].stats.total_ops);
+}
+
+TEST_F(DeterminismTest, ResultsIndependentOfComputeUnits) {
+    Device narrow(profile_with_units(1));
+    Device wide(profile_with_units(16));
+    auto m1 = repute::core::make_repute(*reference_, *fm_, 12,
+                                        {{&narrow, 1.0}});
+    auto m2 = repute::core::make_repute(*reference_, *fm_, 12,
+                                        {{&wide, 1.0}});
+    const auto a = m1->map(sim_->batch, 4);
+    const auto b = m2->map(sim_->batch, 4);
+    expect_identical(a, b);
+    // Same total ops; 16 units are modeled 16x faster.
+    EXPECT_EQ(a.device_runs[0].stats.total_ops,
+              b.device_runs[0].stats.total_ops);
+    EXPECT_NEAR(a.mapping_seconds / b.mapping_seconds, 16.0, 0.01);
+}
+
+TEST_F(DeterminismTest, StressRepeatedConcurrentMapping) {
+    // Hammer one device with interleaved map() calls from two mappers;
+    // the in-order device must serialize without corrupting results.
+    Device dev(profile_with_units(8));
+    auto repute_mapper = repute::core::make_repute(*reference_, *fm_, 12,
+                                                   {{&dev, 1.0}});
+    auto coral_mapper = repute::core::make_coral(*reference_, *fm_, 12,
+                                                 {{&dev, 1.0}});
+    const auto repute_ref = repute_mapper->map(sim_->batch, 4);
+    const auto coral_ref = coral_mapper->map(sim_->batch, 4);
+    for (int round = 0; round < 3; ++round) {
+        expect_identical(repute_ref, repute_mapper->map(sim_->batch, 4));
+        expect_identical(coral_ref, coral_mapper->map(sim_->batch, 4));
+    }
+}
+
+} // namespace

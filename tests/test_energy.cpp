@@ -1,0 +1,90 @@
+// energy: the §III-D measurement protocol.
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_meter.hpp"
+#include "ocl/platform.hpp"
+
+namespace {
+
+using repute::energy::DeviceUsage;
+using repute::energy::measure;
+using repute::ocl::Platform;
+
+TEST(Energy, SingleDeviceFullyBusy) {
+    auto p = Platform::system1();
+    const auto& cpu = p.device("i7-2600");
+    const DeviceUsage usage[] = {{&cpu, 10.0, 1.0}};
+    const auto report = measure(10.0, usage, p.idle_watts());
+    // 195 W for 10 s over 160 W idle.
+    EXPECT_DOUBLE_EQ(report.average_power_watts, 160.0 + 195.0);
+    EXPECT_DOUBLE_EQ(report.energy_joules, 1950.0);
+    EXPECT_DOUBLE_EQ(report.mapping_seconds, 10.0);
+}
+
+TEST(Energy, PowerScaleModelsSoftwareMappers) {
+    auto p = Platform::system1();
+    const auto& cpu = p.device("i7-2600");
+    const DeviceUsage usage[] = {{&cpu, 10.0, 0.42}};
+    const auto report = measure(10.0, usage, p.idle_watts());
+    EXPECT_NEAR(report.average_power_watts, 160.0 + 0.42 * 195.0, 1e-9);
+}
+
+TEST(Energy, MultiDeviceSumsContributions) {
+    auto p = Platform::system1();
+    const DeviceUsage usage[] = {
+        {&p.device("i7-2600"), 5.0, 1.0},
+        {&p.device("gtx590-0"), 5.0, 1.0},
+        {&p.device("gtx590-1"), 5.0, 1.0},
+    };
+    const auto report = measure(5.0, usage, p.idle_watts());
+    EXPECT_DOUBLE_EQ(report.energy_joules, 5.0 * (195.0 + 50.0 + 50.0));
+    EXPECT_DOUBLE_EQ(report.average_power_watts, 160.0 + 295.0);
+}
+
+TEST(Energy, PartiallyBusyDeviceLowersAveragePower) {
+    auto p = Platform::system1();
+    const DeviceUsage usage[] = {{&p.device("gtx590-0"), 2.0, 1.0}};
+    const auto report = measure(10.0, usage, p.idle_watts());
+    // 50 W x 2 s spread over 10 s -> +10 W average.
+    EXPECT_DOUBLE_EQ(report.average_power_watts, 170.0);
+    EXPECT_DOUBLE_EQ(report.energy_joules, 100.0);
+}
+
+TEST(Energy, EmbeddedEnergyAdvantage) {
+    // The paper's headline: the same logical work on the SoC costs ~20x+
+    // less energy even though it runs slower.
+    auto s1 = Platform::system1();
+    auto s2 = Platform::system2();
+    const DeviceUsage workstation[] = {{&s1.device("i7-2600"), 7.5, 1.0}};
+    const DeviceUsage embedded[] = {
+        {&s2.device("hikey970-a73"), 17.5, 1.0},
+        {&s2.device("hikey970-a53"), 17.5, 1.0},
+    };
+    const auto e1 = measure(7.5, workstation, s1.idle_watts());
+    const auto e2 = measure(17.5, embedded, s2.idle_watts());
+    EXPECT_GT(e1.energy_joules, 15.0 * e2.energy_joules);
+}
+
+TEST(Energy, RejectsNonPositiveTime) {
+    EXPECT_THROW((void)measure(0.0, {}, 100.0), std::invalid_argument);
+    EXPECT_THROW((void)measure(-1.0, {}, 100.0), std::invalid_argument);
+}
+
+TEST(Energy, NullDevicesIgnored) {
+    const DeviceUsage usage[] = {{nullptr, 5.0, 1.0}};
+    const auto report = measure(5.0, usage, 50.0);
+    EXPECT_DOUBLE_EQ(report.energy_joules, 0.0);
+    EXPECT_DOUBLE_EQ(report.average_power_watts, 50.0);
+}
+
+TEST(Energy, ToStringFormats) {
+    auto p = Platform::system2();
+    const DeviceUsage usage[] = {{&p.device("hikey970-a73"), 1.0, 1.0}};
+    const auto report = measure(1.0, usage, p.idle_watts());
+    const auto s = repute::energy::to_string(report);
+    EXPECT_NE(s.find("P="), std::string::npos);
+    EXPECT_NE(s.find("E="), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,71 @@
+// MultiReference: concatenation, position resolution, boundary checks.
+
+#include <gtest/gtest.h>
+
+#include "genomics/multi_reference.hpp"
+
+namespace {
+
+using repute::genomics::FastaRecord;
+using repute::genomics::MultiReference;
+
+MultiReference make_three() {
+    return MultiReference({{"chrA", "ACGTACGTAC"},   // [0, 10)
+                           {"chrB", "TTTT"},         // [10, 14)
+                           {"chrC", "GGGGGGGG"}});   // [14, 22)
+}
+
+TEST(MultiReference, ConcatenatesInOrder) {
+    const auto multi = make_three();
+    EXPECT_EQ(multi.sequence_count(), 3u);
+    EXPECT_EQ(multi.concatenated().size(), 22u);
+    EXPECT_EQ(multi.concatenated().sequence().to_string(),
+              "ACGTACGTACTTTTGGGGGGGG");
+    EXPECT_EQ(multi.sequence_length(0), 10u);
+    EXPECT_EQ(multi.sequence_length(1), 4u);
+    EXPECT_EQ(multi.sequence_length(2), 8u);
+}
+
+TEST(MultiReference, ResolvesPositions) {
+    const auto multi = make_three();
+    EXPECT_EQ(multi.resolve(0).sequence_index, 0u);
+    EXPECT_EQ(multi.resolve(9).sequence_index, 0u);
+    EXPECT_EQ(multi.resolve(9).offset, 9u);
+    EXPECT_EQ(multi.resolve(10).sequence_index, 1u);
+    EXPECT_EQ(multi.resolve(10).offset, 0u);
+    EXPECT_EQ(multi.resolve(13).sequence_index, 1u);
+    EXPECT_EQ(multi.resolve(14).sequence_index, 2u);
+    EXPECT_EQ(multi.resolve(21).offset, 7u);
+    EXPECT_THROW((void)multi.resolve(22), std::out_of_range);
+    EXPECT_EQ(multi.sequence_name(1), "chrB");
+}
+
+TEST(MultiReference, BoundaryWindows) {
+    const auto multi = make_three();
+    EXPECT_TRUE(multi.within_one_sequence(0, 10));   // exactly chrA
+    EXPECT_FALSE(multi.within_one_sequence(5, 10));  // spans A|B
+    EXPECT_TRUE(multi.within_one_sequence(10, 4));   // exactly chrB
+    EXPECT_FALSE(multi.within_one_sequence(12, 4));  // spans B|C
+    EXPECT_TRUE(multi.within_one_sequence(14, 8));   // exactly chrC
+    EXPECT_FALSE(multi.within_one_sequence(14, 9));  // past the end
+    EXPECT_TRUE(multi.within_one_sequence(21, 1));
+    EXPECT_FALSE(multi.within_one_sequence(22, 1));
+    EXPECT_TRUE(multi.within_one_sequence(3, 0));    // empty window
+}
+
+TEST(MultiReference, RejectsDegenerateInputs) {
+    EXPECT_THROW(MultiReference(std::vector<FastaRecord>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(MultiReference(std::vector<FastaRecord>{{"empty", ""}}),
+                 std::invalid_argument);
+}
+
+TEST(MultiReference, SingleSequenceBehavesLikeReference) {
+    const MultiReference multi(std::vector<FastaRecord>{{"only", "ACGTACGT"}});
+    EXPECT_EQ(multi.sequence_count(), 1u);
+    EXPECT_TRUE(multi.within_one_sequence(0, 8));
+    EXPECT_EQ(multi.resolve(7).sequence_index, 0u);
+    EXPECT_EQ(multi.resolve(7).offset, 7u);
+}
+
+} // namespace

@@ -1,0 +1,347 @@
+// ocl runtime: device time model, occupancy, memory ceilings, queues and
+// task-parallel overlap, platform calibration invariants.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ocl/context.hpp"
+#include "ocl/device.hpp"
+#include "ocl/platform.hpp"
+#include "ocl/queue.hpp"
+
+namespace {
+
+using repute::ocl::Buffer;
+using repute::ocl::CommandQueue;
+using repute::ocl::Context;
+using repute::ocl::Device;
+using repute::ocl::DeviceProfile;
+using repute::ocl::DeviceType;
+using repute::ocl::KernelLaunch;
+using repute::ocl::OclError;
+using repute::ocl::OclStatus;
+using repute::ocl::Platform;
+
+DeviceProfile test_profile(std::uint32_t units = 4,
+                           double ops_per_unit = 1e6) {
+    DeviceProfile p;
+    p.name = "test-dev";
+    p.compute_units = units;
+    p.ops_per_unit_per_second = ops_per_unit;
+    p.global_memory_bytes = 1 << 20; // 1 MiB
+    p.private_memory_per_unit = 4096;
+    p.min_resident_items = 1;
+    p.dispatch_overhead_seconds = 0.0;
+    return p;
+}
+
+// ---------------------------------------------------------------- Device
+
+TEST(Device, ExecutesEveryWorkItem) {
+    Device dev(test_profile());
+    std::atomic<std::uint64_t> sum{0};
+    const auto stats = dev.execute(
+        1000,
+        [&](std::size_t i) {
+            sum += i;
+            return std::uint64_t{1};
+        },
+        64);
+    EXPECT_EQ(stats.items, 1000u);
+    EXPECT_EQ(stats.total_ops, 1000u);
+    EXPECT_EQ(sum.load(), 999u * 1000u / 2);
+}
+
+TEST(Device, TimeModelIsOpsOverThroughput) {
+    Device dev(test_profile(4, 1e6)); // 4e6 ops/s aggregate
+    const auto stats = dev.execute(
+        100, [](std::size_t) { return std::uint64_t{400}; }, 0);
+    // 40,000 ops / 4e6 ops/s = 10 ms.
+    EXPECT_NEAR(stats.seconds, 0.01, 1e-9);
+    EXPECT_NEAR(dev.busy_seconds(), 0.01, 1e-9);
+}
+
+TEST(Device, BusyTimeAccumulatesAndResets) {
+    Device dev(test_profile());
+    dev.execute(10, [](std::size_t) { return std::uint64_t{100}; }, 0);
+    dev.execute(10, [](std::size_t) { return std::uint64_t{100}; }, 0);
+    EXPECT_GT(dev.busy_seconds(), 0.0);
+    dev.reset_busy_time();
+    EXPECT_EQ(dev.busy_seconds(), 0.0);
+}
+
+TEST(Device, ThrowsOutOfResourcesOnScratchOverflow) {
+    Device dev(test_profile());
+    EXPECT_THROW(dev.execute(
+                     1, [](std::size_t) { return std::uint64_t{1}; },
+                     8192 /* > 4096 private */),
+                 OclError);
+    try {
+        dev.execute(1, [](std::size_t) { return std::uint64_t{1}; }, 8192);
+    } catch (const OclError& e) {
+        EXPECT_EQ(e.status(), OclStatus::OutOfResources);
+    }
+}
+
+TEST(Device, GpuOccupancyPenalizesLargeScratch) {
+    DeviceProfile gpu = test_profile();
+    gpu.min_resident_items = 4;
+    gpu.private_memory_per_unit = 4096;
+    Device dev(gpu);
+    // 1024 bytes/item -> 4 resident -> full utilization.
+    EXPECT_DOUBLE_EQ(dev.utilization_for_scratch(1024), 1.0);
+    // 2048 bytes/item -> 2 resident -> half utilization.
+    EXPECT_DOUBLE_EQ(dev.utilization_for_scratch(2048), 0.5);
+    // 4096 bytes/item -> 1 resident -> quarter utilization.
+    EXPECT_DOUBLE_EQ(dev.utilization_for_scratch(4096), 0.25);
+
+    const auto full = dev.execute(
+        16, [](std::size_t) { return std::uint64_t{1000}; }, 1024);
+    const auto half = dev.execute(
+        16, [](std::size_t) { return std::uint64_t{1000}; }, 2048);
+    EXPECT_NEAR(half.seconds, 2.0 * full.seconds, 1e-9);
+}
+
+TEST(Device, CpuIgnoresScratchBelowLimit) {
+    Device dev(test_profile());
+    EXPECT_DOUBLE_EQ(dev.utilization_for_scratch(4096), 1.0);
+    EXPECT_DOUBLE_EQ(dev.utilization_for_scratch(1), 1.0);
+    EXPECT_DOUBLE_EQ(dev.utilization_for_scratch(0), 1.0);
+}
+
+// --------------------------------------------------------------- Context
+
+TEST(Context, EnforcesQuarterCeiling) {
+    Device dev(test_profile());
+    Context ctx({&dev});
+    // 1 MiB global -> 256 KiB single-allocation ceiling.
+    EXPECT_NO_THROW(ctx.allocate(dev, 256 * 1024, "ok"));
+    try {
+        ctx.allocate(dev, 256 * 1024 + 1, "too-big");
+        FAIL() << "expected OclError";
+    } catch (const OclError& e) {
+        EXPECT_EQ(e.status(), OclStatus::InvalidBufferSize);
+    }
+}
+
+TEST(Context, EnforcesGlobalCapacity) {
+    Device dev(test_profile());
+    Context ctx({&dev});
+    std::vector<Buffer> held;
+    for (int i = 0; i < 4; ++i) {
+        held.push_back(ctx.allocate(dev, 256 * 1024, "chunk"));
+    }
+    EXPECT_EQ(dev.allocated_bytes(), 1u << 20);
+    try {
+        ctx.allocate(dev, 1, "overflow");
+        FAIL() << "expected OclError";
+    } catch (const OclError& e) {
+        EXPECT_EQ(e.status(), OclStatus::MemObjectAllocFail);
+    }
+}
+
+TEST(Context, BufferReleaseReturnsMemory) {
+    Device dev(test_profile());
+    Context ctx({&dev});
+    {
+        const Buffer b = ctx.allocate(dev, 1000, "scoped");
+        EXPECT_EQ(dev.allocated_bytes(), 1000u);
+    }
+    EXPECT_EQ(dev.allocated_bytes(), 0u);
+
+    Buffer moved_to;
+    {
+        Buffer original = ctx.allocate(dev, 500, "moved");
+        moved_to = std::move(original);
+        EXPECT_FALSE(original.valid()); // NOLINT(bugprone-use-after-move)
+    }
+    EXPECT_EQ(dev.allocated_bytes(), 500u);
+    moved_to.release();
+    EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(Context, AvailableForAllocationTracksUsage) {
+    Device dev(test_profile());
+    Context ctx({&dev});
+    // Fresh device: capped by the quarter ceiling.
+    EXPECT_EQ(ctx.available_for_allocation(dev), 256u * 1024);
+    // After filling most memory, the remaining free space is the cap.
+    const Buffer a = ctx.allocate(dev, 256 * 1024, "a");
+    const Buffer b = ctx.allocate(dev, 256 * 1024, "b");
+    const Buffer c = ctx.allocate(dev, 256 * 1024, "c");
+    const Buffer d = ctx.allocate(dev, 100 * 1024, "d");
+    EXPECT_EQ(ctx.available_for_allocation(dev),
+              (1u << 20) - 3 * 256 * 1024 - 100 * 1024);
+}
+
+TEST(Context, RejectsEmptyOrNullDevices) {
+    EXPECT_THROW(Context(std::vector<Device*>{}), std::invalid_argument);
+    EXPECT_THROW(Context({nullptr}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Queue/Event
+
+TEST(Queue, EnqueueRunsAsynchronouslyAndWaits) {
+    Device dev(test_profile());
+    CommandQueue queue(dev);
+    std::atomic<int> ran{0};
+    KernelLaunch launch;
+    launch.name = "k";
+    launch.n_items = 50;
+    launch.body = [&](std::size_t) {
+        ++ran;
+        return std::uint64_t{10};
+    };
+    auto event = queue.enqueue(std::move(launch));
+    const auto& stats = event.wait();
+    EXPECT_EQ(ran.load(), 50);
+    EXPECT_EQ(stats.total_ops, 500u);
+    // wait() is idempotent.
+    EXPECT_EQ(event.wait().total_ops, 500u);
+}
+
+TEST(Queue, KernelExceptionsSurfaceAtWait) {
+    Device dev(test_profile());
+    CommandQueue queue(dev);
+    KernelLaunch launch;
+    launch.name = "bad";
+    launch.n_items = 1;
+    launch.scratch_bytes_per_item = 1 << 30;
+    launch.body = [](std::size_t) { return std::uint64_t{0}; };
+    auto event = queue.enqueue(std::move(launch));
+    EXPECT_THROW(event.wait(), OclError);
+}
+
+TEST(Queue, WaitListOrdersExecution) {
+    Device a(test_profile()), b(test_profile());
+    CommandQueue qa(a), qb(b);
+    std::atomic<int> sequence{0};
+    int first_done = -1, second_started = -1;
+
+    KernelLaunch first;
+    first.name = "first";
+    first.n_items = 1;
+    first.body = [&](std::size_t) {
+        first_done = sequence++;
+        return std::uint64_t{1};
+    };
+    auto e1 = qa.enqueue(std::move(first));
+
+    KernelLaunch second;
+    second.name = "second";
+    second.n_items = 1;
+    second.body = [&](std::size_t) {
+        second_started = sequence++;
+        return std::uint64_t{1};
+    };
+    auto e2 = qb.enqueue(std::move(second), {e1});
+    e2.wait();
+    EXPECT_LT(first_done, second_started);
+}
+
+TEST(Queue, FailedDependencyFailsDependentEvent) {
+    Device dev(test_profile());
+    CommandQueue queue(dev);
+    KernelLaunch bad;
+    bad.name = "bad";
+    bad.n_items = 1;
+    bad.scratch_bytes_per_item = 1 << 30; // out of resources
+    bad.body = [](std::size_t) { return std::uint64_t{0}; };
+    auto failing = queue.enqueue(std::move(bad));
+
+    KernelLaunch dependent;
+    dependent.name = "dependent";
+    dependent.n_items = 1;
+    dependent.body = [](std::size_t) { return std::uint64_t{1}; };
+    auto event = queue.enqueue(std::move(dependent), {failing});
+    EXPECT_THROW(event.wait(), OclError);
+}
+
+TEST(Queue, KernelBodyExceptionPropagates) {
+    Device dev(test_profile());
+    CommandQueue queue(dev);
+    KernelLaunch launch;
+    launch.name = "throwing";
+    launch.n_items = 4;
+    launch.body = [](std::size_t i) -> std::uint64_t {
+        if (i == 2) throw std::runtime_error("work-item failure");
+        return 1;
+    };
+    auto event = queue.enqueue(std::move(launch));
+    EXPECT_THROW(event.wait(), std::runtime_error);
+}
+
+TEST(Queue, TwoDevicesAccumulateIndependently) {
+    Device a(test_profile(2, 1e6));
+    Device b(test_profile(2, 2e6));
+    CommandQueue qa(a), qb(b);
+    auto make = [](const char* tag) {
+        KernelLaunch l;
+        l.name = tag;
+        l.n_items = 100;
+        l.body = [](std::size_t) { return std::uint64_t{1000}; };
+        return l;
+    };
+    auto ea = qa.enqueue(make("a"));
+    auto eb = qb.enqueue(make("b"));
+    ea.wait();
+    eb.wait();
+    // Same work, b has 2x throughput.
+    EXPECT_NEAR(a.busy_seconds(), 2.0 * b.busy_seconds(), 1e-9);
+}
+
+// --------------------------------------------------------------- Platform
+
+TEST(Platform, System1HasCalibratedDevices) {
+    auto p = Platform::system1();
+    EXPECT_EQ(p.devices().size(), 3u);
+    EXPECT_EQ(p.idle_watts(), 160.0);
+    auto& cpu = p.device("i7-2600");
+    auto& gpu = p.device("gtx590-0");
+    EXPECT_EQ(cpu.profile().type, DeviceType::Cpu);
+    EXPECT_EQ(gpu.profile().type, DeviceType::Gpu);
+    // Each GPU is slower than the CPU on this kernel (paper's ~2x total
+    // speedup from CPU + 2 GPUs needs each GPU < CPU).
+    const double cpu_tp = cpu.profile().compute_units *
+                          cpu.profile().ops_per_unit_per_second;
+    const double gpu_tp = gpu.profile().compute_units *
+                          gpu.profile().ops_per_unit_per_second;
+    EXPECT_LT(gpu_tp, cpu_tp);
+    EXPECT_GT(gpu_tp, 0.5 * cpu_tp);
+    EXPECT_THROW(p.device("nope"), std::out_of_range);
+    EXPECT_EQ(p.find("nope"), nullptr);
+}
+
+TEST(Platform, System2IsSlowerButFarLowerPower) {
+    auto s1 = Platform::system1();
+    auto s2 = Platform::system2();
+    EXPECT_EQ(s2.devices().size(), 2u);
+    double s2_tp = 0.0, s2_watts = 0.0;
+    for (auto* d : s2.devices()) {
+        s2_tp += d->profile().compute_units *
+                 d->profile().ops_per_unit_per_second;
+        s2_watts += d->profile().power.active_watts;
+    }
+    const auto& cpu = s1.device("i7-2600").profile();
+    const double s1_tp =
+        cpu.compute_units * cpu.ops_per_unit_per_second;
+    // HiKey970 ~0.3-0.6x the i7 (paper Table I vs III ratios).
+    EXPECT_GT(s2_tp, 0.25 * s1_tp);
+    EXPECT_LT(s2_tp, 0.7 * s1_tp);
+    // And an order of magnitude+ lower power.
+    EXPECT_LT(s2_watts * 20, cpu.power.active_watts);
+}
+
+TEST(Platform, ResetBusyTimesClearsAll) {
+    auto p = Platform::system2();
+    p.device("hikey970-a73")
+        .execute(4, [](std::size_t) { return std::uint64_t{100}; }, 16);
+    EXPECT_GT(p.device("hikey970-a73").busy_seconds(), 0.0);
+    p.reset_busy_times();
+    for (auto* d : p.devices()) {
+        EXPECT_EQ(d->busy_seconds(), 0.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+// Binary serialization round trips for BitVector, PackedDna, FmIndex,
+// and corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genomics/genome_sim.hpp"
+#include "index/fm_index.hpp"
+#include "util/bitvector.hpp"
+#include "util/packed_dna.hpp"
+#include "util/prng.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using repute::genomics::GenomeSimConfig;
+using repute::genomics::Reference;
+using repute::genomics::simulate_genome;
+using repute::index::FmIndex;
+using repute::util::BitVector;
+using repute::util::PackedDna;
+using repute::util::Xoshiro256;
+
+TEST(Serialize, PodAndVectorRoundTrip) {
+    std::stringstream io;
+    repute::util::write_pod<std::uint32_t>(io, 0xDEADBEEF);
+    repute::util::write_vector<std::uint16_t>(io, {1, 2, 3});
+    EXPECT_EQ(repute::util::read_pod<std::uint32_t>(io), 0xDEADBEEFu);
+    EXPECT_EQ(repute::util::read_vector<std::uint16_t>(io),
+              (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+TEST(Serialize, ShortReadThrows) {
+    std::stringstream io;
+    repute::util::write_pod<std::uint16_t>(io, 7);
+    EXPECT_THROW((void)repute::util::read_pod<std::uint64_t>(io),
+                 std::runtime_error);
+}
+
+TEST(Serialize, BitVectorRoundTripPreservesRank) {
+    Xoshiro256 rng(3);
+    BitVector bv(5000);
+    for (int i = 0; i < 700; ++i) bv.set(rng.bounded(5000));
+    bv.build_rank();
+
+    std::stringstream io;
+    bv.save(io);
+    const BitVector loaded = BitVector::load(io);
+    ASSERT_EQ(loaded.size(), bv.size());
+    EXPECT_EQ(loaded.count_ones(), bv.count_ones());
+    for (std::size_t i = 0; i <= 5000; i += 37) {
+        EXPECT_EQ(loaded.rank1(i), bv.rank1(i)) << "i=" << i;
+    }
+}
+
+TEST(Serialize, PackedDnaRoundTrip) {
+    Xoshiro256 rng(4);
+    std::string s(513, 'A');
+    for (auto& c : s) c = "ACGT"[rng.bounded(4)];
+    const PackedDna dna{std::string_view(s)};
+
+    std::stringstream io;
+    dna.save(io);
+    EXPECT_EQ(PackedDna::load(io), dna);
+}
+
+TEST(Serialize, BadMagicDetected) {
+    std::stringstream io;
+    PackedDna dna{std::string_view("ACGT")};
+    dna.save(io);
+    EXPECT_THROW((void)BitVector::load(io), std::runtime_error);
+}
+
+TEST(Serialize, FmIndexRoundTripAnswersIdentically) {
+    GenomeSimConfig config;
+    config.length = 40'000;
+    config.seed = 77;
+    const Reference ref = simulate_genome(config);
+    const FmIndex original(ref, 4);
+
+    std::stringstream io;
+    original.save(io);
+    const FmIndex loaded = FmIndex::load(io);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.memory_bytes(), original.memory_bytes());
+
+    Xoshiro256 rng(5);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t len = 6 + rng.bounded(20);
+        const std::size_t pos = rng.bounded(ref.size() - len);
+        const auto pattern = ref.sequence().extract(pos, len);
+        const auto a = original.search(pattern);
+        const auto b = loaded.search(pattern);
+        ASSERT_EQ(a, b);
+        std::vector<std::uint32_t> ha, hb;
+        original.locate_range(a, 32, ha);
+        loaded.locate_range(b, 32, hb);
+        EXPECT_EQ(ha, hb);
+    }
+}
+
+TEST(Serialize, FmIndexTruncatedStreamThrows) {
+    GenomeSimConfig config;
+    config.length = 5'000;
+    const Reference ref = simulate_genome(config);
+    const FmIndex original(ref, 4);
+    std::stringstream io;
+    original.save(io);
+    const std::string bytes = io.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW((void)FmIndex::load(truncated), std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+// Workload auto-tuner: finish-together shares track measured device
+// throughput; incapable devices are excluded; tuned splits beat naive
+// ones.
+
+#include <gtest/gtest.h>
+
+#include "core/repute_mapper.hpp"
+#include "core/tuner.hpp"
+#include "genomics/genome_sim.hpp"
+#include "genomics/read_sim.hpp"
+#include "index/fm_index.hpp"
+
+namespace {
+
+using repute::core::tune_shares;
+using repute::core::TuneConfig;
+using repute::genomics::GenomeSimConfig;
+using repute::genomics::ReadSimConfig;
+using repute::genomics::Reference;
+using repute::genomics::simulate_genome;
+using repute::genomics::simulate_reads;
+using repute::genomics::SimulatedReads;
+using repute::index::FmIndex;
+using repute::ocl::Device;
+using repute::ocl::DeviceProfile;
+
+DeviceProfile profile(const char* name, std::uint32_t units,
+                      double ops_per_unit,
+                      std::uint64_t private_mem = 1 << 20) {
+    DeviceProfile p;
+    p.name = name;
+    p.compute_units = units;
+    p.ops_per_unit_per_second = ops_per_unit;
+    p.global_memory_bytes = 1ULL << 30;
+    p.private_memory_per_unit = private_mem;
+    p.dispatch_overhead_seconds = 0.0;
+    return p;
+}
+
+class TunerTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        GenomeSimConfig gconfig;
+        gconfig.length = 100'000;
+        gconfig.seed = 41;
+        reference_ = new Reference(simulate_genome(gconfig));
+        fm_ = new FmIndex(*reference_, 4);
+        ReadSimConfig rconfig;
+        rconfig.n_reads = 600;
+        rconfig.read_length = 100;
+        rconfig.max_errors = 4;
+        sim_ = new SimulatedReads(simulate_reads(*reference_, rconfig));
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        delete fm_;
+        delete reference_;
+        sim_ = nullptr;
+        fm_ = nullptr;
+        reference_ = nullptr;
+    }
+
+    static Reference* reference_;
+    static FmIndex* fm_;
+    static SimulatedReads* sim_;
+};
+
+Reference* TunerTest::reference_ = nullptr;
+FmIndex* TunerTest::fm_ = nullptr;
+SimulatedReads* TunerTest::sim_ = nullptr;
+
+TEST_F(TunerTest, SharesProportionalToThroughput) {
+    Device fast(profile("fast", 8, 1e9));
+    Device slow(profile("slow", 8, 0.25e9)); // 4x slower
+    const auto tuned = tune_shares(*reference_, *fm_, sim_->batch, 4, 12,
+                                   {&fast, &slow});
+    ASSERT_EQ(tuned.shares.size(), 2u);
+    const double ratio =
+        tuned.shares[0].fraction / tuned.shares[1].fraction;
+    EXPECT_NEAR(ratio, 4.0, 0.4);
+    EXPECT_GT(tuned.predicted_seconds, 0.0);
+}
+
+TEST_F(TunerTest, IncapableDeviceExcluded) {
+    Device good(profile("good", 8, 1e9));
+    Device cramped(profile("cramped", 8, 1e9, /*private_mem=*/64));
+    const auto tuned = tune_shares(*reference_, *fm_, sim_->batch, 4, 12,
+                                   {&good, &cramped});
+    EXPECT_GT(tuned.shares[0].fraction, 0.0);
+    EXPECT_DOUBLE_EQ(tuned.shares[1].fraction, 0.0);
+}
+
+TEST_F(TunerTest, TunedSplitFinishesTogether) {
+    Device a(profile("a", 8, 1e9));
+    Device b(profile("b", 4, 0.5e9));
+    const auto tuned = tune_shares(*reference_, *fm_, sim_->batch, 4, 12,
+                                   {&a, &b});
+    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+                                            tuned.shares);
+    const auto result = mapper->map(sim_->batch, 4);
+    ASSERT_EQ(result.device_runs.size(), 2u);
+    const double ta = result.device_runs[0].stats.seconds;
+    const double tb = result.device_runs[1].stats.seconds;
+    // Devices finish within ~25% of each other (probe noise allowed).
+    EXPECT_LT(std::max(ta, tb) / std::min(ta, tb), 1.25);
+
+    // And the tuned split beats a deliberately bad 50/50 split.
+    auto naive = repute::core::make_repute(*reference_, *fm_, 12,
+                                           {{&a, 0.5}, {&b, 0.5}});
+    const auto naive_result = naive->map(sim_->batch, 4);
+    EXPECT_LT(result.mapping_seconds, naive_result.mapping_seconds);
+}
+
+TEST_F(TunerTest, PredictionTracksActualTime) {
+    Device a(profile("a", 8, 1e9));
+    const auto tuned =
+        tune_shares(*reference_, *fm_, sim_->batch, 4, 12, {&a});
+    auto mapper =
+        repute::core::make_repute(*reference_, *fm_, 12, tuned.shares);
+    const auto result = mapper->map(sim_->batch, 4);
+    EXPECT_NEAR(result.mapping_seconds, tuned.predicted_seconds,
+                0.5 * tuned.predicted_seconds);
+}
+
+TEST_F(TunerTest, RejectsDegenerateInputs) {
+    Device a(profile("a", 8, 1e9));
+    EXPECT_THROW(
+        (void)tune_shares(*reference_, *fm_, {}, 4, 12, {&a}),
+        std::invalid_argument);
+    EXPECT_THROW((void)tune_shares(*reference_, *fm_, sim_->batch, 4, 12,
+                                   {nullptr}),
+                 std::invalid_argument);
+    Device cramped(profile("cramped", 8, 1e9, 64));
+    EXPECT_THROW((void)tune_shares(*reference_, *fm_, sim_->batch, 4, 12,
+                                   {&cramped}),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,303 @@
+// util: PRNG determinism/uniformity, bit vector rank/select, packed DNA,
+// thread pool, CLI args, stats.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "util/args.hpp"
+#include "util/bitvector.hpp"
+#include "util/packed_dna.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+using repute::util::Args;
+using repute::util::BitVector;
+using repute::util::PackedDna;
+using repute::util::summarize;
+using repute::util::ThreadPool;
+using repute::util::Xoshiro256;
+
+// ------------------------------------------------------------------ PRNG
+
+TEST(Prng, DeterministicForSeed) {
+    Xoshiro256 a(42), b(42), c(43);
+    bool all_equal = true, any_diff_c = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a(), vb = b(), vc = c();
+        all_equal = all_equal && (va == vb);
+        any_diff_c = any_diff_c || (va != vc);
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Prng, BoundedStaysInBounds) {
+    Xoshiro256 rng(1);
+    for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.bounded(bound), bound);
+        }
+    }
+    EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Prng, BoundedIsRoughlyUniform) {
+    Xoshiro256 rng(2);
+    std::map<std::uint64_t, int> hist;
+    const int n = 40'000;
+    for (int i = 0; i < n; ++i) ++hist[rng.bounded(8)];
+    for (const auto& [value, count] : hist) {
+        EXPECT_NEAR(count, n / 8, n / 8 * 0.15) << "value " << value;
+    }
+}
+
+TEST(Prng, UniformInUnitInterval) {
+    Xoshiro256 rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Prng, LongJumpDecorrelatesStreams) {
+    Xoshiro256 a(7);
+    Xoshiro256 b = a;
+    b.long_jump();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+// ------------------------------------------------------------- BitVector
+
+TEST(BitVector, RankMatchesNaiveCount) {
+    Xoshiro256 rng(5);
+    BitVector bv(10'000);
+    std::vector<bool> shadow(10'000, false);
+    for (int i = 0; i < 3000; ++i) {
+        const std::size_t pos = rng.bounded(10'000);
+        bv.set(pos);
+        shadow[pos] = true;
+    }
+    bv.build_rank();
+
+    std::size_t running = 0;
+    for (std::size_t i = 0; i <= 10'000; i += 37) {
+        EXPECT_EQ(bv.rank1(i), running + 0) << "i=" << i;
+        // advance shadow count to next checkpoint
+        for (std::size_t j = i; j < std::min<std::size_t>(i + 37, 10'000);
+             ++j) {
+            running += shadow[j] ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(bv.rank1(10'000), bv.count_ones());
+}
+
+TEST(BitVector, RankZeroComplement) {
+    BitVector bv(1000);
+    for (std::size_t i = 0; i < 1000; i += 3) bv.set(i);
+    bv.build_rank();
+    for (std::size_t i = 0; i <= 1000; i += 101) {
+        EXPECT_EQ(bv.rank0(i) + bv.rank1(i), i);
+    }
+}
+
+TEST(BitVector, SelectInvertsRank) {
+    Xoshiro256 rng(9);
+    BitVector bv(5000);
+    for (int i = 0; i < 800; ++i) bv.set(rng.bounded(5000));
+    bv.build_rank();
+    for (std::size_t k = 0; k < bv.count_ones(); k += 13) {
+        const std::size_t pos = bv.select1(k);
+        ASSERT_LT(pos, bv.size());
+        EXPECT_TRUE(bv.get(pos));
+        EXPECT_EQ(bv.rank1(pos), k);
+    }
+    EXPECT_EQ(bv.select1(bv.count_ones()), bv.size());
+}
+
+TEST(BitVector, AllOnesConstruction) {
+    BitVector bv(130, true);
+    bv.build_rank();
+    EXPECT_EQ(bv.count_ones(), 130u);
+    EXPECT_EQ(bv.rank1(130), 130u);
+    EXPECT_EQ(bv.rank1(65), 65u);
+}
+
+TEST(BitVector, EmptyVector) {
+    BitVector bv;
+    bv.build_rank();
+    EXPECT_EQ(bv.size(), 0u);
+    EXPECT_EQ(bv.count_ones(), 0u);
+}
+
+// ------------------------------------------------------------- PackedDna
+
+TEST(PackedDna, RoundTripsAscii) {
+    const std::string s = "ACGTACGTTTGGCCAA";
+    const PackedDna dna{std::string_view(s)};
+    EXPECT_EQ(dna.size(), s.size());
+    EXPECT_EQ(dna.to_string(), s);
+}
+
+TEST(PackedDna, LowercaseAndUnknownBases) {
+    const PackedDna dna{std::string_view("acgtN")};
+    EXPECT_EQ(dna.to_string(), "ACGTA"); // N maps to code 0
+}
+
+TEST(PackedDna, CodeAtCrossesWordBoundaries) {
+    Xoshiro256 rng(11);
+    std::string s(200, 'A');
+    for (auto& c : s) c = "ACGT"[rng.bounded(4)];
+    const PackedDna dna{std::string_view(s)};
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_EQ(dna.char_at(i), s[i]) << "i=" << i;
+    }
+}
+
+TEST(PackedDna, ExtractSubranges) {
+    const PackedDna dna{std::string_view("AACCGGTTACGT")};
+    const auto codes = dna.extract(2, 4);
+    ASSERT_EQ(codes.size(), 4u);
+    EXPECT_EQ(codes[0], 1u); // C
+    EXPECT_EQ(codes[1], 1u); // C
+    EXPECT_EQ(codes[2], 2u); // G
+    EXPECT_EQ(codes[3], 2u); // G
+    EXPECT_EQ(dna.to_string(8, 4), "ACGT");
+}
+
+TEST(PackedDna, ReverseComplement) {
+    const PackedDna dna{std::string_view("AACGT")};
+    EXPECT_EQ(dna.reverse_complement().to_string(), "ACGTT");
+    // Involution.
+    EXPECT_EQ(dna.reverse_complement().reverse_complement().to_string(),
+              "AACGT");
+}
+
+TEST(PackedDna, PushBackGrowsWords) {
+    PackedDna dna;
+    for (int i = 0; i < 100; ++i) {
+        dna.push_back(static_cast<std::uint8_t>(i & 3));
+    }
+    EXPECT_EQ(dna.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(dna.code_at(static_cast<std::size_t>(i)), i & 3);
+    }
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunsAllIterations) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_for(1000, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, EachIndexExactlyOnce) {
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(500);
+    pool.parallel_for(500, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < 500; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+    }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [](std::size_t i) {
+                                       if (i == 37) {
+                                           throw std::runtime_error("boom");
+                                       }
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsUsableFuture) {
+    ThreadPool pool(2);
+    std::atomic<int> value{0};
+    auto f = pool.submit([&] { value = 7; });
+    f.get();
+    EXPECT_EQ(value.load(), 7);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+// ------------------------------------------------------------------ Args
+
+TEST(Args, ParsesAllForms) {
+    // Note: a bare `--flag` followed by a non-flag token consumes it as
+    // the flag's value, so boolean flags go last or use `--flag=true`.
+    const char* argv[] = {"prog", "--alpha", "3",    "--beta=x", "pos1",
+                          "--g",  "2.5",     "pos2", "--flag"};
+    const Args args(9, argv);
+    EXPECT_EQ(args.get_int("alpha", 0), 3);
+    EXPECT_EQ(args.get_string("beta", ""), "x");
+    EXPECT_TRUE(args.get_bool("flag", false));
+    EXPECT_DOUBLE_EQ(args.get_double("g", 0.0), 2.5);
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+    EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+    const char* argv[] = {"prog"};
+    const Args args(1, argv);
+    EXPECT_EQ(args.get_int("missing", 17), 17);
+    EXPECT_EQ(args.get_string("missing", "d"), "d");
+    EXPECT_FALSE(args.get_bool("missing", false));
+}
+
+TEST(Args, RejectsMalformedValues) {
+    const char* argv[] = {"prog", "--n", "abc"};
+    const Args args(3, argv);
+    EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+    EXPECT_THROW((void)args.get_bool("n", false), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(Stats, SummaryOfKnownSeries) {
+    const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    const auto s = summarize(values);
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.median, 4.5);
+    EXPECT_NEAR(s.stddev, 2.138, 1e-3);
+}
+
+TEST(Stats, EmptyAndSingle) {
+    EXPECT_EQ(summarize({}).count, 0u);
+    const double one[] = {3.5};
+    const auto s = summarize(one);
+    EXPECT_DOUBLE_EQ(s.mean, 3.5);
+    EXPECT_DOUBLE_EQ(s.median, 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+    const double values[] = {1.0, 4.0, 16.0};
+    EXPECT_NEAR(repute::util::geometric_mean(values), 4.0, 1e-9);
+}
+
+} // namespace

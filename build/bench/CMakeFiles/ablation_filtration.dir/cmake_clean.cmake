@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filtration.dir/ablation_filtration.cpp.o"
+  "CMakeFiles/ablation_filtration.dir/ablation_filtration.cpp.o.d"
+  "ablation_filtration"
+  "ablation_filtration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filtration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow.dir/ablation_flow.cpp.o"
+  "CMakeFiles/ablation_flow.dir/ablation_flow.cpp.o.d"
+  "ablation_flow"
+  "ablation_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

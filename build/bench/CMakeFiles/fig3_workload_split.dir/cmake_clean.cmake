@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_workload_split.dir/fig3_workload_split.cpp.o"
+  "CMakeFiles/fig3_workload_split.dir/fig3_workload_split.cpp.o.d"
+  "fig3_workload_split"
+  "fig3_workload_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_workload_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

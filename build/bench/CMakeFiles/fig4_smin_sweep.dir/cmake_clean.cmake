@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_smin_sweep.dir/fig4_smin_sweep.cpp.o"
+  "CMakeFiles/fig4_smin_sweep.dir/fig4_smin_sweep.cpp.o.d"
+  "fig4_smin_sweep"
+  "fig4_smin_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_smin_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_footprint.dir/index_footprint.cpp.o"
+  "CMakeFiles/index_footprint.dir/index_footprint.cpp.o.d"
+  "index_footprint"
+  "index_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sensitivity_sweep.cpp" "bench/CMakeFiles/sensitivity_sweep.dir/sensitivity_sweep.cpp.o" "gcc" "bench/CMakeFiles/sensitivity_sweep.dir/sensitivity_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/repute_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repute_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/repute_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/repute_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/repute_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/repute_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/repute_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

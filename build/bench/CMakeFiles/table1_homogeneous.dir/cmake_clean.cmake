@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_homogeneous.dir/table1_homogeneous.cpp.o"
+  "CMakeFiles/table1_homogeneous.dir/table1_homogeneous.cpp.o.d"
+  "table1_homogeneous"
+  "table1_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

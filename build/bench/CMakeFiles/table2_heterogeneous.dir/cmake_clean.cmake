@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_heterogeneous.dir/table2_heterogeneous.cpp.o"
+  "CMakeFiles/table2_heterogeneous.dir/table2_heterogeneous.cpp.o.d"
+  "table2_heterogeneous"
+  "table2_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

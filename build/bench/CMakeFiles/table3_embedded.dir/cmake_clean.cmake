@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_embedded.dir/table3_embedded.cpp.o"
+  "CMakeFiles/table3_embedded.dir/table3_embedded.cpp.o.d"
+  "table3_embedded"
+  "table3_embedded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_energy.dir/table4_energy.cpp.o"
+  "CMakeFiles/table4_energy.dir/table4_energy.cpp.o.d"
+  "table4_energy"
+  "table4_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

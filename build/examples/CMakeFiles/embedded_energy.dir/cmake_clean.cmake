@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_energy.dir/embedded_energy.cpp.o"
+  "CMakeFiles/embedded_energy.dir/embedded_energy.cpp.o.d"
+  "embedded_energy"
+  "embedded_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_mapping.dir/heterogeneous_mapping.cpp.o"
+  "CMakeFiles/heterogeneous_mapping.dir/heterogeneous_mapping.cpp.o.d"
+  "heterogeneous_mapping"
+  "heterogeneous_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

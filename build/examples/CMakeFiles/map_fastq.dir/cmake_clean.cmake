@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_fastq.dir/map_fastq.cpp.o"
+  "CMakeFiles/map_fastq.dir/map_fastq.cpp.o.d"
+  "map_fastq"
+  "map_fastq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_fastq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeonhole_demo.dir/pigeonhole_demo.cpp.o"
+  "CMakeFiles/pigeonhole_demo.dir/pigeonhole_demo.cpp.o.d"
+  "pigeonhole_demo"
+  "pigeonhole_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeonhole_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

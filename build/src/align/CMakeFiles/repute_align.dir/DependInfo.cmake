@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/edit_distance.cpp" "src/align/CMakeFiles/repute_align.dir/edit_distance.cpp.o" "gcc" "src/align/CMakeFiles/repute_align.dir/edit_distance.cpp.o.d"
+  "/root/repo/src/align/myers.cpp" "src/align/CMakeFiles/repute_align.dir/myers.cpp.o" "gcc" "src/align/CMakeFiles/repute_align.dir/myers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_align.dir/edit_distance.cpp.o"
+  "CMakeFiles/repute_align.dir/edit_distance.cpp.o.d"
+  "CMakeFiles/repute_align.dir/myers.cpp.o"
+  "CMakeFiles/repute_align.dir/myers.cpp.o.d"
+  "librepute_align.a"
+  "librepute_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

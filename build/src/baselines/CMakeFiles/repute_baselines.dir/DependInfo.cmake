@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bwamem_like.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/bwamem_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/bwamem_like.cpp.o.d"
+  "/root/repo/src/baselines/gem_like.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/gem_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/gem_like.cpp.o.d"
+  "/root/repo/src/baselines/hobbes3_like.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/hobbes3_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/hobbes3_like.cpp.o.d"
+  "/root/repo/src/baselines/qgram_index.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/qgram_index.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/qgram_index.cpp.o.d"
+  "/root/repo/src/baselines/razers3_like.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/razers3_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/razers3_like.cpp.o.d"
+  "/root/repo/src/baselines/single_device_mapper.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/single_device_mapper.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/single_device_mapper.cpp.o.d"
+  "/root/repo/src/baselines/verify_common.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/verify_common.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/verify_common.cpp.o.d"
+  "/root/repo/src/baselines/yara_like.cpp" "src/baselines/CMakeFiles/repute_baselines.dir/yara_like.cpp.o" "gcc" "src/baselines/CMakeFiles/repute_baselines.dir/yara_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/repute_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repute_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/repute_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/repute_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/repute_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/repute_ocl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

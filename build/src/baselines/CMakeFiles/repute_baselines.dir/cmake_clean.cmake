@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_baselines.dir/bwamem_like.cpp.o"
+  "CMakeFiles/repute_baselines.dir/bwamem_like.cpp.o.d"
+  "CMakeFiles/repute_baselines.dir/gem_like.cpp.o"
+  "CMakeFiles/repute_baselines.dir/gem_like.cpp.o.d"
+  "CMakeFiles/repute_baselines.dir/hobbes3_like.cpp.o"
+  "CMakeFiles/repute_baselines.dir/hobbes3_like.cpp.o.d"
+  "CMakeFiles/repute_baselines.dir/qgram_index.cpp.o"
+  "CMakeFiles/repute_baselines.dir/qgram_index.cpp.o.d"
+  "CMakeFiles/repute_baselines.dir/razers3_like.cpp.o"
+  "CMakeFiles/repute_baselines.dir/razers3_like.cpp.o.d"
+  "CMakeFiles/repute_baselines.dir/single_device_mapper.cpp.o"
+  "CMakeFiles/repute_baselines.dir/single_device_mapper.cpp.o.d"
+  "CMakeFiles/repute_baselines.dir/verify_common.cpp.o"
+  "CMakeFiles/repute_baselines.dir/verify_common.cpp.o.d"
+  "CMakeFiles/repute_baselines.dir/yara_like.cpp.o"
+  "CMakeFiles/repute_baselines.dir/yara_like.cpp.o.d"
+  "librepute_baselines.a"
+  "librepute_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

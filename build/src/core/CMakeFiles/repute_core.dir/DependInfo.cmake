@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/repute_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/cigar.cpp" "src/core/CMakeFiles/repute_core.dir/cigar.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/cigar.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/repute_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/repute_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/paired.cpp" "src/core/CMakeFiles/repute_core.dir/paired.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/paired.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/repute_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/repute_mapper.cpp" "src/core/CMakeFiles/repute_core.dir/repute_mapper.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/repute_mapper.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/repute_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/repute_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/repute_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/repute_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/repute_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/repute_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/repute_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/repute_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

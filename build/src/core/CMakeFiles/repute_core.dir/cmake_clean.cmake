@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_core.dir/accuracy.cpp.o"
+  "CMakeFiles/repute_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/repute_core.dir/cigar.cpp.o"
+  "CMakeFiles/repute_core.dir/cigar.cpp.o.d"
+  "CMakeFiles/repute_core.dir/kernels.cpp.o"
+  "CMakeFiles/repute_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/repute_core.dir/mapping.cpp.o"
+  "CMakeFiles/repute_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/repute_core.dir/paired.cpp.o"
+  "CMakeFiles/repute_core.dir/paired.cpp.o.d"
+  "CMakeFiles/repute_core.dir/report.cpp.o"
+  "CMakeFiles/repute_core.dir/report.cpp.o.d"
+  "CMakeFiles/repute_core.dir/repute_mapper.cpp.o"
+  "CMakeFiles/repute_core.dir/repute_mapper.cpp.o.d"
+  "CMakeFiles/repute_core.dir/tuner.cpp.o"
+  "CMakeFiles/repute_core.dir/tuner.cpp.o.d"
+  "librepute_core.a"
+  "librepute_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

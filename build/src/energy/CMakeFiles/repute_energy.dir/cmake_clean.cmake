@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_energy.dir/energy_meter.cpp.o"
+  "CMakeFiles/repute_energy.dir/energy_meter.cpp.o.d"
+  "librepute_energy.a"
+  "librepute_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

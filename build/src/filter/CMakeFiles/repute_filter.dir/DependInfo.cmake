@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/candidates.cpp" "src/filter/CMakeFiles/repute_filter.dir/candidates.cpp.o" "gcc" "src/filter/CMakeFiles/repute_filter.dir/candidates.cpp.o.d"
+  "/root/repo/src/filter/frequency_scanner.cpp" "src/filter/CMakeFiles/repute_filter.dir/frequency_scanner.cpp.o" "gcc" "src/filter/CMakeFiles/repute_filter.dir/frequency_scanner.cpp.o.d"
+  "/root/repo/src/filter/heuristic_seeder.cpp" "src/filter/CMakeFiles/repute_filter.dir/heuristic_seeder.cpp.o" "gcc" "src/filter/CMakeFiles/repute_filter.dir/heuristic_seeder.cpp.o.d"
+  "/root/repo/src/filter/memopt_seeder.cpp" "src/filter/CMakeFiles/repute_filter.dir/memopt_seeder.cpp.o" "gcc" "src/filter/CMakeFiles/repute_filter.dir/memopt_seeder.cpp.o.d"
+  "/root/repo/src/filter/optimal_seeder.cpp" "src/filter/CMakeFiles/repute_filter.dir/optimal_seeder.cpp.o" "gcc" "src/filter/CMakeFiles/repute_filter.dir/optimal_seeder.cpp.o.d"
+  "/root/repo/src/filter/seed.cpp" "src/filter/CMakeFiles/repute_filter.dir/seed.cpp.o" "gcc" "src/filter/CMakeFiles/repute_filter.dir/seed.cpp.o.d"
+  "/root/repo/src/filter/uniform_seeder.cpp" "src/filter/CMakeFiles/repute_filter.dir/uniform_seeder.cpp.o" "gcc" "src/filter/CMakeFiles/repute_filter.dir/uniform_seeder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/repute_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/repute_genomics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

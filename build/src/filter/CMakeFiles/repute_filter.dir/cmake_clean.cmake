@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_filter.dir/candidates.cpp.o"
+  "CMakeFiles/repute_filter.dir/candidates.cpp.o.d"
+  "CMakeFiles/repute_filter.dir/frequency_scanner.cpp.o"
+  "CMakeFiles/repute_filter.dir/frequency_scanner.cpp.o.d"
+  "CMakeFiles/repute_filter.dir/heuristic_seeder.cpp.o"
+  "CMakeFiles/repute_filter.dir/heuristic_seeder.cpp.o.d"
+  "CMakeFiles/repute_filter.dir/memopt_seeder.cpp.o"
+  "CMakeFiles/repute_filter.dir/memopt_seeder.cpp.o.d"
+  "CMakeFiles/repute_filter.dir/optimal_seeder.cpp.o"
+  "CMakeFiles/repute_filter.dir/optimal_seeder.cpp.o.d"
+  "CMakeFiles/repute_filter.dir/seed.cpp.o"
+  "CMakeFiles/repute_filter.dir/seed.cpp.o.d"
+  "CMakeFiles/repute_filter.dir/uniform_seeder.cpp.o"
+  "CMakeFiles/repute_filter.dir/uniform_seeder.cpp.o.d"
+  "librepute_filter.a"
+  "librepute_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librepute_filter.a"
+)

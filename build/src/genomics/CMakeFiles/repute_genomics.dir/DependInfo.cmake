@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/fastx.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/fastx.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/fastx.cpp.o.d"
+  "/root/repo/src/genomics/genome_sim.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/genome_sim.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/genome_sim.cpp.o.d"
+  "/root/repo/src/genomics/multi_reference.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/multi_reference.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/multi_reference.cpp.o.d"
+  "/root/repo/src/genomics/pair_sim.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/pair_sim.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/pair_sim.cpp.o.d"
+  "/root/repo/src/genomics/read_sim.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/read_sim.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/read_sim.cpp.o.d"
+  "/root/repo/src/genomics/sam_lite.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/sam_lite.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/sam_lite.cpp.o.d"
+  "/root/repo/src/genomics/sequence.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/sequence.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/sequence.cpp.o.d"
+  "/root/repo/src/genomics/spectrum.cpp" "src/genomics/CMakeFiles/repute_genomics.dir/spectrum.cpp.o" "gcc" "src/genomics/CMakeFiles/repute_genomics.dir/spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

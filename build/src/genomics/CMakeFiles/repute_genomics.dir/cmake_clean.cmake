@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_genomics.dir/fastx.cpp.o"
+  "CMakeFiles/repute_genomics.dir/fastx.cpp.o.d"
+  "CMakeFiles/repute_genomics.dir/genome_sim.cpp.o"
+  "CMakeFiles/repute_genomics.dir/genome_sim.cpp.o.d"
+  "CMakeFiles/repute_genomics.dir/multi_reference.cpp.o"
+  "CMakeFiles/repute_genomics.dir/multi_reference.cpp.o.d"
+  "CMakeFiles/repute_genomics.dir/pair_sim.cpp.o"
+  "CMakeFiles/repute_genomics.dir/pair_sim.cpp.o.d"
+  "CMakeFiles/repute_genomics.dir/read_sim.cpp.o"
+  "CMakeFiles/repute_genomics.dir/read_sim.cpp.o.d"
+  "CMakeFiles/repute_genomics.dir/sam_lite.cpp.o"
+  "CMakeFiles/repute_genomics.dir/sam_lite.cpp.o.d"
+  "CMakeFiles/repute_genomics.dir/sequence.cpp.o"
+  "CMakeFiles/repute_genomics.dir/sequence.cpp.o.d"
+  "CMakeFiles/repute_genomics.dir/spectrum.cpp.o"
+  "CMakeFiles/repute_genomics.dir/spectrum.cpp.o.d"
+  "librepute_genomics.a"
+  "librepute_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/approx_search.cpp" "src/index/CMakeFiles/repute_index.dir/approx_search.cpp.o" "gcc" "src/index/CMakeFiles/repute_index.dir/approx_search.cpp.o.d"
+  "/root/repo/src/index/bi_fm_index.cpp" "src/index/CMakeFiles/repute_index.dir/bi_fm_index.cpp.o" "gcc" "src/index/CMakeFiles/repute_index.dir/bi_fm_index.cpp.o.d"
+  "/root/repo/src/index/fm_index.cpp" "src/index/CMakeFiles/repute_index.dir/fm_index.cpp.o" "gcc" "src/index/CMakeFiles/repute_index.dir/fm_index.cpp.o.d"
+  "/root/repo/src/index/suffix_array.cpp" "src/index/CMakeFiles/repute_index.dir/suffix_array.cpp.o" "gcc" "src/index/CMakeFiles/repute_index.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/repute_genomics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_index.dir/approx_search.cpp.o"
+  "CMakeFiles/repute_index.dir/approx_search.cpp.o.d"
+  "CMakeFiles/repute_index.dir/bi_fm_index.cpp.o"
+  "CMakeFiles/repute_index.dir/bi_fm_index.cpp.o.d"
+  "CMakeFiles/repute_index.dir/fm_index.cpp.o"
+  "CMakeFiles/repute_index.dir/fm_index.cpp.o.d"
+  "CMakeFiles/repute_index.dir/suffix_array.cpp.o"
+  "CMakeFiles/repute_index.dir/suffix_array.cpp.o.d"
+  "librepute_index.a"
+  "librepute_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

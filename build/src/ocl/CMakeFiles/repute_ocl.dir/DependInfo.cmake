@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/context.cpp" "src/ocl/CMakeFiles/repute_ocl.dir/context.cpp.o" "gcc" "src/ocl/CMakeFiles/repute_ocl.dir/context.cpp.o.d"
+  "/root/repo/src/ocl/device.cpp" "src/ocl/CMakeFiles/repute_ocl.dir/device.cpp.o" "gcc" "src/ocl/CMakeFiles/repute_ocl.dir/device.cpp.o.d"
+  "/root/repo/src/ocl/platform.cpp" "src/ocl/CMakeFiles/repute_ocl.dir/platform.cpp.o" "gcc" "src/ocl/CMakeFiles/repute_ocl.dir/platform.cpp.o.d"
+  "/root/repo/src/ocl/queue.cpp" "src/ocl/CMakeFiles/repute_ocl.dir/queue.cpp.o" "gcc" "src/ocl/CMakeFiles/repute_ocl.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repute_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_ocl.dir/context.cpp.o"
+  "CMakeFiles/repute_ocl.dir/context.cpp.o.d"
+  "CMakeFiles/repute_ocl.dir/device.cpp.o"
+  "CMakeFiles/repute_ocl.dir/device.cpp.o.d"
+  "CMakeFiles/repute_ocl.dir/platform.cpp.o"
+  "CMakeFiles/repute_ocl.dir/platform.cpp.o.d"
+  "CMakeFiles/repute_ocl.dir/queue.cpp.o"
+  "CMakeFiles/repute_ocl.dir/queue.cpp.o.d"
+  "librepute_ocl.a"
+  "librepute_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

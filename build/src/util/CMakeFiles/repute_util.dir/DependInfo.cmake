@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/args.cpp" "src/util/CMakeFiles/repute_util.dir/args.cpp.o" "gcc" "src/util/CMakeFiles/repute_util.dir/args.cpp.o.d"
+  "/root/repo/src/util/bitvector.cpp" "src/util/CMakeFiles/repute_util.dir/bitvector.cpp.o" "gcc" "src/util/CMakeFiles/repute_util.dir/bitvector.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/repute_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/repute_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/packed_dna.cpp" "src/util/CMakeFiles/repute_util.dir/packed_dna.cpp.o" "gcc" "src/util/CMakeFiles/repute_util.dir/packed_dna.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/util/CMakeFiles/repute_util.dir/prng.cpp.o" "gcc" "src/util/CMakeFiles/repute_util.dir/prng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/repute_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/repute_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/util/CMakeFiles/repute_util.dir/threadpool.cpp.o" "gcc" "src/util/CMakeFiles/repute_util.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repute_util.dir/args.cpp.o"
+  "CMakeFiles/repute_util.dir/args.cpp.o.d"
+  "CMakeFiles/repute_util.dir/bitvector.cpp.o"
+  "CMakeFiles/repute_util.dir/bitvector.cpp.o.d"
+  "CMakeFiles/repute_util.dir/logging.cpp.o"
+  "CMakeFiles/repute_util.dir/logging.cpp.o.d"
+  "CMakeFiles/repute_util.dir/packed_dna.cpp.o"
+  "CMakeFiles/repute_util.dir/packed_dna.cpp.o.d"
+  "CMakeFiles/repute_util.dir/prng.cpp.o"
+  "CMakeFiles/repute_util.dir/prng.cpp.o.d"
+  "CMakeFiles/repute_util.dir/stats.cpp.o"
+  "CMakeFiles/repute_util.dir/stats.cpp.o.d"
+  "CMakeFiles/repute_util.dir/threadpool.cpp.o"
+  "CMakeFiles/repute_util.dir/threadpool.cpp.o.d"
+  "librepute_util.a"
+  "librepute_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repute_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genomics.dir/test_genomics.cpp.o"
+  "CMakeFiles/test_genomics.dir/test_genomics.cpp.o.d"
+  "test_genomics"
+  "test_genomics.pdb"
+  "test_genomics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiref.dir/test_multiref.cpp.o"
+  "CMakeFiles/test_multiref.dir/test_multiref.cpp.o.d"
+  "test_multiref"
+  "test_multiref.pdb"
+  "test_multiref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

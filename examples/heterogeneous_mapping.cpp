@@ -81,5 +81,23 @@ int main(int argc, char** argv) {
                 tuned_result.mapping_seconds, tuned.predicted_seconds);
     std::printf("bottleneck = slowest device; see Fig. 3 for the cost "
                 "of a bad split\n");
+
+    // Dynamic work stealing: the tuned shares become a warm start, and
+    // idle devices steal queued chunks instead of waiting on a
+    // mispredicted split (survives a device dying mid-batch, too).
+    core::HeterogeneousMapperConfig dyn;
+    dyn.schedule = core::ScheduleMode::Dynamic;
+    auto dyn_mapper =
+        core::make_repute(reference, fm, s_min, tuned.shares, dyn);
+    const auto dyn_result = dyn_mapper->map(sim.batch, delta);
+    std::printf("REPUTE-dynamic: %.4f s modeled (%zu chunks, %zu steals, "
+                "%zu retries)\n",
+                dyn_result.mapping_seconds, dyn_result.schedule.chunks,
+                dyn_result.schedule.steals, dyn_result.schedule.retries);
+    for (const auto& dev : dyn_result.schedule.per_device) {
+        std::printf("  %-10s %6zu reads in %zu chunks  %.4f s busy\n",
+                    dev.device_name.c_str(), dev.items, dev.chunks,
+                    dev.busy_seconds);
+    }
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/scheduler.hpp"
 #include "genomics/sam_lite.hpp"
 #include "genomics/sequence.hpp"
 #include "ocl/device.hpp"
@@ -51,6 +52,9 @@ struct MapResult {
     /// this is the slowest device's total plus merge overhead.
     double mapping_seconds = 0.0;
     std::vector<DeviceRun> device_runs;
+    /// Chunk-level accounting when the run used the dynamic scheduler
+    /// (ScheduleMode::Dynamic); empty (chunks == 0) for static splits.
+    ScheduleStats schedule;
 
     std::uint64_t total_mappings() const noexcept;
     std::size_t reads_mapped() const noexcept; ///< reads with >= 1 mapping

@@ -1,6 +1,7 @@
 #include "core/repute_mapper.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "filter/heuristic_seeder.hpp"
@@ -47,6 +48,13 @@ std::vector<std::size_t> HeterogeneousMapper::split_workload(
 
 MapResult HeterogeneousMapper::map(const genomics::ReadBatch& batch,
                                    std::uint32_t delta) {
+    return config_.schedule == ScheduleMode::Dynamic
+               ? map_dynamic(batch, delta)
+               : map_static(batch, delta);
+}
+
+MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
+                                          std::uint32_t delta) {
     MapResult result;
     result.per_read.resize(batch.size());
     if (batch.empty()) return result;
@@ -181,6 +189,141 @@ MapResult HeterogeneousMapper::map(const genomics::ReadBatch& batch,
     return result;
 }
 
+MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
+                                           std::uint32_t delta) {
+    MapResult result;
+    result.per_read.resize(batch.size());
+    if (batch.empty()) return result;
+
+    std::vector<StageTotals> read_stages(batch.size());
+
+    const std::size_t n = batch.read_length;
+    const std::uint64_t scratch = kernel_scratch_bytes(*seeder_, n, delta);
+    const std::uint64_t out_bytes_per_read =
+        static_cast<std::uint64_t>(config_.kernel.max_locations_per_read) *
+        8;
+
+    // Fleet = shares whose device can run the kernel at all; the rest
+    // are dropped up front (the scheduler would only quarantine them).
+    std::vector<ocl::Device*> devices;
+    std::vector<double> warm_start;
+    for (const DeviceShare& s : shares_) {
+        if (scratch > s.device->profile().private_memory_per_unit) {
+            util::logf(util::LogLevel::Info,
+                       "%s: dropping %s (needs %llu B scratch/item)",
+                       name_.c_str(), s.device->name().c_str(),
+                       static_cast<unsigned long long>(scratch));
+            continue;
+        }
+        devices.push_back(s.device);
+        warm_start.push_back(s.fraction);
+    }
+    if (devices.empty()) {
+        throw ocl::OclError(ocl::OclStatus::OutOfResources,
+                            name_ + ": no device can run this kernel");
+    }
+
+    ocl::Context context(devices);
+
+    // Resident images plus the chunk ceiling: any chunk must fit the
+    // buffer budget of EVERY device, because a failed chunk may be
+    // requeued anywhere in the fleet (the paper's multi-run fallback
+    // logic, applied fleet-wide).
+    std::vector<ocl::Buffer> resident;
+    resident.reserve(devices.size());
+    std::uint64_t fleet_chunk_cap = std::numeric_limits<std::uint64_t>::max();
+    for (ocl::Device* device : devices) {
+        resident.push_back(context.allocate(
+            *device,
+            reference_->sequence().memory_bytes() + fm_->memory_bytes(),
+            "index+reference"));
+        const auto& profile = device->profile();
+        const std::uint64_t quarter = profile.max_single_allocation();
+        const std::uint64_t free_bytes =
+            profile.global_memory_bytes - device->allocated_bytes();
+        std::uint64_t max_chunk = quarter / out_bytes_per_read;
+        max_chunk = std::min(max_chunk, quarter / n);
+        max_chunk =
+            std::min(max_chunk, free_bytes / (n + out_bytes_per_read));
+        if (max_chunk == 0) {
+            throw ocl::OclError(
+                ocl::OclStatus::MemObjectAllocFail,
+                name_ + ": device " + device->name() +
+                    " cannot hold the buffers of even one read");
+        }
+        fleet_chunk_cap = std::min(fleet_chunk_cap, max_chunk);
+    }
+
+    SchedulerConfig scheduler_config = config_.scheduler;
+    scheduler_config.max_chunk_items =
+        scheduler_config.max_chunk_items == 0
+            ? static_cast<std::size_t>(fleet_chunk_cap)
+            : std::min(scheduler_config.max_chunk_items,
+                       static_cast<std::size_t>(fleet_chunk_cap));
+
+    ChunkScheduler scheduler(devices, warm_start, scheduler_config);
+
+    // Per-device read/output buffers sized to the largest planned chunk
+    // and reused across chunk launches.
+    std::size_t largest_chunk = 1;
+    for (const ChunkRecord& c : scheduler.plan(batch.size())) {
+        largest_chunk = std::max(largest_chunk, c.count);
+    }
+    std::vector<ocl::Buffer> chunk_buffers;
+    chunk_buffers.reserve(devices.size() * 2);
+    for (ocl::Device* device : devices) {
+        chunk_buffers.push_back(
+            context.allocate(*device, largest_chunk * n, "reads"));
+        chunk_buffers.push_back(context.allocate(
+            *device, largest_chunk * out_bytes_per_read, "mappings"));
+    }
+
+    ScheduleStats schedule = scheduler.run(
+        batch.size(),
+        [&](ocl::Device& device, std::size_t begin, std::size_t count) {
+            ocl::CommandQueue queue(device);
+            ocl::KernelLaunch launch;
+            launch.name = name_ + "::map-chunk";
+            launch.n_items = count;
+            launch.scratch_bytes_per_item = scratch;
+            launch.body = [this, &batch, &result, &read_stages, begin,
+                           delta](std::size_t i) -> std::uint64_t {
+                // Work items own disjoint slots, and a retried chunk
+                // rewrites exactly the same slots (map_read_workitem
+                // clears its output and stage totals first).
+                read_stages[begin + i] = StageTotals{};
+                return map_read_workitem(*fm_, *reference_, *seeder_,
+                                         batch.reads[begin + i], delta,
+                                         config_.kernel,
+                                         result.per_read[begin + i],
+                                         &read_stages[begin + i]);
+            };
+            return queue.run(std::move(launch));
+        });
+
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        const DeviceScheduleStats& pd = schedule.per_device[d];
+        DeviceRun run;
+        run.device_name = pd.device_name;
+        run.reads = pd.items;
+        run.power_scale = config_.power_scale;
+        run.stats = pd.stats;
+        for (const ChunkRecord& c : schedule.records) {
+            if (c.device != d) continue;
+            for (std::size_t r = c.begin; r < c.begin + c.count; ++r) {
+                run.filtration_ops += read_stages[r].filtration_ops;
+                run.locate_ops += read_stages[r].locate_ops;
+                run.verify_ops += read_stages[r].verify_ops;
+                run.candidates += read_stages[r].candidates;
+            }
+        }
+        result.device_runs.push_back(std::move(run));
+    }
+    result.mapping_seconds = schedule.makespan_seconds();
+    result.schedule = std::move(schedule);
+    return result;
+}
+
 std::unique_ptr<HeterogeneousMapper> make_repute(
     const genomics::Reference& reference, const index::FmIndex& fm,
     std::uint32_t s_min, std::vector<DeviceShare> shares,
@@ -188,6 +331,17 @@ std::unique_ptr<HeterogeneousMapper> make_repute(
     kernel.s_min = s_min;
     HeterogeneousMapperConfig config;
     config.kernel = kernel;
+    return std::make_unique<HeterogeneousMapper>(
+        "REPUTE", reference, fm,
+        std::make_unique<filter::MemoryOptimizedSeeder>(s_min), config,
+        std::move(shares));
+}
+
+std::unique_ptr<HeterogeneousMapper> make_repute(
+    const genomics::Reference& reference, const index::FmIndex& fm,
+    std::uint32_t s_min, std::vector<DeviceShare> shares,
+    HeterogeneousMapperConfig config) {
+    config.kernel.s_min = s_min;
     return std::make_unique<HeterogeneousMapper>(
         "REPUTE", reference, fm,
         std::make_unique<filter::MemoryOptimizedSeeder>(s_min), config,

@@ -34,10 +34,24 @@ struct DeviceShare {
     double fraction = 1.0;
 };
 
+enum class ScheduleMode {
+    /// Paper-fidelity (§III-B): one contiguous slice per device,
+    /// committed up front. The default — benchmark numbers meant to be
+    /// compared with the paper use this path.
+    StaticSplit,
+    /// Dynamic chunked work-stealing with fault recovery (scheduler.hpp):
+    /// the shares become a warm start, idle devices steal queued chunks,
+    /// failed chunks are retried on the surviving fleet.
+    Dynamic,
+};
+
 struct HeterogeneousMapperConfig {
     KernelConfig kernel;
     /// Wall power the mapper draws relative to device calibration.
     double power_scale = 1.0;
+    ScheduleMode schedule = ScheduleMode::StaticSplit;
+    /// Chunking/retry knobs for ScheduleMode::Dynamic.
+    SchedulerConfig scheduler;
 };
 
 class HeterogeneousMapper final : public Mapper {
@@ -69,6 +83,11 @@ public:
     std::vector<std::size_t> split_workload(std::size_t total) const;
 
 private:
+    MapResult map_static(const genomics::ReadBatch& batch,
+                         std::uint32_t delta);
+    MapResult map_dynamic(const genomics::ReadBatch& batch,
+                          std::uint32_t delta);
+
     std::string name_;
     const genomics::Reference* reference_;
     const index::FmIndex* fm_;
@@ -82,6 +101,13 @@ std::unique_ptr<HeterogeneousMapper> make_repute(
     const genomics::Reference& reference, const index::FmIndex& fm,
     std::uint32_t s_min, std::vector<DeviceShare> shares,
     KernelConfig kernel = {});
+
+/// Same, with full host configuration (schedule mode, scheduler knobs);
+/// `config.kernel.s_min` is overwritten with `s_min`.
+std::unique_ptr<HeterogeneousMapper> make_repute(
+    const genomics::Reference& reference, const index::FmIndex& fm,
+    std::uint32_t s_min, std::vector<DeviceShare> shares,
+    HeterogeneousMapperConfig config);
 
 /// CORAL: the same OpenCL host flow with the serial variable-length
 /// k-mer heuristic.

@@ -29,8 +29,14 @@ TuneResult tune_shares(const genomics::Reference& reference,
         kernel_scratch_bytes(seeder, batch.read_length, delta);
 
     // Probe slice: evenly strided so repeat-heavy reads are sampled.
-    const std::size_t probe =
-        std::min(config.probe_reads, batch.size());
+    // Every device probes the same slice, so when the batch is smaller
+    // than probe_reads x devices the probe is clamped to the per-device
+    // share — probing more would model a fleet that maps the batch
+    // several times over and skew the finish-together prediction.
+    std::size_t probe = std::min(config.probe_reads, batch.size());
+    if (probe * devices.size() > batch.size()) {
+        probe = std::max<std::size_t>(1, batch.size() / devices.size());
+    }
     const std::size_t stride = std::max<std::size_t>(
         1, batch.size() / probe);
 

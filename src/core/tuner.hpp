@@ -19,7 +19,8 @@ namespace repute::core {
 
 struct TuneConfig {
     /// Reads probed per device (drawn evenly from the batch so repeat
-    /// reads are represented).
+    /// reads are represented). Clamped so the fleet never probes more
+    /// reads than the batch holds (small-batch edge case).
     std::size_t probe_reads = 200;
     /// Devices slower than this fraction of the fastest are dropped
     /// (their dispatch overhead would dominate their contribution).

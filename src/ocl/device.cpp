@@ -41,6 +41,7 @@ LaunchStats Device::execute(std::size_t n_items, const WorkItem& body,
     }
 
     const std::lock_guard exec_lock(exec_mutex_);
+    maybe_inject_fault();
 
     std::atomic<std::uint64_t> total_ops{0};
     pool_->parallel_for(n_items, [&](std::size_t i) {
@@ -62,6 +63,49 @@ LaunchStats Device::execute(std::size_t n_items, const WorkItem& body,
         busy_seconds_ += stats.seconds;
     }
     return stats;
+}
+
+void Device::inject_faults(const FaultPlan& plan) {
+    const std::lock_guard lock(fault_mutex_);
+    fault_armed_ = true;
+    fault_plan_ = plan;
+    fault_launches_ = 0;
+    fault_rng_ = util::Xoshiro256(plan.seed);
+}
+
+void Device::clear_faults() {
+    const std::lock_guard lock(fault_mutex_);
+    fault_armed_ = false;
+    fault_launches_ = 0;
+}
+
+std::uint64_t Device::fault_launches() const {
+    const std::lock_guard lock(fault_mutex_);
+    return fault_launches_;
+}
+
+void Device::maybe_inject_fault() {
+    const std::lock_guard lock(fault_mutex_);
+    if (!fault_armed_) return;
+    const std::uint64_t launch = ++fault_launches_;
+    bool fail = false;
+    if (fault_plan_.fail_on_launch != 0) {
+        fail = fault_plan_.fail_forever
+                   ? launch >= fault_plan_.fail_on_launch
+                   : launch == fault_plan_.fail_on_launch;
+    }
+    // The transient stream advances on every launch so the failure
+    // schedule depends only on launch ordinals, not on which other
+    // trigger fired first.
+    if (fault_plan_.transient_rate > 0.0 &&
+        fault_rng_.chance(fault_plan_.transient_rate)) {
+        fail = true;
+    }
+    if (fail) {
+        throw OclError(fault_plan_.status,
+                       profile_.name + ": injected fault at launch #" +
+                           std::to_string(launch));
+    }
 }
 
 double Device::busy_seconds() const noexcept {

@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/prng.hpp"
 #include "util/threadpool.hpp"
 
 namespace repute::ocl {
@@ -81,6 +82,27 @@ struct LaunchStats {
     double utilization = 1.0;
 };
 
+/// Deterministic fault-injection plan (testing / resilience work).
+/// Faults fire at dispatch, before any work-item runs: a failed launch
+/// performs no work and writes no output, so requeueing it elsewhere
+/// reproduces exactly the state a clean retry would — the model of a
+/// clEnqueueNDRangeKernel that errors out. Any combination of the
+/// trigger fields may be armed at once.
+struct FaultPlan {
+    /// Fail the Nth execute() call after arming (1-based; 0 = never).
+    std::uint64_t fail_on_launch = 0;
+    /// With `fail_on_launch`: fail every launch from the Nth onward
+    /// (a device dying mid-batch) instead of only the Nth.
+    bool fail_forever = false;
+    /// Independent per-launch failure probability (transient faults),
+    /// drawn from a stream seeded by `seed` — the failure schedule is a
+    /// pure function of the device's launch ordinals.
+    double transient_rate = 0.0;
+    std::uint64_t seed = 0x5eedf417;
+    /// Status carried by the injected OclError.
+    OclStatus status = OclStatus::OutOfResources;
+};
+
 class Device {
 public:
     explicit Device(DeviceProfile profile);
@@ -108,6 +130,15 @@ public:
     double busy_seconds() const noexcept;
     void reset_busy_time() noexcept;
 
+    /// Arms fault injection for subsequent launches (resets the launch
+    /// counter and the transient stream). Thread-safe.
+    void inject_faults(const FaultPlan& plan);
+    /// Disarms fault injection.
+    void clear_faults();
+    /// Launches dispatched since the fault plan was armed (0 when
+    /// disarmed); failed dispatches count.
+    std::uint64_t fault_launches() const;
+
     /// Bytes currently allocated on the device (maintained by Context).
     std::uint64_t allocated_bytes() const noexcept { return allocated_; }
 
@@ -115,12 +146,22 @@ private:
     friend class Context;
     friend class Buffer;
 
+    /// Throws per the armed FaultPlan; called at dispatch under
+    /// exec_mutex_ so launch ordinals are well-defined per device.
+    void maybe_inject_fault();
+
     DeviceProfile profile_;
     std::unique_ptr<util::ThreadPool> pool_;
     std::mutex exec_mutex_;   ///< serializes launches (in-order device)
     double busy_seconds_ = 0.0;
     mutable std::mutex time_mutex_;
     std::uint64_t allocated_ = 0;
+
+    mutable std::mutex fault_mutex_;
+    bool fault_armed_ = false;
+    FaultPlan fault_plan_;
+    std::uint64_t fault_launches_ = 0;
+    util::Xoshiro256 fault_rng_;
 };
 
 } // namespace repute::ocl

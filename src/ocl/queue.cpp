@@ -2,12 +2,25 @@
 
 namespace repute::ocl {
 
+Event::Event(std::shared_future<LaunchStats> future)
+    : state_(std::make_shared<State>()) {
+    state_->future = std::move(future);
+}
+
 const LaunchStats& Event::wait() {
-    if (!done_) {
-        stats_ = future_.get();
-        done_ = true;
+    if (!state_) {
+        throw std::future_error(std::future_errc::no_state);
     }
-    return stats_;
+    // Serializing on the state mutex both caches the stats exactly once
+    // and keeps shared_future::get() off concurrent callers (get() on
+    // one shared_future *object* is not thread-safe). A failed kernel
+    // rethrows to every waiter.
+    const std::lock_guard lock(state_->mutex);
+    if (!state_->done) {
+        state_->stats = state_->future.get();
+        state_->done = true;
+    }
+    return state_->stats;
 }
 
 Event CommandQueue::enqueue(KernelLaunch launch) {

@@ -10,7 +10,9 @@
 
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "ocl/device.hpp"
 
@@ -29,19 +31,25 @@ public:
     Event() = default;
 
     /// Blocks until the kernel completes; rethrows kernel exceptions
-    /// (including OclError). Idempotent.
+    /// (including OclError, on every call). Idempotent, and safe to
+    /// call concurrently from several threads — all copies of an Event
+    /// share one mutex-guarded completion state, so scheduler workers
+    /// may wait on the same event without external synchronization.
     const LaunchStats& wait();
 
-    bool valid() const noexcept { return future_.valid() || done_; }
+    bool valid() const noexcept { return state_ != nullptr; }
 
 private:
     friend class CommandQueue;
-    explicit Event(std::shared_future<LaunchStats> future)
-        : future_(std::move(future)) {}
+    struct State {
+        std::shared_future<LaunchStats> future;
+        std::mutex mutex;
+        LaunchStats stats; ///< written once under mutex, then immutable
+        bool done = false;
+    };
+    explicit Event(std::shared_future<LaunchStats> future);
 
-    std::shared_future<LaunchStats> future_;
-    LaunchStats stats_;
-    bool done_ = false;
+    std::shared_ptr<State> state_;
 };
 
 class CommandQueue {

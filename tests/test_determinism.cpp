@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <random>
+#include <vector>
+
 #include "core/repute_mapper.hpp"
 #include "genomics/genome_sim.hpp"
 #include "genomics/read_sim.hpp"
@@ -101,6 +105,55 @@ TEST_F(DeterminismTest, ResultsIndependentOfComputeUnits) {
     EXPECT_EQ(a.device_runs[0].stats.total_ops,
               b.device_runs[0].stats.total_ops);
     EXPECT_NEAR(a.mapping_seconds / b.mapping_seconds, 16.0, 0.01);
+}
+
+TEST_F(DeterminismTest, DynamicScheduleEquivalentToSingleDevice) {
+    // Property: whatever the fleet shape, chunk size or failure schedule,
+    // dynamic work-stealing must produce per-read output identical to a
+    // fault-free single-device run — work items own disjoint slots, so
+    // no schedule may leak into the results. Randomized but seeded:
+    // every CI run exercises the same 8 scenarios.
+    Device single(profile_with_units(8));
+    auto reference_mapper = repute::core::make_repute(*reference_, *fm_,
+                                                      12, {{&single, 1.0}});
+    const auto expected = reference_mapper->map(sim_->batch, 4);
+
+    std::mt19937 rng(20260807);
+    for (int scenario = 0; scenario < 8; ++scenario) {
+        const std::size_t fleet = 1 + rng() % 4;
+        std::vector<std::unique_ptr<Device>> devices;
+        std::vector<repute::core::DeviceShare> shares;
+        for (std::size_t d = 0; d < fleet; ++d) {
+            DeviceProfile p = profile_with_units(1 + rng() % 16);
+            p.name = "prop-" + std::to_string(scenario) + "-" +
+                     std::to_string(d);
+            p.ops_per_unit_per_second = 1e8 * static_cast<double>(
+                                                  1 + rng() % 50);
+            p.dispatch_overhead_seconds = 1e-4;
+            devices.push_back(std::make_unique<Device>(p));
+            shares.push_back({devices.back().get(),
+                              static_cast<double>(1 + rng() % 9)});
+        }
+        // Inject a failure schedule on one device of multi-device
+        // fleets; survivors must absorb its chunks.
+        if (fleet > 1) {
+            repute::ocl::FaultPlan plan;
+            plan.fail_on_launch = 1 + rng() % 3;
+            plan.fail_forever = true;
+            devices[rng() % fleet]->inject_faults(plan);
+        }
+
+        repute::core::HeterogeneousMapperConfig config;
+        config.schedule = repute::core::ScheduleMode::Dynamic;
+        config.scheduler.chunk_items =
+            (rng() % 2 == 0) ? 0 : 10 + rng() % 90;
+        auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+                                                shares, config);
+        const auto result = mapper->map(sim_->batch, 4);
+        SCOPED_TRACE("scenario " + std::to_string(scenario));
+        expect_identical(expected, result);
+        EXPECT_GT(result.schedule.chunks, 0u);
+    }
 }
 
 TEST_F(DeterminismTest, StressRepeatedConcurrentMapping) {

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
 
 #include "ocl/context.hpp"
 #include "ocl/device.hpp"
@@ -18,6 +22,7 @@ using repute::ocl::Context;
 using repute::ocl::Device;
 using repute::ocl::DeviceProfile;
 using repute::ocl::DeviceType;
+using repute::ocl::FaultPlan;
 using repute::ocl::KernelLaunch;
 using repute::ocl::OclError;
 using repute::ocl::OclStatus;
@@ -289,6 +294,149 @@ TEST(Queue, TwoDevicesAccumulateIndependently) {
     eb.wait();
     // Same work, b has 2x throughput.
     EXPECT_NEAR(a.busy_seconds(), 2.0 * b.busy_seconds(), 1e-9);
+}
+
+TEST(Event, ConcurrentWaitersAllObserveTheResult) {
+    // Regression: wait() used to cache stats without synchronization, so
+    // two threads waiting on copies of one Event raced on the shared
+    // state. Every waiter must observe the same completed LaunchStats.
+    Device dev(test_profile());
+    CommandQueue queue(dev);
+    KernelLaunch launch;
+    launch.name = "shared";
+    launch.n_items = 200;
+    launch.body = [](std::size_t) { return std::uint64_t{5}; };
+    auto event = queue.enqueue(std::move(launch));
+
+    std::atomic<int> correct{0};
+    std::vector<std::thread> waiters;
+    for (int t = 0; t < 8; ++t) {
+        waiters.emplace_back([&correct, event]() mutable {
+            if (event.wait().total_ops == 1000u) ++correct;
+        });
+    }
+    for (auto& t : waiters) t.join();
+    EXPECT_EQ(correct.load(), 8);
+}
+
+TEST(Event, ConcurrentWaitersAllObserveTheFailure) {
+    Device dev(test_profile());
+    CommandQueue queue(dev);
+    KernelLaunch launch;
+    launch.name = "doomed";
+    launch.n_items = 1;
+    launch.scratch_bytes_per_item = 1 << 30; // out of resources
+    launch.body = [](std::size_t) { return std::uint64_t{0}; };
+    auto event = queue.enqueue(std::move(launch));
+
+    std::atomic<int> threw{0};
+    std::vector<std::thread> waiters;
+    for (int t = 0; t < 8; ++t) {
+        waiters.emplace_back([&threw, event]() mutable {
+            try {
+                event.wait();
+            } catch (const OclError&) {
+                ++threw;
+            }
+        });
+    }
+    for (auto& t : waiters) t.join();
+    EXPECT_EQ(threw.load(), 8);
+}
+
+TEST(Event, DefaultConstructedEventHasNoState) {
+    repute::ocl::Event event;
+    EXPECT_FALSE(event.valid());
+    EXPECT_THROW(event.wait(), std::future_error);
+}
+
+// --------------------------------------------------------- Fault injection
+
+TEST(Fault, NthLaunchFailsOnceThenRecovers) {
+    Device dev(test_profile());
+    FaultPlan plan;
+    plan.fail_on_launch = 2;
+    dev.inject_faults(plan);
+    auto work = [](std::size_t) { return std::uint64_t{1}; };
+    EXPECT_NO_THROW(dev.execute(10, work, 0)); // launch 1
+    EXPECT_THROW(dev.execute(10, work, 0), OclError); // launch 2
+    EXPECT_NO_THROW(dev.execute(10, work, 0)); // launch 3: recovered
+    EXPECT_EQ(dev.fault_launches(), 3u);
+    dev.clear_faults();
+    EXPECT_EQ(dev.fault_launches(), 0u);
+}
+
+TEST(Fault, FailForeverKillsEveryLaunchFromNth) {
+    Device dev(test_profile());
+    FaultPlan plan;
+    plan.fail_on_launch = 2;
+    plan.fail_forever = true;
+    plan.status = OclStatus::MemObjectAllocFail;
+    dev.inject_faults(plan);
+    auto work = [](std::size_t) { return std::uint64_t{1}; };
+    EXPECT_NO_THROW(dev.execute(10, work, 0));
+    for (int i = 0; i < 3; ++i) {
+        try {
+            dev.execute(10, work, 0);
+            FAIL() << "expected injected fault";
+        } catch (const OclError& e) {
+            EXPECT_EQ(e.status(), OclStatus::MemObjectAllocFail);
+        }
+    }
+    dev.clear_faults();
+    EXPECT_NO_THROW(dev.execute(10, work, 0));
+}
+
+TEST(Fault, FailedLaunchRunsNoWorkItems) {
+    Device dev(test_profile());
+    FaultPlan plan;
+    plan.fail_on_launch = 1;
+    dev.inject_faults(plan);
+    std::atomic<int> ran{0};
+    auto work = [&](std::size_t) {
+        ++ran;
+        return std::uint64_t{1};
+    };
+    EXPECT_THROW(dev.execute(100, work, 0), OclError);
+    EXPECT_EQ(ran.load(), 0); // fault fires at dispatch, not mid-kernel
+    dev.clear_faults();
+}
+
+TEST(Fault, TransientScheduleIsDeterministicPerSeed) {
+    auto failure_pattern = [](std::uint64_t seed) {
+        Device dev(test_profile());
+        FaultPlan plan;
+        plan.transient_rate = 0.5;
+        plan.seed = seed;
+        dev.inject_faults(plan);
+        std::vector<bool> failed;
+        for (int i = 0; i < 32; ++i) {
+            try {
+                dev.execute(1, [](std::size_t) { return std::uint64_t{1}; },
+                            0);
+                failed.push_back(false);
+            } catch (const OclError&) {
+                failed.push_back(true);
+            }
+        }
+        return failed;
+    };
+    const auto a = failure_pattern(123);
+    EXPECT_EQ(a, failure_pattern(123)); // same seed, same schedule
+    EXPECT_NE(a, failure_pattern(456)); // 2^-32 flake odds, acceptable
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+}
+
+TEST(Fault, ZeroRatePlanNeverFires) {
+    Device dev(test_profile());
+    FaultPlan plan; // all defaults: no trigger armed
+    dev.inject_faults(plan);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_NO_THROW(dev.execute(
+            1, [](std::size_t) { return std::uint64_t{1}; }, 0));
+    }
+    EXPECT_EQ(dev.fault_launches(), 16u);
+    dev.clear_faults();
 }
 
 // --------------------------------------------------------------- Platform

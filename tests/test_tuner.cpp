@@ -122,6 +122,39 @@ TEST_F(TunerTest, PredictionTracksActualTime) {
                 0.5 * tuned.predicted_seconds);
 }
 
+TEST_F(TunerTest, SmallBatchClampsTheProbe) {
+    // Regression: with batch < probe_reads x devices the fleet used to
+    // probe more reads than the batch holds, modeling a fleet that maps
+    // the batch several times over. The probe must clamp to a per-device
+    // share and still produce usable shares.
+    repute::genomics::ReadBatch tiny;
+    tiny.read_length = sim_->batch.read_length;
+    tiny.reads.assign(sim_->batch.reads.begin(),
+                      sim_->batch.reads.begin() + 7);
+    Device a(profile("a", 8, 1e9));
+    Device b(profile("b", 8, 0.5e9));
+    Device c(profile("c", 8, 0.25e9));
+    const auto tuned =
+        tune_shares(*reference_, *fm_, tiny, 4, 12, {&a, &b, &c});
+    ASSERT_EQ(tuned.shares.size(), 3u);
+    double total = 0.0;
+    for (const auto& share : tuned.shares) {
+        EXPECT_GE(share.fraction, 0.0);
+        total += share.fraction;
+    }
+    EXPECT_GT(total, 0.0);
+    EXPECT_GT(tuned.shares[0].fraction, tuned.shares[2].fraction);
+    EXPECT_GT(tuned.predicted_seconds, 0.0);
+
+    // Extreme case: fewer reads than devices — one read probes each.
+    repute::genomics::ReadBatch two;
+    two.read_length = sim_->batch.read_length;
+    two.reads.assign(sim_->batch.reads.begin(),
+                     sim_->batch.reads.begin() + 2);
+    EXPECT_NO_THROW(
+        (void)tune_shares(*reference_, *fm_, two, 4, 12, {&a, &b, &c}));
+}
+
 TEST_F(TunerTest, RejectsDegenerateInputs) {
     Device a(profile("a", 8, 1e9));
     EXPECT_THROW(

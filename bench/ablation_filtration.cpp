@@ -25,6 +25,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     WorkloadConfig config = parse_workload_config(args);
     // Filtration-only sweep: a smaller read set suffices.
     config.n_reads = std::min<std::size_t>(config.n_reads, 1500);

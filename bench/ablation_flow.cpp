@@ -18,6 +18,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     WorkloadConfig config = parse_workload_config(args);
     config.n_reads = std::min<std::size_t>(config.n_reads, 2000);
     const auto workload = make_workload(config);
@@ -50,28 +51,32 @@ int main(int argc, char** argv) {
             {"CORAL (greedy+streaming)", false, false},
         };
         for (const auto& v : variants) {
-            core::KernelConfig kernel;
-            kernel.max_locations_per_read = 1000;
-            kernel.collapse_candidates = v.collapse;
+            core::HeterogeneousMapperConfig mapper_config;
+            mapper_config.kernel.s_min = s_min;
+            mapper_config.kernel.max_locations_per_read = 1000;
+            mapper_config.kernel.collapse_candidates = v.collapse;
             std::unique_ptr<core::Mapper> mapper;
             if (v.dp) {
                 mapper = core::make_repute(workload.reference,
-                                           *workload.fm, s_min,
-                                           {{&device, 1.0}}, kernel);
+                                           *workload.fm,
+                                           {{&device, 1.0}},
+                                           mapper_config);
             } else {
-                // make_coral forces streaming; honor v.collapse anyway.
+                // make_coral forces streaming (v.collapse is false here
+                // anyway).
                 mapper = core::make_coral(workload.reference,
-                                          *workload.fm, s_min,
-                                          {{&device, 1.0}}, kernel);
+                                          *workload.fm,
+                                          {{&device, 1.0}},
+                                          mapper_config);
             }
             const auto result =
                 mapper->map(workload.reads(n).batch, delta);
             const auto& run = result.device_runs[0];
             const double per_read =
-                static_cast<double>(run.candidates) /
+                static_cast<double>(run.stage.candidates) /
                 static_cast<double>(run.reads);
             const double share =
-                static_cast<double>(run.verify_ops) /
+                static_cast<double>(run.stage.verify_ops) /
                 static_cast<double>(run.stats.total_ops);
             std::printf("%-26s %5u | %12.1f %11.0f%% %10.4f\n", v.label,
                         delta, per_read, share * 100,

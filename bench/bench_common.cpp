@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace repute::bench {
@@ -81,6 +83,35 @@ void print_table(const std::string& title, const std::vector<Row>& rows) {
         }
         std::printf("\n");
     }
+    std::fflush(stdout);
+}
+
+ScopedTrace::ScopedTrace(const util::Args& args)
+    : path_(args.get_string("trace", "")) {
+    if (!path_.empty()) {
+        session_ = std::make_unique<obs::TraceSession>();
+        std::printf("# tracing enabled, writing %s on exit\n",
+                    path_.c_str());
+    }
+}
+
+ScopedTrace::~ScopedTrace() {
+    if (!session_) return;
+    const std::string json = obs::chrome_trace_json(session_->recorder());
+    if (std::FILE* f = std::fopen(path_.c_str(), "wb")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\n# trace written to %s (%zu bytes) — open in "
+                    "chrome://tracing or https://ui.perfetto.dev\n",
+                    path_.c_str(), json.size());
+    } else {
+        std::fprintf(stderr, "# ERROR: cannot write trace to %s\n",
+                     path_.c_str());
+    }
+    std::printf("\n== per-stage summary ==\n%s",
+                obs::stage_summary(session_->recorder(),
+                                   &session_->registry())
+                    .c_str());
     std::fflush(stdout);
 }
 

@@ -24,6 +24,10 @@
 #include "ocl/platform.hpp"
 #include "util/args.hpp"
 
+namespace repute::obs {
+class TraceSession;
+}
+
 namespace repute::bench {
 
 struct Workload {
@@ -85,5 +89,25 @@ void print_series(const std::string& title, const std::string& x_label,
                   const std::vector<double>& x,
                   const std::string& y_label,
                   const std::vector<double>& y);
+
+/// `--trace out.json` support: when the flag is present, installs a
+/// global obs::TraceSession for the scope's lifetime; the destructor
+/// writes the Chrome-trace JSON (load in chrome://tracing or Perfetto)
+/// to the given path and prints the per-stage summary to stdout.
+/// Without the flag this is inert and the instrumented code keeps its
+/// no-recorder fast path. Construct once at the top of main().
+class ScopedTrace {
+public:
+    explicit ScopedTrace(const util::Args& args);
+    ~ScopedTrace();
+    ScopedTrace(const ScopedTrace&) = delete;
+    ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+    bool active() const noexcept { return session_ != nullptr; }
+
+private:
+    std::string path_;
+    std::unique_ptr<obs::TraceSession> session_;
+};
 
 } // namespace repute::bench

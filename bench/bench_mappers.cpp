@@ -53,11 +53,11 @@ MapperSpec repute_spec(const Workload& w,
                        std::vector<core::DeviceShare> shares,
                        const std::string& name) {
     return {name, [&w, shares, name](std::size_t n, std::uint32_t delta) {
-                core::KernelConfig kernel;
-                kernel.max_locations_per_read = 1000;
-                auto mapper = core::make_repute(
-                    w.reference, *w.fm, best_s_min(n, delta), shares,
-                    kernel);
+                core::HeterogeneousMapperConfig config;
+                config.kernel.s_min = best_s_min(n, delta);
+                config.kernel.max_locations_per_read = 1000;
+                auto mapper = core::make_repute(w.reference, *w.fm,
+                                                shares, config);
                 return mapper;
             }};
 }
@@ -66,11 +66,11 @@ MapperSpec coral_spec(const Workload& w,
                       std::vector<core::DeviceShare> shares,
                       const std::string& name) {
     return {name, [&w, shares, name](std::size_t n, std::uint32_t delta) {
-                core::KernelConfig kernel;
-                kernel.max_locations_per_read = 1000;
-                auto mapper = core::make_coral(
-                    w.reference, *w.fm, best_s_min(n, delta), shares,
-                    kernel);
+                core::HeterogeneousMapperConfig config;
+                config.kernel.s_min = best_s_min(n, delta);
+                config.kernel.max_locations_per_read = 1000;
+                auto mapper = core::make_coral(w.reference, *w.fm,
+                                               shares, config);
                 return mapper;
             }};
 }

@@ -64,9 +64,11 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     // Fault-free single-device reference output (equivalence oracle).
     ocl::Device oracle(skew_profile("oracle", ocl::DeviceType::Cpu,
                                     8, 1e9, 1));
+    core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = s_min;
     const auto expected =
-        core::make_repute(workload.reference, *workload.fm, s_min,
-                          {{&oracle, 1.0}})
+        core::make_repute(workload.reference, *workload.fm,
+                          {{&oracle, 1.0}}, config)
             ->map(batch, delta);
 
     std::vector<double> x, y;
@@ -80,8 +82,9 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
 
     // 1. Naive static: equal thirds, committed up front.
     const auto naive =
-        core::make_repute(workload.reference, *workload.fm, s_min,
-                          {{&fast_gpu, 1.0}, {&cpu_a, 1.0}, {&cpu_b, 1.0}})
+        core::make_repute(workload.reference, *workload.fm,
+                          {{&fast_gpu, 1.0}, {&cpu_a, 1.0}, {&cpu_b, 1.0}},
+                          config)
             ->map(batch, delta);
     report("naive-static (1:1:1)", naive);
 
@@ -95,24 +98,24 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
         core::tune_shares(workload.reference, *workload.fm, batch, delta,
                           s_min, fleet, probe);
     const auto tuned_static =
-        core::make_repute(workload.reference, *workload.fm, s_min,
-                          tuned.shares)
+        core::make_repute(workload.reference, *workload.fm, tuned.shares,
+                          config)
             ->map(batch, delta);
     report("tuned-static", tuned_static);
 
     // 3. Dynamic work stealing, warm-started from the tuned shares.
-    core::HeterogeneousMapperConfig dyn;
+    core::HeterogeneousMapperConfig dyn = config;
     dyn.schedule = core::ScheduleMode::Dynamic;
     const auto dynamic =
-        core::make_repute(workload.reference, *workload.fm, s_min,
-                          tuned.shares, dyn)
+        core::make_repute(workload.reference, *workload.fm, tuned.shares,
+                          dyn)
             ->map(batch, delta);
     report("dynamic (tuned warm)", dynamic);
     std::printf("#   dynamic schedule: %zu chunks, %zu steals, "
                 "%zu retries\n",
-                dynamic.schedule.chunks, dynamic.schedule.steals,
-                dynamic.schedule.retries);
-    for (const auto& dev : dynamic.schedule.per_device) {
+                dynamic.schedule->chunks, dynamic.schedule->steals,
+                dynamic.schedule->retries);
+    for (const auto& dev : dynamic.schedule->per_device) {
         std::printf("#     %-12s %4zu items %2zu chunks %zu steals "
                     "busy=%.4fs\n",
                     dev.device_name.c_str(), dev.items, dev.chunks,
@@ -126,15 +129,15 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     plan.fail_forever = true;
     cpu_b.inject_faults(plan);
     const auto faulted =
-        core::make_repute(workload.reference, *workload.fm, s_min,
-                          tuned.shares, dyn)
+        core::make_repute(workload.reference, *workload.fm, tuned.shares,
+                          dyn)
             ->map(batch, delta);
     cpu_b.clear_faults();
     report("dynamic + device loss", faulted);
     std::printf("#   after loss: retries=%zu quarantined=%s\n",
-                faulted.schedule.retries,
-                faulted.schedule.per_device.back().quarantined ? "yes"
-                                                               : "no");
+                faulted.schedule->retries,
+                faulted.schedule->per_device.back().quarantined ? "yes"
+                                                                : "no");
 
     int failures = 0;
     if (faulted.per_read != expected.per_read) {
@@ -164,6 +167,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system1();
@@ -185,8 +189,9 @@ int main(int argc, char** argv) {
                                     (2 * static_cast<std::size_t>(steps));
         const std::size_t cpu_reads = total - 2 * per_gpu;
 
-        core::KernelConfig kernel;
-        kernel.max_locations_per_read = 1000;
+        core::HeterogeneousMapperConfig config;
+        config.kernel.s_min = s_min;
+        config.kernel.max_locations_per_read = 1000;
         std::vector<core::DeviceShare> shares;
         if (cpu_reads > 0) {
             shares.push_back(
@@ -197,7 +202,7 @@ int main(int argc, char** argv) {
             shares.push_back({&gpu1, static_cast<double>(per_gpu)});
         }
         auto mapper = core::make_repute(workload.reference, *workload.fm,
-                                        s_min, std::move(shares), kernel);
+                                        std::move(shares), config);
         const auto result = mapper->map(batch, delta);
         x.push_back(static_cast<double>(per_gpu));
         y.push_back(result.mapping_seconds);

@@ -19,6 +19,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system1();
@@ -36,10 +37,11 @@ int main(int argc, char** argv) {
 
     std::vector<double> x, y;
     for (std::uint32_t s_min = 10; s_min * (delta + 1) <= n; s_min += 2) {
-        core::KernelConfig kernel;
-        kernel.max_locations_per_read = 1000;
+        core::HeterogeneousMapperConfig config;
+        config.kernel.s_min = s_min;
+        config.kernel.max_locations_per_read = 1000;
         auto mapper = core::make_repute(workload.reference, *workload.fm,
-                                        s_min, shares, kernel);
+                                        shares, config);
         const auto result = mapper->map(batch, delta);
         x.push_back(s_min);
         y.push_back(result.mapping_seconds);

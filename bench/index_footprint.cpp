@@ -18,6 +18,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     WorkloadConfig config = parse_workload_config(args);
     config.n_reads = std::min<std::size_t>(config.n_reads, 2000);
     const auto workload = make_workload(config);
@@ -39,8 +40,10 @@ int main(int argc, char** argv) {
         for (const std::uint32_t checkpoint : {64u, 128u, 512u}) {
             const index::FmIndex fm(workload.reference, sa_sample,
                                     checkpoint);
-            auto mapper = core::make_repute(workload.reference, fm, 14,
-                                            {{&cpu, 1.0}});
+            core::HeterogeneousMapperConfig mapper_config;
+            mapper_config.kernel.s_min = 14;
+            auto mapper = core::make_repute(workload.reference, fm,
+                                            {{&cpu, 1.0}}, mapper_config);
             const auto result = mapper->map(batch, delta);
             const double mb =
                 static_cast<double>(fm.memory_bytes()) / 1e6;

@@ -16,6 +16,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     WorkloadConfig config = parse_workload_config(args);
     config.n_reads = std::min<std::size_t>(config.n_reads, 3000);
     const auto workload = make_workload(config);

@@ -21,6 +21,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system1();

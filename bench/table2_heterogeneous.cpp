@@ -22,6 +22,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system1();
@@ -46,15 +47,16 @@ int main(int argc, char** argv) {
                     core::kernel_scratch_bytes(probe, n, delta);
                 auto shares = core::balanced_shares(
                     {&cpu, &gpu0, &gpu1}, scratch);
-                core::KernelConfig kernel;
-                kernel.max_locations_per_read = 1000;
+                core::HeterogeneousMapperConfig config;
+                config.kernel.s_min = s_min;
+                config.kernel.max_locations_per_read = 1000;
                 if (dp) {
                     return core::make_repute(workload.reference,
-                                             *workload.fm, s_min,
-                                             std::move(shares), kernel);
+                                             *workload.fm,
+                                             std::move(shares), config);
                 }
                 return core::make_coral(workload.reference, *workload.fm,
-                                        s_min, std::move(shares), kernel);
+                                        std::move(shares), config);
             }};
     };
     specs.push_back(hetero_spec("CORAL-all", /*dp=*/false));

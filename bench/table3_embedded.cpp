@@ -20,6 +20,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system2();
@@ -59,16 +60,16 @@ int main(int argc, char** argv) {
                 const filter::MemoryOptimizedSeeder probe(s_min);
                 const auto scratch =
                     core::kernel_scratch_bytes(probe, n, delta);
-                core::KernelConfig kernel;
-                kernel.max_locations_per_read = 1000;
+                core::HeterogeneousMapperConfig config;
+                config.kernel.s_min = s_min;
+                config.kernel.max_locations_per_read = 1000;
                 if (dp) {
                     return core::make_repute(
-                        workload.reference, *workload.fm, s_min,
-                        cluster_shares(scratch), kernel);
+                        workload.reference, *workload.fm,
+                        cluster_shares(scratch), config);
                 }
                 return core::make_coral(workload.reference, *workload.fm,
-                                        s_min, cluster_shares(scratch),
-                                        kernel);
+                                        cluster_shares(scratch), config);
             }};
     };
     specs.push_back(hetero_spec("CORAL-HiKey", /*dp=*/false));

@@ -23,6 +23,7 @@ using namespace repute::bench;
 
 int main(int argc, char** argv) {
     const util::Args args(argc, argv);
+    const ScopedTrace trace(args);
     const auto workload = make_workload(parse_workload_config(args));
 
     struct CaseSpec {
@@ -74,38 +75,39 @@ int main(int argc, char** argv) {
             auto cpu_only = [&](bool dp) {
                 return [&, dp](std::size_t n, std::uint32_t delta)
                            -> std::unique_ptr<core::Mapper> {
-                    core::KernelConfig kernel;
-                    kernel.max_locations_per_read = 1000;
-                    const auto s_min = best_s_min(n, delta);
+                    core::HeterogeneousMapperConfig config;
+                    config.kernel.s_min = best_s_min(n, delta);
+                    config.kernel.max_locations_per_read = 1000;
                     if (dp) {
                         return core::make_repute(workload.reference,
-                                                 *workload.fm, s_min,
-                                                 {{&cpu, 1.0}}, kernel);
+                                                 *workload.fm,
+                                                 {{&cpu, 1.0}}, config);
                     }
                     return core::make_coral(workload.reference,
-                                            *workload.fm, s_min,
-                                            {{&cpu, 1.0}}, kernel);
+                                            *workload.fm, {{&cpu, 1.0}},
+                                            config);
                 };
             };
             auto hetero = [&](bool dp) {
                 return [&, dp](std::size_t n, std::uint32_t delta)
                            -> std::unique_ptr<core::Mapper> {
-                    core::KernelConfig kernel;
-                    kernel.max_locations_per_read = 1000;
-                    const auto s_min = best_s_min(n, delta);
-                    const filter::MemoryOptimizedSeeder probe(s_min);
+                    core::HeterogeneousMapperConfig config;
+                    config.kernel.s_min = best_s_min(n, delta);
+                    config.kernel.max_locations_per_read = 1000;
+                    const filter::MemoryOptimizedSeeder probe(
+                        config.kernel.s_min);
                     const auto scratch =
                         core::kernel_scratch_bytes(probe, n, delta);
                     auto shares = core::balanced_shares(
                         {&cpu, &gpu0, &gpu1}, scratch);
                     if (dp) {
                         return core::make_repute(
-                            workload.reference, *workload.fm, s_min,
-                            std::move(shares), kernel);
+                            workload.reference, *workload.fm,
+                            std::move(shares), config);
                     }
                     return core::make_coral(workload.reference,
-                                            *workload.fm, s_min,
-                                            std::move(shares), kernel);
+                                            *workload.fm,
+                                            std::move(shares), config);
                 };
             };
             entries.push_back({"CORAL-cpu", cpu_only(false)});
@@ -131,22 +133,23 @@ int main(int argc, char** argv) {
             auto hetero = [&](bool dp) {
                 return [&, dp](std::size_t n, std::uint32_t delta)
                            -> std::unique_ptr<core::Mapper> {
-                    core::KernelConfig kernel;
-                    kernel.max_locations_per_read = 1000;
-                    const auto s_min = best_s_min(n, delta);
-                    const filter::MemoryOptimizedSeeder probe(s_min);
+                    core::HeterogeneousMapperConfig config;
+                    config.kernel.s_min = best_s_min(n, delta);
+                    config.kernel.max_locations_per_read = 1000;
+                    const filter::MemoryOptimizedSeeder probe(
+                        config.kernel.s_min);
                     const auto scratch =
                         core::kernel_scratch_bytes(probe, n, delta);
                     auto shares =
                         core::balanced_shares({&a73, &a53}, scratch);
                     if (dp) {
                         return core::make_repute(
-                            workload.reference, *workload.fm, s_min,
-                            std::move(shares), kernel);
+                            workload.reference, *workload.fm,
+                            std::move(shares), config);
                     }
                     return core::make_coral(workload.reference,
-                                            *workload.fm, s_min,
-                                            std::move(shares), kernel);
+                                            *workload.fm,
+                                            std::move(shares), config);
                 };
             };
             entries.push_back({"CORAL-HiKey", hetero(false)});

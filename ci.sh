@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the concurrency story: a plain build + full ctest
+# run, then a ThreadSanitizer build of the queue/scheduler-heavy tests.
+# Usage: ./ci.sh [jobs]   (defaults to nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: configure + build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier 2: ThreadSanitizer (queues, scheduler, determinism) =="
+cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" \
+      --target test_ocl test_scheduler test_determinism
+./build-tsan/tests/test_ocl
+./build-tsan/tests/test_scheduler
+./build-tsan/tests/test_determinism
+
+echo "== ci.sh: all green =="

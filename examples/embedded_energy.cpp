@@ -27,8 +27,10 @@ energy::EnergyReport run_on(ocl::Platform& platform,
     const auto scratch = core::kernel_scratch_bytes(
         probe, batch.read_length, delta);
     auto shares = core::balanced_shares(platform.devices(), scratch);
+    core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = s_min;
     auto mapper =
-        core::make_repute(reference, fm, s_min, std::move(shares));
+        core::make_repute(reference, fm, std::move(shares), config);
     const auto result = mapper->map(batch, delta);
 
     std::vector<energy::DeviceUsage> usage;

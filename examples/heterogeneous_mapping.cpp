@@ -41,9 +41,11 @@ int main(int argc, char** argv) {
     auto& gpu0 = platform.device("gtx590-0");
     auto& gpu1 = platform.device("gtx590-1");
 
-    // CPU only.
+    // CPU only. All kernel knobs, s_min included, travel in the config.
+    core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = s_min;
     auto cpu_mapper =
-        core::make_repute(reference, fm, s_min, {{&cpu, 1.0}});
+        core::make_repute(reference, fm, {{&cpu, 1.0}}, config);
     const auto cpu_result = cpu_mapper->map(sim.batch, delta);
     std::printf("REPUTE-cpu:  %.4f s modeled\n",
                 cpu_result.mapping_seconds);
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
                 gpu0.utilization_for_scratch(scratch));
 
     auto all_mapper =
-        core::make_repute(reference, fm, s_min, std::move(shares));
+        core::make_repute(reference, fm, std::move(shares), config);
     const auto all_result = all_mapper->map(sim.batch, delta);
     std::printf("REPUTE-all:  %.4f s modeled (%.2fx speedup)\n",
                 all_result.mapping_seconds,
@@ -75,7 +77,7 @@ int main(int argc, char** argv) {
     const auto tuned = core::tune_shares(reference, fm, sim.batch, delta,
                                          s_min, {&cpu, &gpu0, &gpu1});
     auto tuned_mapper =
-        core::make_repute(reference, fm, s_min, tuned.shares);
+        core::make_repute(reference, fm, tuned.shares, config);
     const auto tuned_result = tuned_mapper->map(sim.batch, delta);
     std::printf("REPUTE-tuned: %.4f s modeled (predicted %.4f s)\n",
                 tuned_result.mapping_seconds, tuned.predicted_seconds);
@@ -85,16 +87,16 @@ int main(int argc, char** argv) {
     // Dynamic work stealing: the tuned shares become a warm start, and
     // idle devices steal queued chunks instead of waiting on a
     // mispredicted split (survives a device dying mid-batch, too).
-    core::HeterogeneousMapperConfig dyn;
+    core::HeterogeneousMapperConfig dyn = config;
     dyn.schedule = core::ScheduleMode::Dynamic;
     auto dyn_mapper =
-        core::make_repute(reference, fm, s_min, tuned.shares, dyn);
+        core::make_repute(reference, fm, tuned.shares, dyn);
     const auto dyn_result = dyn_mapper->map(sim.batch, delta);
     std::printf("REPUTE-dynamic: %.4f s modeled (%zu chunks, %zu steals, "
                 "%zu retries)\n",
-                dyn_result.mapping_seconds, dyn_result.schedule.chunks,
-                dyn_result.schedule.steals, dyn_result.schedule.retries);
-    for (const auto& dev : dyn_result.schedule.per_device) {
+                dyn_result.mapping_seconds, dyn_result.schedule->chunks,
+                dyn_result.schedule->steals, dyn_result.schedule->retries);
+    for (const auto& dev : dyn_result.schedule->per_device) {
         std::printf("  %-10s %6zu reads in %zu chunks  %.4f s busy\n",
                     dev.device_name.c_str(), dev.items, dev.chunks,
                     dev.busy_seconds);

@@ -99,11 +99,12 @@ int main(int argc, char** argv) {
     if (batch.empty()) return 1;
 
     auto platform = ocl::Platform::system1();
-    core::KernelConfig kernel;
-    kernel.max_locations_per_read = max_locations;
+    core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = s_min;
+    config.kernel.max_locations_per_read = max_locations;
     auto mapper =
-        core::make_repute(reference, fm, s_min,
-                          {{&platform.device("i7-2600"), 1.0}}, kernel);
+        core::make_repute(reference, fm,
+                          {{&platform.device("i7-2600"), 1.0}}, config);
 
     timer.reset();
     const auto result = mapper->map(batch, delta);

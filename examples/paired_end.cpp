@@ -40,8 +40,11 @@ int main(int argc, char** argv) {
                 pconfig.insert_stddev);
 
     auto platform = ocl::Platform::system1();
-    auto mapper = core::make_repute(reference, fm, 14,
-                                    {{&platform.device("i7-2600"), 1.0}});
+    core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = 14;
+    auto mapper = core::make_repute(reference, fm,
+                                    {{&platform.device("i7-2600"), 1.0}},
+                                    config);
 
     core::PairedConfig pair_config;
     pair_config.min_insert = static_cast<std::uint32_t>(

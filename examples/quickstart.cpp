@@ -47,8 +47,11 @@ int main(int argc, char** argv) {
 
     // 4. REPUTE on the workstation CPU device, delta = 5.
     auto platform = ocl::Platform::system1();
-    auto mapper = core::make_repute(reference, fm, /*s_min=*/14,
-                                    {{&platform.device("i7-2600"), 1.0}});
+    core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = 14;
+    auto mapper = core::make_repute(reference, fm,
+                                    {{&platform.device("i7-2600"), 1.0}},
+                                    config);
     const auto result = mapper->map(sim.batch, /*delta=*/5);
 
     std::printf("%s", core::format_map_report(sim.batch, result).c_str());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace repute::baselines {
 
 core::MapResult SingleDeviceMapper::map(const genomics::ReadBatch& batch,
@@ -38,6 +40,17 @@ core::MapResult SingleDeviceMapper::map(const genomics::ReadBatch& batch,
             return ops;
         },
         scratch_bytes(batch.read_length, delta));
+
+    if (auto* recorder = obs::trace()) {
+        // Baselines dispatch straight to the device (no queue); record
+        // the whole launch so cross-tool traces stay comparable.
+        obs::TraceSpan span;
+        span.name = name_ + "::map";
+        span.device = device_->name();
+        span.start_seconds = stats.start_seconds;
+        span.duration_seconds = stats.seconds;
+        recorder->record(std::move(span));
+    }
 
     core::DeviceRun run;
     run.device_name = device_->name();

@@ -4,15 +4,14 @@
 
 #include "align/myers.hpp"
 #include "filter/candidates.hpp"
+#include "obs/trace.hpp"
 #include "util/packed_dna.hpp"
 
 namespace repute::core {
 
 StageTotals& StageTotals::operator+=(const StageTotals& other) noexcept {
-    filtration_ops += other.filtration_ops;
-    locate_ops += other.locate_ops;
-    verify_ops += other.verify_ops;
-    candidates += other.candidates;
+    obs::StageCounters::operator+=(other);
+    raw_hits += other.raw_hits;
     accepted += other.accepted;
     return *this;
 }
@@ -47,6 +46,7 @@ void map_strand(const index::FmIndex& fm,
         w.locate_base + w.locate_step * (fm.sa_sample() - 1) / 2;
     stages.locate_ops += candidates.located_hits * locate_cost;
     stages.verify_ops += candidates.raw_hits * w.per_candidate;
+    stages.raw_hits += candidates.raw_hits;
     stages.candidates += candidates.positions.size();
 
     // --- Verification: Myers bit-vector over each candidate window.
@@ -116,6 +116,20 @@ std::uint64_t map_read_workitem(const index::FmIndex& fm,
                           }),
               out.end());
     if (stages != nullptr) *stages += local;
+    if (auto* m = obs::metrics()) {
+        m->histogram("kernel.candidates_per_read")
+            .observe(static_cast<double>(local.candidates));
+        m->counter("kernel.raw_seed_hits").add(local.raw_hits);
+        m->counter("kernel.candidate_windows").add(local.candidates);
+        m->counter("kernel.mappings_accepted").add(local.accepted);
+        if (local.raw_hits > 0) {
+            // Diagonal-collapse effectiveness: verified windows per raw
+            // seed hit (1.0 = no duplicate work removed).
+            m->histogram("kernel.dedup_ratio")
+                .observe(static_cast<double>(local.candidates) /
+                         static_cast<double>(local.raw_hits));
+        }
+    }
     return local.total_ops();
 }
 

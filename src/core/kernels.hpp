@@ -22,6 +22,7 @@
 #include "filter/seed.hpp"
 #include "genomics/sequence.hpp"
 #include "index/fm_index.hpp"
+#include "obs/stage_counters.hpp"
 
 namespace repute::core {
 
@@ -52,18 +53,14 @@ struct KernelConfig {
     OpWeights weights;
 };
 
-/// Per-stage accounting of one or more kernel executions. All fields
-/// are abstract ops except the trailing counters.
-struct StageTotals {
-    std::uint64_t filtration_ops = 0; ///< seed selection (FM + DP)
-    std::uint64_t locate_ops = 0;     ///< SA locate walks
-    std::uint64_t verify_ops = 0;     ///< Myers verification + windows
-    std::uint64_t candidates = 0;     ///< windows passed to verification
-    std::uint64_t accepted = 0;       ///< mappings written (pre-merge)
+/// Per-stage accounting of one or more kernel executions: the shared
+/// obs::StageCounters breakdown (filtration / locate / verify ops,
+/// candidate windows) plus kernel-internal counters that only matter
+/// inside the map kernel.
+struct StageTotals : obs::StageCounters {
+    std::uint64_t raw_hits = 0; ///< seed hits before diagonal collapse
+    std::uint64_t accepted = 0; ///< mappings written (pre-merge)
 
-    std::uint64_t total_ops() const noexcept {
-        return filtration_ops + locate_ops + verify_ops;
-    }
     StageTotals& operator+=(const StageTotals& other) noexcept;
 };
 

@@ -9,6 +9,7 @@
 // output buffers.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/scheduler.hpp"
 #include "genomics/sam_lite.hpp"
 #include "genomics/sequence.hpp"
+#include "obs/stage_counters.hpp"
 #include "ocl/device.hpp"
 
 namespace repute::core {
@@ -38,10 +40,7 @@ struct DeviceRun {
     double power_scale = 1.0;
     /// Per-stage op breakdown (filtration / locate / verify) — filled by
     /// mappers that instrument their kernels (REPUTE/CORAL do).
-    std::uint64_t filtration_ops = 0;
-    std::uint64_t locate_ops = 0;
-    std::uint64_t verify_ops = 0;
-    std::uint64_t candidates = 0;
+    obs::StageCounters stage;
 };
 
 struct MapResult {
@@ -53,8 +52,14 @@ struct MapResult {
     double mapping_seconds = 0.0;
     std::vector<DeviceRun> device_runs;
     /// Chunk-level accounting when the run used the dynamic scheduler
-    /// (ScheduleMode::Dynamic); empty (chunks == 0) for static splits.
-    ScheduleStats schedule;
+    /// (ScheduleMode::Dynamic); nullopt for static splits.
+    std::optional<ScheduleStats> schedule;
+
+    /// True when the run was dispatched by the dynamic work-stealing
+    /// scheduler (and `schedule` holds its chunk-level accounting).
+    bool used_dynamic_schedule() const noexcept {
+        return schedule.has_value();
+    }
 
     std::uint64_t total_mappings() const noexcept;
     std::size_t reads_mapped() const noexcept; ///< reads with >= 1 mapping

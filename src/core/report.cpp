@@ -58,14 +58,13 @@ std::string format_map_report(const genomics::ReadBatch& batch,
                 run.device_name.c_str(), run.reads, run.stats.seconds,
                 run.stats.utilization);
         const auto total = run.stats.total_ops;
-        if (total > 0 &&
-            run.filtration_ops + run.locate_ops + run.verify_ops > 0) {
+        if (total > 0 && run.stage.total_ops() > 0) {
             appendf(out, "  [filter %2.0f%% locate %2.0f%% verify %2.0f%%]",
-                    100.0 * static_cast<double>(run.filtration_ops) /
+                    100.0 * static_cast<double>(run.stage.filtration_ops) /
                         static_cast<double>(total),
-                    100.0 * static_cast<double>(run.locate_ops) /
+                    100.0 * static_cast<double>(run.stage.locate_ops) /
                         static_cast<double>(total),
-                    100.0 * static_cast<double>(run.verify_ops) /
+                    100.0 * static_cast<double>(run.stage.verify_ops) /
                         static_cast<double>(total));
         }
         out += '\n';

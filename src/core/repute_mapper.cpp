@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <stdexcept>
 
 #include "filter/heuristic_seeder.hpp"
 #include "filter/memopt_seeder.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace repute::core {
@@ -82,6 +84,9 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
         ocl::Buffer reads_buffer;   ///< reused across chunk launches
         ocl::Buffer output_buffer;  ///< reused across chunk launches
         std::vector<ocl::Event> events;
+        /// Read range [first, second) of each event, for the per-launch
+        /// stage breakdown in traces.
+        std::vector<std::pair<std::size_t, std::size_t>> ranges;
     };
     std::vector<DeviceWork> work(shares_.size());
 
@@ -121,6 +126,10 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
                        "kernel invocations",
                        name_.c_str(), counts[d], device.name().c_str(),
                        max_chunk);
+            if (auto* m = obs::metrics()) {
+                m->counter("mapper.buffer_ceiling_splits")
+                    .add((counts[d] + max_chunk - 1) / max_chunk - 1);
+            }
         }
 
         dw.reads_buffer =
@@ -149,6 +158,7 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
                                          &read_stages[base + i]);
             };
             dw.events.push_back(queue.enqueue(std::move(launch)));
+            dw.ranges.emplace_back(base, base + chunk);
             base += chunk;
             remaining -= chunk;
         }
@@ -157,33 +167,39 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
     // Task-parallel completion: devices ran concurrently; the mapping
     // time is the slowest device's serial total.
     double slowest = 0.0;
-    std::size_t range_start = 0;
     for (std::size_t d = 0; d < shares_.size(); ++d) {
         if (counts[d] == 0) continue;
+        ocl::Device& device = *shares_[d].device;
         DeviceRun run;
-        run.device_name = shares_[d].device->name();
+        run.device_name = device.name();
         run.reads = counts[d];
         run.power_scale = config_.power_scale;
         double device_seconds = 0.0;
-        for (ocl::Event& event : work[d].events) {
-            const ocl::LaunchStats& stats = event.wait();
+        for (std::size_t e = 0; e < work[d].events.size(); ++e) {
+            const ocl::LaunchStats& stats = work[d].events[e].wait();
             device_seconds += stats.seconds;
             run.stats.items += stats.items;
             run.stats.total_ops += stats.total_ops;
             run.stats.scratch_bytes_per_item = stats.scratch_bytes_per_item;
             run.stats.utilization = stats.utilization;
+
+            obs::StageCounters launch_stage;
+            const auto [lo, hi] = work[d].ranges[e];
+            for (std::size_t r = lo; r < hi; ++r) {
+                launch_stage += read_stages[r];
+            }
+            run.stage += launch_stage;
+            if (auto* recorder = obs::trace()) {
+                obs::record_stage_spans(
+                    *recorder, run.device_name, /*track=*/0,
+                    stats.start_seconds,
+                    device.profile().dispatch_overhead_seconds,
+                    stats.seconds, launch_stage);
+            }
         }
         run.stats.seconds = device_seconds;
-        for (std::size_t r = range_start; r < range_start + counts[d];
-             ++r) {
-            run.filtration_ops += read_stages[r].filtration_ops;
-            run.locate_ops += read_stages[r].locate_ops;
-            run.verify_ops += read_stages[r].verify_ops;
-            run.candidates += read_stages[r].candidates;
-        }
         slowest = std::max(slowest, device_seconds);
         result.device_runs.push_back(std::move(run));
-        range_start += counts[d];
     }
     result.mapping_seconds = slowest;
     return result;
@@ -261,6 +277,14 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
             : std::min(scheduler_config.max_chunk_items,
                        static_cast<std::size_t>(fleet_chunk_cap));
 
+    if (auto* m = obs::metrics()) {
+        m->gauge("mapper.fleet_chunk_cap")
+            .set(static_cast<double>(fleet_chunk_cap));
+        if (static_cast<std::size_t>(fleet_chunk_cap) < batch.size()) {
+            m->counter("mapper.buffer_ceiling_splits").add();
+        }
+    }
+
     ChunkScheduler scheduler(devices, warm_start, scheduler_config);
 
     // Per-device read/output buffers sized to the largest planned chunk
@@ -278,10 +302,16 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
             *device, largest_chunk * out_bytes_per_read, "mappings"));
     }
 
+    // One persistent in-order queue per device: chunk launches on a
+    // device chain on each other, and trace spans land on one track.
+    std::map<ocl::Device*, ocl::CommandQueue> queues;
+    for (ocl::Device* device : devices) {
+        queues.try_emplace(device, *device);
+    }
+
     ScheduleStats schedule = scheduler.run(
         batch.size(),
         [&](ocl::Device& device, std::size_t begin, std::size_t count) {
-            ocl::CommandQueue queue(device);
             ocl::KernelLaunch launch;
             launch.name = name_ + "::map-chunk";
             launch.n_items = count;
@@ -298,7 +328,20 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
                                          result.per_read[begin + i],
                                          &read_stages[begin + i]);
             };
-            return queue.run(std::move(launch));
+            const ocl::LaunchStats stats =
+                queues.at(&device).run(std::move(launch));
+            if (auto* recorder = obs::trace()) {
+                obs::StageCounters chunk_stage;
+                for (std::size_t r = begin; r < begin + count; ++r) {
+                    chunk_stage += read_stages[r];
+                }
+                obs::record_stage_spans(
+                    *recorder, device.name(), /*track=*/0,
+                    stats.start_seconds,
+                    device.profile().dispatch_overhead_seconds,
+                    stats.seconds, chunk_stage);
+            }
+            return stats;
         });
 
     for (std::size_t d = 0; d < devices.size(); ++d) {
@@ -311,10 +354,7 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
         for (const ChunkRecord& c : schedule.records) {
             if (c.device != d) continue;
             for (std::size_t r = c.begin; r < c.begin + c.count; ++r) {
-                run.filtration_ops += read_stages[r].filtration_ops;
-                run.locate_ops += read_stages[r].locate_ops;
-                run.verify_ops += read_stages[r].verify_ops;
-                run.candidates += read_stages[r].candidates;
+                run.stage += read_stages[r];
             }
         }
         result.device_runs.push_back(std::move(run));
@@ -326,40 +366,22 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
 
 std::unique_ptr<HeterogeneousMapper> make_repute(
     const genomics::Reference& reference, const index::FmIndex& fm,
-    std::uint32_t s_min, std::vector<DeviceShare> shares,
-    KernelConfig kernel) {
-    kernel.s_min = s_min;
-    HeterogeneousMapperConfig config;
-    config.kernel = kernel;
+    std::vector<DeviceShare> shares, HeterogeneousMapperConfig config) {
     return std::make_unique<HeterogeneousMapper>(
         "REPUTE", reference, fm,
-        std::make_unique<filter::MemoryOptimizedSeeder>(s_min), config,
-        std::move(shares));
-}
-
-std::unique_ptr<HeterogeneousMapper> make_repute(
-    const genomics::Reference& reference, const index::FmIndex& fm,
-    std::uint32_t s_min, std::vector<DeviceShare> shares,
-    HeterogeneousMapperConfig config) {
-    config.kernel.s_min = s_min;
-    return std::make_unique<HeterogeneousMapper>(
-        "REPUTE", reference, fm,
-        std::make_unique<filter::MemoryOptimizedSeeder>(s_min), config,
-        std::move(shares));
+        std::make_unique<filter::MemoryOptimizedSeeder>(
+            config.kernel.s_min),
+        config, std::move(shares));
 }
 
 std::unique_ptr<HeterogeneousMapper> make_coral(
     const genomics::Reference& reference, const index::FmIndex& fm,
-    std::uint32_t s_min, std::vector<DeviceShare> shares,
-    KernelConfig kernel) {
-    kernel.s_min = s_min;
-    kernel.collapse_candidates = false; // streaming per-hit verification
-    HeterogeneousMapperConfig config;
-    config.kernel = kernel;
+    std::vector<DeviceShare> shares, HeterogeneousMapperConfig config) {
+    config.kernel.collapse_candidates = false; // streaming verification
     return std::make_unique<HeterogeneousMapper>(
         "CORAL", reference, fm,
-        std::make_unique<filter::HeuristicSeeder>(s_min), config,
-        std::move(shares));
+        std::make_unique<filter::HeuristicSeeder>(config.kernel.s_min),
+        config, std::move(shares));
 }
 
 std::vector<DeviceShare> balanced_shares(

@@ -96,25 +96,21 @@ private:
     std::vector<DeviceShare> shares_;
 };
 
-/// REPUTE with the paper's memory-optimized DP seeder.
+/// REPUTE with the paper's memory-optimized DP seeder. The minimum
+/// k-mer length (and every other kernel/host knob) lives in exactly one
+/// place: `config.kernel.s_min` — the seeder is built from it.
 std::unique_ptr<HeterogeneousMapper> make_repute(
     const genomics::Reference& reference, const index::FmIndex& fm,
-    std::uint32_t s_min, std::vector<DeviceShare> shares,
-    KernelConfig kernel = {});
-
-/// Same, with full host configuration (schedule mode, scheduler knobs);
-/// `config.kernel.s_min` is overwritten with `s_min`.
-std::unique_ptr<HeterogeneousMapper> make_repute(
-    const genomics::Reference& reference, const index::FmIndex& fm,
-    std::uint32_t s_min, std::vector<DeviceShare> shares,
-    HeterogeneousMapperConfig config);
+    std::vector<DeviceShare> shares,
+    HeterogeneousMapperConfig config = {});
 
 /// CORAL: the same OpenCL host flow with the serial variable-length
-/// k-mer heuristic.
+/// k-mer heuristic and the streaming verification flow
+/// (`config.kernel.collapse_candidates` is forced off).
 std::unique_ptr<HeterogeneousMapper> make_coral(
     const genomics::Reference& reference, const index::FmIndex& fm,
-    std::uint32_t s_min, std::vector<DeviceShare> shares,
-    KernelConfig kernel = {});
+    std::vector<DeviceShare> shares,
+    HeterogeneousMapperConfig config = {});
 
 /// Workload shares proportional to each device's occupancy-adjusted
 /// throughput for a kernel with the given per-item scratch requirement —

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace repute::core {
 
 double ScheduleStats::makespan_seconds() const noexcept {
@@ -242,6 +244,21 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
                 }
                 ++stats.per_device[d].steals;
                 ++stats.steals;
+                if (auto* recorder = obs::trace()) {
+                    obs::TraceInstant instant;
+                    instant.name = "steal";
+                    instant.device = devices_[d]->name();
+                    instant.at_seconds =
+                        stats.per_device[d].busy_seconds;
+                    instant.detail =
+                        "from " + devices_[victim]->name() + " chunk [" +
+                        std::to_string(chunk.begin) + ", " +
+                        std::to_string(chunk.begin + chunk.count) + ")";
+                    recorder->record(std::move(instant));
+                }
+                if (auto* m = obs::metrics()) {
+                    m->counter("scheduler.steals").add();
+                }
             }
 
             lock.unlock();
@@ -261,6 +278,21 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
                 fail_status = e.status();
                 ++chunk.retries;
                 ++stats.retries;
+                if (auto* recorder = obs::trace()) {
+                    obs::TraceInstant instant;
+                    instant.name = "retry";
+                    instant.device = devices_[d]->name();
+                    instant.at_seconds = pd.busy_seconds;
+                    instant.detail = "chunk [" +
+                                     std::to_string(chunk.begin) + ", " +
+                                     std::to_string(chunk.begin +
+                                                    chunk.count) +
+                                     "): " + e.what();
+                    recorder->record(std::move(instant));
+                }
+                if (auto* m = obs::metrics()) {
+                    m->counter("scheduler.retries").add();
+                }
                 if (chunk.retries > config_.max_chunk_retries) {
                     failed = true;
                     fail_message =
@@ -277,6 +309,19 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
                     pd.quarantined = true;
                     quarantined[d] = 1;
                     --alive;
+                    if (auto* recorder = obs::trace()) {
+                        obs::TraceInstant instant;
+                        instant.name = "quarantine";
+                        instant.device = devices_[d]->name();
+                        instant.at_seconds = pd.busy_seconds;
+                        instant.detail =
+                            std::to_string(consecutive_failures[d]) +
+                            " consecutive launch failures";
+                        recorder->record(std::move(instant));
+                    }
+                    if (auto* m = obs::metrics()) {
+                        m->counter("scheduler.quarantines").add();
+                    }
                     std::deque<ChunkRecord> orphans;
                     orphans.swap(queues[d]);
                     orphans.push_front(chunk);
@@ -320,6 +365,31 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
             consecutive_failures[d] = 0;
             chunk.device = d;
             chunk.stolen = chunk.device != chunk.owner;
+            if (auto* recorder = obs::trace()) {
+                obs::TraceSpan span;
+                span.name = "chunk [" + std::to_string(chunk.begin) +
+                            ", " +
+                            std::to_string(chunk.begin + chunk.count) +
+                            ")";
+                span.device = devices_[d]->name();
+                span.track = obs::kSchedulerTrack;
+                span.start_seconds = launch_stats.start_seconds;
+                span.duration_seconds = launch_stats.seconds;
+                span.chunk = static_cast<std::int64_t>(chunk.begin);
+                span.detail = "owner=" +
+                              devices_[chunk.owner]->name() +
+                              (chunk.stolen ? " stolen" : "") +
+                              (chunk.retries > 0
+                                   ? " retries=" +
+                                         std::to_string(chunk.retries)
+                                   : "");
+                recorder->record(std::move(span));
+            }
+            if (auto* m = obs::metrics()) {
+                m->counter("scheduler.chunks").add();
+                m->histogram("scheduler.chunk_items")
+                    .observe(static_cast<double>(chunk.count));
+            }
             stats.records.push_back(chunk);
             ++stats.chunks;
             --remaining;

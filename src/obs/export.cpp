@@ -1,0 +1,254 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace repute::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+    char buffer[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buffer, sizeof buffer, fmt, args);
+    va_end(args);
+    out += buffer;
+}
+
+/// Event rows normalized to export form so spans and instants sort and
+/// print through one code path.
+struct EventRow {
+    int pid = 0;
+    int tid = 0;
+    double ts_us = 0.0;  ///< normalized microseconds
+    double dur_us = 0.0; ///< 0 for instants
+    bool instant = false;
+    std::string name;
+    std::string stage;
+    std::int64_t chunk = -1;
+    std::string detail;
+
+    bool operator<(const EventRow& other) const {
+        if (pid != other.pid) return pid < other.pid;
+        if (tid != other.tid) return tid < other.tid;
+        if (ts_us != other.ts_us) return ts_us < other.ts_us;
+        // Longer spans first so parents precede the children they
+        // contain (chrome://tracing nests by containment).
+        if (dur_us != other.dur_us) return dur_us > other.dur_us;
+        if (name != other.name) return name < other.name;
+        return detail < other.detail;
+    }
+};
+
+void append_args(std::string& out, const EventRow& row) {
+    std::string args;
+    if (!row.stage.empty()) {
+        args += "\"stage\":\"";
+        append_escaped(args, row.stage);
+        args += '"';
+    }
+    if (row.chunk >= 0) {
+        if (!args.empty()) args += ',';
+        appendf(args, "\"chunk\":%lld",
+                static_cast<long long>(row.chunk));
+    }
+    if (!row.detail.empty()) {
+        if (!args.empty()) args += ',';
+        args += "\"detail\":\"";
+        append_escaped(args, row.detail);
+        args += '"';
+    }
+    if (!args.empty()) {
+        out += ",\"args\":{";
+        out += args;
+        out += '}';
+    }
+}
+
+} // namespace
+
+std::string chrome_trace_json(const TraceRecorder& recorder) {
+    const std::vector<TraceSpan> spans = recorder.spans();
+    const std::vector<TraceInstant> instants = recorder.instants();
+
+    // pid per device (sorted names), tid per track within a device
+    // (queue ids ascending; the scheduler track, ~0, sorts last).
+    std::map<std::string, std::map<std::uint64_t, int>> layout;
+    std::map<std::string, double> origin;
+    auto note = [&](const std::string& device, std::uint64_t track,
+                    double at) {
+        layout[device][track] = 0;
+        auto [it, inserted] = origin.try_emplace(device, at);
+        if (!inserted) it->second = std::min(it->second, at);
+    };
+    for (const TraceSpan& s : spans) {
+        note(s.device, s.track, s.start_seconds);
+    }
+    for (const TraceInstant& i : instants) {
+        note(i.device, i.track, i.at_seconds);
+    }
+
+    std::map<std::string, int> pids;
+    int next_pid = 0;
+    for (auto& [device, tracks] : layout) {
+        pids[device] = next_pid++;
+        int next_tid = 0;
+        for (auto& [track, tid] : tracks) tid = next_tid++;
+    }
+
+    std::string out = "{\"traceEvents\":[\n";
+
+    // Metadata: process and thread names.
+    bool first = true;
+    auto sep = [&] {
+        if (!first) out += ",\n";
+        first = false;
+    };
+    for (const auto& [device, pid] : pids) {
+        sep();
+        appendf(out,
+                "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                "\"name\":\"process_name\",\"args\":{\"name\":\"",
+                pid);
+        append_escaped(out, device);
+        out += "\"}}";
+        for (const auto& [track, tid] : layout[device]) {
+            sep();
+            appendf(out,
+                    "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                    "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                    pid, tid);
+            if (track == kSchedulerTrack) {
+                out += "scheduler";
+            } else {
+                appendf(out, "queue %llu",
+                        static_cast<unsigned long long>(track));
+            }
+            out += "\"}}";
+        }
+    }
+
+    std::vector<EventRow> rows;
+    rows.reserve(spans.size() + instants.size());
+    for (const TraceSpan& s : spans) {
+        EventRow row;
+        row.pid = pids[s.device];
+        row.tid = layout[s.device][s.track];
+        row.ts_us = (s.start_seconds - origin[s.device]) * 1e6;
+        row.dur_us = s.duration_seconds * 1e6;
+        row.name = s.name;
+        row.stage = s.stage;
+        row.chunk = s.chunk;
+        row.detail = s.detail;
+        rows.push_back(std::move(row));
+    }
+    for (const TraceInstant& i : instants) {
+        EventRow row;
+        row.pid = pids[i.device];
+        row.tid = layout[i.device][i.track];
+        row.ts_us = (i.at_seconds - origin[i.device]) * 1e6;
+        row.instant = true;
+        row.name = i.name;
+        row.detail = i.detail;
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end());
+
+    for (const EventRow& row : rows) {
+        sep();
+        if (row.instant) {
+            appendf(out,
+                    "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"s\":\"t\",\"name\":\"",
+                    row.pid, row.tid, row.ts_us);
+        } else {
+            appendf(out,
+                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"name\":\"",
+                    row.pid, row.tid, row.ts_us, row.dur_us);
+        }
+        append_escaped(out, row.name);
+        out += '"';
+        append_args(out, row);
+        out += '}';
+    }
+
+    out += "\n]}\n";
+    return out;
+}
+
+std::string stage_summary(const TraceRecorder& recorder,
+                          const MetricsRegistry* metrics) {
+    const auto totals = recorder.stage_totals();
+    const auto busy = recorder.device_busy_seconds();
+
+    std::string out;
+    appendf(out, "%-14s %10s %14s %14s %14s %12s\n", "device",
+            "launch(s)", "filtration", "locate", "verify", "candidates");
+    StageCounters fleet;
+    double fleet_busy = 0.0;
+    for (const auto& [device, counters] : totals) {
+        const auto it = busy.find(device);
+        const double seconds = it == busy.end() ? 0.0 : it->second;
+        const double total =
+            std::max<double>(1.0, static_cast<double>(counters.total_ops()));
+        appendf(out,
+                "%-14s %10.4f %9llu %3.0f%% %9llu %3.0f%% %9llu %3.0f%% "
+                "%12llu\n",
+                device.c_str(), seconds,
+                static_cast<unsigned long long>(counters.filtration_ops),
+                100.0 * static_cast<double>(counters.filtration_ops) / total,
+                static_cast<unsigned long long>(counters.locate_ops),
+                100.0 * static_cast<double>(counters.locate_ops) / total,
+                static_cast<unsigned long long>(counters.verify_ops),
+                100.0 * static_cast<double>(counters.verify_ops) / total,
+                static_cast<unsigned long long>(counters.candidates));
+        fleet += counters;
+        fleet_busy = std::max(fleet_busy, seconds);
+    }
+    if (totals.size() > 1) {
+        appendf(out, "%-14s %10.4f %14llu %14llu %14llu %12llu\n", "fleet",
+                fleet_busy,
+                static_cast<unsigned long long>(fleet.filtration_ops),
+                static_cast<unsigned long long>(fleet.locate_ops),
+                static_cast<unsigned long long>(fleet.verify_ops),
+                static_cast<unsigned long long>(fleet.candidates));
+    }
+    if (metrics != nullptr) {
+        const std::string dump = metrics->format();
+        if (!dump.empty()) {
+            out += "-- metrics --\n";
+            out += dump;
+        }
+    }
+    return out;
+}
+
+} // namespace repute::obs

@@ -1,0 +1,32 @@
+#pragma once
+// Trace exporters: Chrome trace-event JSON and a plain-text per-stage
+// summary.
+//
+// The JSON loads directly in chrome://tracing or https://ui.perfetto.dev:
+// one process (pid) per device, one thread (tid) per queue plus a
+// "scheduler" thread for chunk lifecycle events. Timestamps are
+// microseconds of modeled device time, normalized so each device's
+// first event sits at 0 (device clocks are independent and persist
+// across runs). The output is a pure, byte-deterministic function of
+// the recorder's contents: events are sorted, ids are assigned from
+// sorted names, and floats print with fixed precision.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace repute::obs {
+
+/// Serializes every recorded span and instant as Chrome trace-event
+/// JSON (complete "X" events for spans, "i" for instants, metadata "M"
+/// records naming processes and threads).
+std::string chrome_trace_json(const TraceRecorder& recorder);
+
+/// Plain-text table: per-device stage op totals with percentage shares
+/// and launch-span seconds, followed by a metrics dump when a registry
+/// is supplied.
+std::string stage_summary(const TraceRecorder& recorder,
+                          const MetricsRegistry* metrics = nullptr);
+
+} // namespace repute::obs

@@ -1,0 +1,54 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace repute::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    const std::lock_guard lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    const std::lock_guard lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    const std::lock_guard lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::string MetricsRegistry::format() const {
+    const std::lock_guard lock(mutex_);
+    std::string out;
+    char line[192];
+    for (const auto& [name, counter] : counters_) {
+        std::snprintf(line, sizeof line, "%-32s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(counter->value()));
+        out += line;
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        std::snprintf(line, sizeof line, "%-32s %.6g\n", name.c_str(),
+                      gauge->value());
+        out += line;
+    }
+    for (const auto& [name, histogram] : histograms_) {
+        const Histogram::Snapshot s = histogram->snapshot();
+        std::snprintf(line, sizeof line,
+                      "%-32s count=%llu mean=%.3f min=%.3f max=%.3f\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(s.count), s.mean(),
+                      s.min, s.max);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace repute::obs

@@ -1,0 +1,104 @@
+#pragma once
+// Named metrics registry: monotonic counters, gauges and histograms.
+//
+// Instrumented code pays nothing when no registry is installed: the
+// global accessor (obs::metrics(), see trace.hpp) is a relaxed atomic
+// load, and every instrumentation site is guarded by a null check —
+// with tracing off the whole path is one predictable branch.
+//
+// Metric objects returned by the registry are stable for the registry's
+// lifetime, so hot loops may look a metric up once and keep the
+// reference. Counters and gauges are lock-free; histograms take a small
+// per-observe lock (acceptable at per-read granularity).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace repute::obs {
+
+/// Monotonic counter (steals, retries, candidate windows, ...).
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (fleet sizes, configured caps, ratios).
+class Gauge {
+public:
+    void set(double value) noexcept {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Running count/sum/min/max distribution (candidates per read, chunk
+/// sizes). Keeps no buckets — the summary reports mean and extremes.
+class Histogram {
+public:
+    struct Snapshot {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+
+        double mean() const noexcept {
+            return count == 0 ? 0.0 : sum / static_cast<double>(count);
+        }
+    };
+
+    void observe(double value) noexcept {
+        const std::lock_guard lock(mutex_);
+        if (state_.count == 0 || value < state_.min) state_.min = value;
+        if (state_.count == 0 || value > state_.max) state_.max = value;
+        ++state_.count;
+        state_.sum += value;
+    }
+
+    Snapshot snapshot() const {
+        const std::lock_guard lock(mutex_);
+        return state_;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    Snapshot state_;
+};
+
+/// Name-keyed metric store. Lookup is mutex-guarded; the returned
+/// references stay valid (and lock-free to update) for the registry's
+/// lifetime.
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /// Deterministic plain-text dump, one `name value` line per metric,
+    /// sorted by name.
+    std::string format() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace repute::obs

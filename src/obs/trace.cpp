@@ -1,0 +1,114 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repute::obs {
+
+void TraceRecorder::record(TraceSpan span) {
+    const std::lock_guard lock(mutex_);
+    spans_.push_back(std::move(span));
+}
+
+void TraceRecorder::record(TraceInstant instant) {
+    const std::lock_guard lock(mutex_);
+    instants_.push_back(std::move(instant));
+}
+
+void TraceRecorder::add_stage_counters(const std::string& device,
+                                       const StageCounters& counters) {
+    const std::lock_guard lock(mutex_);
+    stage_totals_[device] += counters;
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+    const std::lock_guard lock(mutex_);
+    return spans_;
+}
+
+std::vector<TraceInstant> TraceRecorder::instants() const {
+    const std::lock_guard lock(mutex_);
+    return instants_;
+}
+
+std::map<std::string, StageCounters> TraceRecorder::stage_totals() const {
+    const std::lock_guard lock(mutex_);
+    return stage_totals_;
+}
+
+std::map<std::string, double> TraceRecorder::device_busy_seconds() const {
+    const std::lock_guard lock(mutex_);
+    std::map<std::string, double> busy;
+    for (const TraceSpan& span : spans_) {
+        if (span.track == kSchedulerTrack || !span.stage.empty()) continue;
+        busy[span.device] += span.duration_seconds;
+    }
+    return busy;
+}
+
+namespace {
+
+std::atomic<TraceRecorder*> g_trace{nullptr};
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+} // namespace
+
+TraceRecorder* trace() noexcept {
+    return g_trace.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry* metrics() noexcept {
+    return g_metrics.load(std::memory_order_relaxed);
+}
+
+void install(TraceRecorder* recorder, MetricsRegistry* metrics) noexcept {
+    g_trace.store(recorder, std::memory_order_relaxed);
+    g_metrics.store(metrics, std::memory_order_relaxed);
+}
+
+TraceSession::TraceSession() {
+    if (trace() != nullptr || obs::metrics() != nullptr) {
+        throw std::logic_error("obs::TraceSession: a session is already "
+                               "installed");
+    }
+    install(&recorder_, &metrics_);
+}
+
+TraceSession::~TraceSession() { install(nullptr, nullptr); }
+
+void record_stage_spans(TraceRecorder& recorder, const std::string& device,
+                        std::uint64_t track, double start_seconds,
+                        double overhead_seconds, double duration_seconds,
+                        const StageCounters& counters) {
+    recorder.add_stage_counters(device, counters);
+    const std::uint64_t total = counters.total_ops();
+    const double width =
+        std::max(0.0, duration_seconds - overhead_seconds);
+    if (total == 0 || width <= 0.0) return;
+
+    struct StageShare {
+        const char* name;
+        std::uint64_t ops;
+    };
+    const StageShare shares[] = {
+        {"filtration", counters.filtration_ops},
+        {"locate", counters.locate_ops},
+        {"verify", counters.verify_ops},
+    };
+    double at = start_seconds + overhead_seconds;
+    for (const StageShare& share : shares) {
+        if (share.ops == 0) continue;
+        TraceSpan span;
+        span.name = share.name;
+        span.stage = share.name;
+        span.device = device;
+        span.track = track;
+        span.start_seconds = at;
+        span.duration_seconds = width * static_cast<double>(share.ops) /
+                                static_cast<double>(total);
+        at += span.duration_seconds;
+        recorder.record(std::move(span));
+    }
+}
+
+} // namespace repute::obs

@@ -59,7 +59,11 @@ LaunchStats Device::execute(std::size_t n_items, const WorkItem& body,
                     static_cast<double>(stats.total_ops) / throughput;
 
     {
+        // The launch occupies [busy, busy + seconds) on the device
+        // clock: launches serialize on exec_mutex_, so back-to-back
+        // intervals model an in-order device.
         const std::lock_guard time_lock(time_mutex_);
+        stats.start_seconds = busy_seconds_;
         busy_seconds_ += stats.seconds;
     }
     return stats;

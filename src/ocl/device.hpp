@@ -78,6 +78,10 @@ struct LaunchStats {
     std::uint64_t items = 0;
     std::uint64_t total_ops = 0;
     std::uint64_t scratch_bytes_per_item = 0;
+    /// Device-clock time the launch began (the device's accumulated
+    /// busy seconds when it was dispatched) — the timebase trace spans
+    /// are recorded against. Meaningless for aggregated stats.
+    double start_seconds = 0.0;
     double seconds = 0.0;   ///< modeled duration on the device
     double utilization = 1.0;
 };

@@ -1,5 +1,7 @@
 #include "ocl/queue.hpp"
 
+#include "obs/trace.hpp"
+
 namespace repute::ocl {
 
 Event::Event(std::shared_future<LaunchStats> future)
@@ -30,9 +32,19 @@ Event CommandQueue::enqueue(KernelLaunch launch) {
 Event CommandQueue::enqueue(KernelLaunch launch,
                             std::vector<Event> wait_list) {
     Device* device = device_;
+    const std::uint64_t queue_id = queue_id_;
+
+    // Chain on the queue's previous event so the in-order contract
+    // holds across launcher threads (std::async tasks would otherwise
+    // race for the device and start out of submission order). The chain
+    // only orders: a failed predecessor does not fail this launch (the
+    // scheduler retries chunks on a queue whose last launch faulted).
+    const std::lock_guard order_lock(order_mutex_);
+    Event prev = last_;
+
     auto future =
         std::async(std::launch::async,
-                   [device, launch = std::move(launch),
+                   [device, queue_id, prev, launch = std::move(launch),
                     wait_list = std::move(wait_list)]() mutable
                    -> LaunchStats {
                        // Dependencies first; a throwing dependency
@@ -40,11 +52,32 @@ Event CommandQueue::enqueue(KernelLaunch launch,
                        for (Event& dependency : wait_list) {
                            dependency.wait();
                        }
-                       return device->execute(launch.n_items, launch.body,
-                                              launch.scratch_bytes_per_item);
+                       if (prev.valid()) {
+                           try {
+                               prev.wait();
+                           } catch (...) {
+                               // Ordering only; the predecessor's error
+                               // surfaces through its own event.
+                           }
+                       }
+                       const LaunchStats stats =
+                           device->execute(launch.n_items, launch.body,
+                                           launch.scratch_bytes_per_item);
+                       if (auto* recorder = obs::trace()) {
+                           obs::TraceSpan span;
+                           span.name = launch.name;
+                           span.device = device->name();
+                           span.track = queue_id;
+                           span.start_seconds = stats.start_seconds;
+                           span.duration_seconds = stats.seconds;
+                           recorder->record(std::move(span));
+                       }
+                       return stats;
                    })
             .share();
-    return Event(std::move(future));
+    Event event{std::move(future)};
+    last_ = event;
+    return event;
 }
 
 LaunchStats CommandQueue::run(KernelLaunch launch) {

@@ -7,6 +7,13 @@
 // enqueue() returns immediately; the kernel runs on a launcher thread
 // using the device's worker pool. Event::wait() joins and yields the
 // modeled LaunchStats.
+//
+// In-order means in order: each enqueue is implicitly chained on the
+// queue's previous event (clEnqueue semantics on an in-order queue), so
+// launches submitted through one queue start on the device in
+// submission order — which keeps their modeled start times, and hence
+// trace spans, deterministic. When an obs::TraceRecorder is installed,
+// every completed launch records a span on (device, queue id).
 
 #include <future>
 #include <memory>
@@ -54,18 +61,26 @@ private:
 
 class CommandQueue {
 public:
-    /// The device must outlive the queue.
-    explicit CommandQueue(Device& device) : device_(&device) {}
+    /// The device must outlive the queue. `queue_id` labels this
+    /// queue's track in trace exports (tid within the device).
+    explicit CommandQueue(Device& device, std::uint64_t queue_id = 0)
+        : device_(&device), queue_id_(queue_id) {}
+
+    CommandQueue(const CommandQueue&) = delete;
+    CommandQueue& operator=(const CommandQueue&) = delete;
 
     Device& device() const noexcept { return *device_; }
+    std::uint64_t queue_id() const noexcept { return queue_id_; }
 
-    /// Asynchronous launch; kernels on one queue execute in order
-    /// (the device serializes), queues on different devices overlap.
+    /// Asynchronous launch; kernels on one queue execute in order —
+    /// each launch waits on the queue's previous event — while queues
+    /// on different devices overlap.
     Event enqueue(KernelLaunch launch);
 
     /// Launch with an event wait-list (OpenCL clEnqueueNDRangeKernel
     /// semantics): the kernel starts only after every event in
-    /// `wait_list` completed. A failed dependency fails this event too.
+    /// `wait_list` (plus the queue's previous event) completed. A
+    /// failed dependency fails this event too.
     Event enqueue(KernelLaunch launch, std::vector<Event> wait_list);
 
     /// Synchronous convenience: enqueue + wait.
@@ -73,6 +88,9 @@ public:
 
 private:
     Device* device_;
+    std::uint64_t queue_id_;
+    std::mutex order_mutex_; ///< guards last_ across enqueuing threads
+    Event last_;             ///< tail of the in-order chain
 };
 
 } // namespace repute::ocl

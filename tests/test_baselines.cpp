@@ -257,7 +257,7 @@ TEST_F(BaselineTest, YaraScalesWorseWithDeltaThanRepute) {
     // rather than absolute ordering (the crossover point depends on
     // genome size).
     auto repute =
-        repute::core::make_repute(*reference_, *fm_, 12, {{device_, 1.0}});
+        repute::core::make_repute(*reference_, *fm_, {{device_, 1.0}});
     YaraLike yara(*reference_, *fm_, *device_);
 
     const auto repute_low = repute->map(sim_->batch, 3).mapping_seconds;
@@ -287,7 +287,7 @@ TEST_F(BaselineTest, AllMappersAgreeWithGoldStandardAnyBest) {
               99.0);
 
     auto repute_mapper =
-        repute::core::make_repute(*reference_, *fm_, 12, {{device_, 1.0}});
+        repute::core::make_repute(*reference_, *fm_, {{device_, 1.0}});
     EXPECT_GE(repute::core::any_best_accuracy(
                   gold, repute_mapper->map(sim_->batch, 4), config),
               99.0);

@@ -137,7 +137,7 @@ TEST_F(CigarTest, UnalignableMappingRejected) {
 
 TEST_F(CigarTest, EndToEndSamWithCigar) {
     Device dev(test_profile());
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{&dev, 1.0}});
     const auto result = mapper->map(sim_->batch, 4);
 
@@ -160,7 +160,7 @@ TEST_F(CigarTest, EndToEndSamWithCigar) {
 
 TEST_F(CigarTest, PrecisePositionMatchesOriginForCleanReads) {
     Device dev(test_profile());
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{&dev, 1.0}});
     const auto result = mapper->map(sim_->batch, 4);
     std::size_t checked = 0;
@@ -197,27 +197,28 @@ TEST_F(CigarTest, StageTotalsSumToKernelOps) {
 
 TEST_F(CigarTest, DeviceRunsCarryStageBreakdown) {
     Device dev(test_profile());
-    auto repute_mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto repute_mapper = repute::core::make_repute(*reference_, *fm_,
                                                    {{&dev, 1.0}});
     const auto result = repute_mapper->map(sim_->batch, 4);
     ASSERT_EQ(result.device_runs.size(), 1u);
     const auto& run = result.device_runs[0];
-    EXPECT_EQ(run.filtration_ops + run.locate_ops + run.verify_ops,
+    EXPECT_EQ(run.stage.filtration_ops + run.stage.locate_ops +
+                  run.stage.verify_ops,
               run.stats.total_ops);
-    EXPECT_GT(run.candidates, 0u);
+    EXPECT_GT(run.stage.candidates, 0u);
 }
 
 TEST_F(CigarTest, StreamingFlowVerifiesMoreThanCollapsedFlow) {
     Device dev(test_profile());
-    auto repute_mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto repute_mapper = repute::core::make_repute(*reference_, *fm_,
                                                    {{&dev, 1.0}});
-    auto coral_mapper = repute::core::make_coral(*reference_, *fm_, 12,
+    auto coral_mapper = repute::core::make_coral(*reference_, *fm_,
                                                  {{&dev, 1.0}});
     const auto repute_result = repute_mapper->map(sim_->batch, 4);
     const auto coral_result = coral_mapper->map(sim_->batch, 4);
     // CORAL re-verifies windows shared by several seeds.
-    EXPECT_GT(coral_result.device_runs[0].candidates,
-              repute_result.device_runs[0].candidates);
+    EXPECT_GT(coral_result.device_runs[0].stage.candidates,
+              repute_result.device_runs[0].stage.candidates);
 }
 
 } // namespace

@@ -156,7 +156,7 @@ TEST_F(CoreTest, ScratchGrowsAsSminShrinks) {
 
 TEST_F(CoreTest, ReputeRecoversSimulatedOrigins) {
     Device dev(fast_test_profile());
-    auto mapper = make_repute(*reference_, *fm_, 12, {{&dev, 1.0}});
+    auto mapper = make_repute(*reference_, *fm_, {{&dev, 1.0}});
     const auto result = mapper->map(sim_->batch, 5);
     EXPECT_GE(origin_recovery(result, 5), 0.99);
     EXPECT_GT(result.mapping_seconds, 0.0);
@@ -166,17 +166,17 @@ TEST_F(CoreTest, ReputeRecoversSimulatedOrigins) {
 
 TEST_F(CoreTest, CoralRecoversSimulatedOrigins) {
     Device dev(fast_test_profile());
-    auto mapper = make_coral(*reference_, *fm_, 12, {{&dev, 1.0}});
+    auto mapper = make_coral(*reference_, *fm_, {{&dev, 1.0}});
     const auto result = mapper->map(sim_->batch, 5);
     EXPECT_GE(origin_recovery(result, 5), 0.99);
 }
 
 TEST_F(CoreTest, FirstNCapRespected) {
     Device dev(fast_test_profile());
-    KernelConfig kernel;
-    kernel.max_locations_per_read = 3;
+    repute::core::HeterogeneousMapperConfig config;
+    config.kernel.max_locations_per_read = 3;
     auto mapper =
-        make_repute(*reference_, *fm_, 12, {{&dev, 1.0}}, kernel);
+        make_repute(*reference_, *fm_, {{&dev, 1.0}}, config);
     const auto result = mapper->map(sim_->batch, 5);
     for (const auto& mappings : result.per_read) {
         EXPECT_LE(mappings.size(), 3u);
@@ -186,9 +186,9 @@ TEST_F(CoreTest, FirstNCapRespected) {
 TEST_F(CoreTest, MultiDeviceMatchesSingleDevice) {
     Device a(fast_test_profile("dev-a"));
     Device b(fast_test_profile("dev-b"));
-    auto single = make_repute(*reference_, *fm_, 12, {{&a, 1.0}});
+    auto single = make_repute(*reference_, *fm_, {{&a, 1.0}});
     auto dual =
-        make_repute(*reference_, *fm_, 12, {{&a, 0.5}, {&b, 0.5}});
+        make_repute(*reference_, *fm_, {{&a, 0.5}, {&b, 0.5}});
 
     const auto r1 = single->map(sim_->batch, 4);
     const auto r2 = dual->map(sim_->batch, 4);
@@ -210,7 +210,7 @@ TEST_F(CoreTest, WorkloadSplitProportions) {
     Device a(fast_test_profile("dev-a"));
     Device b(fast_test_profile("dev-b"));
     Device c(fast_test_profile("dev-c"));
-    auto mapper = make_repute(*reference_, *fm_, 12,
+    auto mapper = make_repute(*reference_, *fm_,
                               {{&a, 0.8}, {&b, 0.1}, {&c, 0.1}});
     const auto counts = mapper->split_workload(1'000'000);
     ASSERT_EQ(counts.size(), 3u);
@@ -218,6 +218,55 @@ TEST_F(CoreTest, WorkloadSplitProportions) {
     EXPECT_EQ(counts[1], 100'000u);
     EXPECT_EQ(counts[2], 100'000u);
     EXPECT_EQ(counts[0] + counts[1] + counts[2], 1'000'000u);
+}
+
+TEST_F(CoreTest, WorkloadSplitDropsZeroFractionShares) {
+    Device a(fast_test_profile("dev-a"));
+    Device b(fast_test_profile("dev-b"));
+    auto mapper =
+        make_repute(*reference_, *fm_, {{&a, 1.0}, {&b, 0.0}});
+    const auto counts = mapper->split_workload(100);
+    // The zero share never reaches the split: one device, all reads.
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts[0], 100u);
+}
+
+TEST_F(CoreTest, WorkloadSplitNormalizesFractions) {
+    Device a(fast_test_profile("dev-a"));
+    Device b(fast_test_profile("dev-b"));
+    // 2:6 must behave exactly like 0.25:0.75.
+    auto mapper = make_repute(*reference_, *fm_, {{&a, 2.0}, {&b, 6.0}});
+    const auto counts = mapper->split_workload(100);
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 25u);
+    EXPECT_EQ(counts[1], 75u);
+}
+
+TEST_F(CoreTest, WorkloadSplitSingleShareTakesEverything) {
+    Device a(fast_test_profile("dev-a"));
+    auto mapper = make_repute(*reference_, *fm_, {{&a, 0.37}});
+    const auto counts = mapper->split_workload(17);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts[0], 17u);
+}
+
+TEST_F(CoreTest, WorkloadSplitSmallerThanFleetConservesTotal) {
+    Device a(fast_test_profile("dev-a"));
+    Device b(fast_test_profile("dev-b"));
+    Device c(fast_test_profile("dev-c"));
+    auto mapper = make_repute(*reference_, *fm_,
+                              {{&a, 1.0}, {&b, 1.0}, {&c, 1.0}});
+    const auto counts = mapper->split_workload(2);
+    ASSERT_EQ(counts.size(), 3u);
+    std::size_t sum = 0;
+    for (const auto n : counts) {
+        EXPECT_LE(n, 2u);
+        sum += n;
+    }
+    EXPECT_EQ(sum, 2u);
+    // And the degenerate zero-read split stays all-zero.
+    const auto empty = mapper->split_workload(0);
+    for (const auto n : empty) EXPECT_EQ(n, 0u);
 }
 
 TEST_F(CoreTest, TinyDeviceMemoryForcesChunkingWithSameResults) {
@@ -229,12 +278,12 @@ TEST_F(CoreTest, TinyDeviceMemoryForcesChunkingWithSameResults) {
     tiny_profile.global_memory_bytes = 2 * 1024 * 1024;
     Device tiny(tiny_profile);
 
-    KernelConfig kernel;
-    kernel.max_locations_per_read = 1000;
+    repute::core::HeterogeneousMapperConfig config;
+    config.kernel.max_locations_per_read = 1000;
     auto ref_mapper =
-        make_repute(*reference_, *fm_, 12, {{&big, 1.0}}, kernel);
+        make_repute(*reference_, *fm_, {{&big, 1.0}}, config);
     auto tiny_mapper =
-        make_repute(*reference_, *fm_, 12, {{&tiny, 1.0}}, kernel);
+        make_repute(*reference_, *fm_, {{&tiny, 1.0}}, config);
     const auto r1 = ref_mapper->map(sim_->batch, 4);
     const auto r2 = tiny_mapper->map(sim_->batch, 4);
     for (std::size_t i = 0; i < r1.per_read.size(); ++i) {
@@ -244,15 +293,15 @@ TEST_F(CoreTest, TinyDeviceMemoryForcesChunkingWithSameResults) {
 
 TEST_F(CoreTest, RejectsNullOrEmptyShares) {
     EXPECT_THROW(
-        make_repute(*reference_, *fm_, 12, {{nullptr, 1.0}}),
+        make_repute(*reference_, *fm_, {{nullptr, 1.0}}),
         std::invalid_argument);
-    EXPECT_THROW(make_repute(*reference_, *fm_, 12, {}),
+    EXPECT_THROW(make_repute(*reference_, *fm_, {}),
                  std::invalid_argument);
 }
 
 TEST_F(CoreTest, EmptyBatchYieldsEmptyResult) {
     Device dev(fast_test_profile());
-    auto mapper = make_repute(*reference_, *fm_, 12, {{&dev, 1.0}});
+    auto mapper = make_repute(*reference_, *fm_, {{&dev, 1.0}});
     const auto result = mapper->map({}, 5);
     EXPECT_TRUE(result.per_read.empty());
     EXPECT_EQ(result.mapping_seconds, 0.0);
@@ -262,7 +311,7 @@ TEST_F(CoreTest, EmptyBatchYieldsEmptyResult) {
 
 TEST_F(CoreTest, AccuracyProtocolsOnIdenticalResults) {
     Device dev(fast_test_profile());
-    auto mapper = make_repute(*reference_, *fm_, 12, {{&dev, 1.0}});
+    auto mapper = make_repute(*reference_, *fm_, {{&dev, 1.0}});
     const auto result = mapper->map(sim_->batch, 4);
     AccuracyConfig config;
     config.position_tolerance = 4;
@@ -273,7 +322,7 @@ TEST_F(CoreTest, AccuracyProtocolsOnIdenticalResults) {
 
 TEST_F(CoreTest, AccuracyDropsWhenMappingsRemoved) {
     Device dev(fast_test_profile());
-    auto mapper = make_repute(*reference_, *fm_, 12, {{&dev, 1.0}});
+    auto mapper = make_repute(*reference_, *fm_, {{&dev, 1.0}});
     const auto gold = mapper->map(sim_->batch, 4);
     MapResult crippled = gold;
     // Remove every mapping from half the reads.
@@ -318,7 +367,7 @@ TEST(Accuracy, ContainsMappingToleranceEdges) {
 
 TEST_F(CoreTest, StratifiedAccuracyPerErrorLevel) {
     Device dev(fast_test_profile());
-    auto mapper = make_repute(*reference_, *fm_, 12, {{&dev, 1.0}});
+    auto mapper = make_repute(*reference_, *fm_, {{&dev, 1.0}});
     const auto gold = mapper->map(sim_->batch, 5);
 
     AccuracyConfig config;
@@ -388,7 +437,7 @@ TEST_F(CoreTest, BalancedSharesFollowThroughputAndScratch) {
 
 TEST_F(CoreTest, FormatMapReportContainsKeyFacts) {
     Device dev(fast_test_profile());
-    auto mapper = make_repute(*reference_, *fm_, 12, {{&dev, 1.0}});
+    auto mapper = make_repute(*reference_, *fm_, {{&dev, 1.0}});
     const auto result = mapper->map(sim_->batch, 4);
     const auto report =
         repute::core::format_map_report(sim_->batch, result);
@@ -402,10 +451,10 @@ TEST_F(CoreTest, FormatMapReportContainsKeyFacts) {
 
 TEST_F(CoreTest, SamExportHasRecordPerMappingAndUnmappedReads) {
     Device dev(fast_test_profile());
-    KernelConfig kernel;
-    kernel.max_locations_per_read = 5;
+    repute::core::HeterogeneousMapperConfig config;
+    config.kernel.max_locations_per_read = 5;
     auto mapper =
-        make_repute(*reference_, *fm_, 12, {{&dev, 1.0}}, kernel);
+        make_repute(*reference_, *fm_, {{&dev, 1.0}}, config);
     const auto result = mapper->map(sim_->batch, 3);
     const auto sam =
         repute::core::to_sam(sim_->batch, result, reference_->name());

@@ -80,7 +80,7 @@ SimulatedReads* DeterminismTest::sim_ = nullptr;
 
 TEST_F(DeterminismTest, RepeatedRunsIdentical) {
     Device dev(profile_with_units(8));
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{&dev, 1.0}});
     const auto a = mapper->map(sim_->batch, 5);
     const auto b = mapper->map(sim_->batch, 5);
@@ -94,9 +94,9 @@ TEST_F(DeterminismTest, RepeatedRunsIdentical) {
 TEST_F(DeterminismTest, ResultsIndependentOfComputeUnits) {
     Device narrow(profile_with_units(1));
     Device wide(profile_with_units(16));
-    auto m1 = repute::core::make_repute(*reference_, *fm_, 12,
+    auto m1 = repute::core::make_repute(*reference_, *fm_,
                                         {{&narrow, 1.0}});
-    auto m2 = repute::core::make_repute(*reference_, *fm_, 12,
+    auto m2 = repute::core::make_repute(*reference_, *fm_,
                                         {{&wide, 1.0}});
     const auto a = m1->map(sim_->batch, 4);
     const auto b = m2->map(sim_->batch, 4);
@@ -114,8 +114,8 @@ TEST_F(DeterminismTest, DynamicScheduleEquivalentToSingleDevice) {
     // no schedule may leak into the results. Randomized but seeded:
     // every CI run exercises the same 8 scenarios.
     Device single(profile_with_units(8));
-    auto reference_mapper = repute::core::make_repute(*reference_, *fm_,
-                                                      12, {{&single, 1.0}});
+    auto reference_mapper = repute::core::make_repute(
+        *reference_, *fm_, {{&single, 1.0}});
     const auto expected = reference_mapper->map(sim_->batch, 4);
 
     std::mt19937 rng(20260807);
@@ -147,12 +147,12 @@ TEST_F(DeterminismTest, DynamicScheduleEquivalentToSingleDevice) {
         config.schedule = repute::core::ScheduleMode::Dynamic;
         config.scheduler.chunk_items =
             (rng() % 2 == 0) ? 0 : 10 + rng() % 90;
-        auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+        auto mapper = repute::core::make_repute(*reference_, *fm_,
                                                 shares, config);
         const auto result = mapper->map(sim_->batch, 4);
         SCOPED_TRACE("scenario " + std::to_string(scenario));
         expect_identical(expected, result);
-        EXPECT_GT(result.schedule.chunks, 0u);
+        EXPECT_GT(result.schedule->chunks, 0u);
     }
 }
 
@@ -160,9 +160,9 @@ TEST_F(DeterminismTest, StressRepeatedConcurrentMapping) {
     // Hammer one device with interleaved map() calls from two mappers;
     // the in-order device must serialize without corrupting results.
     Device dev(profile_with_units(8));
-    auto repute_mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto repute_mapper = repute::core::make_repute(*reference_, *fm_,
                                                    {{&dev, 1.0}});
-    auto coral_mapper = repute::core::make_coral(*reference_, *fm_, 12,
+    auto coral_mapper = repute::core::make_coral(*reference_, *fm_,
                                                  {{&dev, 1.0}});
     const auto repute_ref = repute_mapper->map(sim_->batch, 4);
     const auto coral_ref = coral_mapper->map(sim_->batch, 4);

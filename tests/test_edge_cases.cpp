@@ -102,7 +102,9 @@ TEST(EdgeMapping, DeltaZeroIsExactMatching) {
     rconfig.max_errors = 2; // some reads exact, some not
     const auto sim = simulate_reads(ref, rconfig);
 
-    auto mapper = repute::core::make_repute(ref, fm, 20, {{&dev, 1.0}});
+    repute::core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = 20;
+    auto mapper = repute::core::make_repute(ref, fm, {{&dev, 1.0}}, config);
     const auto result = mapper->map(sim.batch, 0);
 
     for (std::size_t i = 0; i < sim.batch.size(); ++i) {
@@ -136,7 +138,7 @@ TEST(EdgeMultiRef, EndToEndAcrossChromosomes) {
     const MultiReference multi(records);
     const FmIndex fm(multi.concatenated(), 4);
     Device dev(test_profile());
-    auto mapper = repute::core::make_repute(multi.concatenated(), fm, 12,
+    auto mapper = repute::core::make_repute(multi.concatenated(), fm,
                                             {{&dev, 1.0}});
 
     // One exact read from the middle of each chromosome.
@@ -183,7 +185,7 @@ TEST(EdgeSplit, ZeroShareDeviceGetsNoReads) {
     const auto sim = simulate_reads(ref, rconfig);
 
     // Shares {1.0, 0.0}: b is dropped at construction.
-    auto mapper = repute::core::make_repute(ref, fm, 12,
+    auto mapper = repute::core::make_repute(ref, fm,
                                             {{&a, 1.0}, {&b, 0.0}});
     const auto result = mapper->map(sim.batch, 3);
     ASSERT_EQ(result.device_runs.size(), 1u);
@@ -204,7 +206,7 @@ TEST(EdgeSplit, MoreDevicesThanReads) {
     batch.reads.push_back(read);
 
     auto mapper = repute::core::make_repute(
-        ref, fm, 12, {{&a, 1.0}, {&b, 1.0}, {&c, 1.0}});
+        ref, fm, {{&a, 1.0}, {&b, 1.0}, {&c, 1.0}});
     const auto result = mapper->map(batch, 3);
     EXPECT_FALSE(result.per_read[0].empty());
     std::size_t total = 0;

@@ -122,7 +122,7 @@ TEST_F(PairedTest, MatesAlignAtTheirGroundTruth) {
 // --------------------------------------------------------------- pairing
 
 TEST_F(PairedTest, MostPairsAreProperWithCorrectInserts) {
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{device_, 1.0}});
     PairedConfig config;
     config.min_insert = 200;
@@ -151,7 +151,7 @@ TEST_F(PairedTest, MostPairsAreProperWithCorrectInserts) {
 }
 
 TEST_F(PairedTest, RescueRecoversBrokenMate) {
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{device_, 1.0}});
     PairedConfig config;
     config.min_insert = 200;
@@ -200,7 +200,7 @@ TEST_F(PairedTest, RescueRecoversBrokenMate) {
 }
 
 TEST_F(PairedTest, DiscordantPairsDetected) {
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{device_, 1.0}});
     PairedConfig config;
     config.min_insert = 200;
@@ -220,7 +220,7 @@ TEST_F(PairedTest, DiscordantPairsDetected) {
 }
 
 TEST_F(PairedTest, PairedSamExportFlagsAndTlen) {
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{device_, 1.0}});
     PairedConfig config;
     config.min_insert = 200;
@@ -269,7 +269,7 @@ TEST_F(PairedTest, PairedSamExportFlagsAndTlen) {
 }
 
 TEST_F(PairedTest, RejectsMismatchedBatches) {
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{device_, 1.0}});
     PairedMapper paired(*mapper, *reference_);
     repute::genomics::ReadBatch first, second;

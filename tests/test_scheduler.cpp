@@ -326,7 +326,7 @@ protected:
 
     static MapResult reference_result() {
         Device dev(profile("ref", 8, 1e9));
-        auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+        auto mapper = repute::core::make_repute(*reference_, *fm_,
                                                 {{&dev, 1.0}});
         return mapper->map(sim_->batch, 4);
     }
@@ -352,11 +352,11 @@ TEST_F(SchedulerMapperTest, DynamicMatchesStaticWithoutFaults) {
     HeterogeneousMapperConfig config;
     config.schedule = ScheduleMode::Dynamic;
     auto mapper = repute::core::make_repute(
-        *reference_, *fm_, 12, {{&a, 0.6}, {&b, 0.4}}, config);
+        *reference_, *fm_, {{&a, 0.6}, {&b, 0.4}}, config);
     const auto result = mapper->map(sim_->batch, 4);
     expect_identical(reference_result(), result);
-    EXPECT_GT(result.schedule.chunks, 0u);
-    EXPECT_EQ(result.schedule.retries, 0u);
+    EXPECT_GT(result.schedule->chunks, 0u);
+    EXPECT_EQ(result.schedule->retries, 0u);
     std::size_t reads = 0;
     for (const auto& run : result.device_runs) reads += run.reads;
     EXPECT_EQ(reads, sim_->batch.size());
@@ -385,15 +385,15 @@ TEST_F(SchedulerMapperTest, SkewedFleetSurvivesMidBatchDeviceFailure) {
     // pulling — and failing — until quarantined).
     config.scheduler.chunk_items = 20;
     auto mapper = repute::core::make_repute(
-        *reference_, *fm_, 12,
+        *reference_, *fm_,
         {{&fast, 1.0}, {&cpu_a, 1.0}, {&cpu_b, 1.0}}, config);
     const auto result = mapper->map(sim_->batch, 4);
     cpu_b.clear_faults();
 
     expect_identical(reference_result(), result);
-    EXPECT_GE(result.schedule.retries, 1u);
-    ASSERT_EQ(result.schedule.per_device.size(), 3u);
-    EXPECT_TRUE(result.schedule.per_device[2].quarantined);
+    EXPECT_GE(result.schedule->retries, 1u);
+    ASSERT_EQ(result.schedule->per_device.size(), 3u);
+    EXPECT_TRUE(result.schedule->per_device[2].quarantined);
     EXPECT_GT(result.mapping_seconds, 0.0);
 }
 
@@ -407,7 +407,7 @@ TEST_F(SchedulerMapperTest, AllDevicesDeadSurfacesOclError) {
 
     HeterogeneousMapperConfig config;
     config.schedule = ScheduleMode::Dynamic;
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             {{&a, 1.0}, {&b, 1.0}},
                                             config);
     EXPECT_THROW(mapper->map(sim_->batch, 4), OclError);
@@ -428,7 +428,7 @@ TEST_F(SchedulerMapperTest, TransientFaultsStillMapEveryRead) {
     config.scheduler.quarantine_after = 1000;
     config.scheduler.max_chunk_retries = 20;
     auto mapper = repute::core::make_repute(
-        *reference_, *fm_, 12, {{&steady, 0.5}, {&flaky, 0.5}}, config);
+        *reference_, *fm_, {{&steady, 0.5}, {&flaky, 0.5}}, config);
     const auto result = mapper->map(sim_->batch, 4);
     flaky.clear_faults();
     expect_identical(reference_result(), result);
@@ -443,12 +443,12 @@ TEST_F(SchedulerMapperTest, IncapableDeviceDroppedFromFleet) {
     HeterogeneousMapperConfig config;
     config.schedule = ScheduleMode::Dynamic;
     auto mapper = repute::core::make_repute(
-        *reference_, *fm_, 12, {{&small, 0.5}, {&capable, 0.5}}, config);
+        *reference_, *fm_, {{&small, 0.5}, {&capable, 0.5}}, config);
     const auto result = mapper->map(sim_->batch, 4);
     expect_identical(reference_result(), result);
     // Only the capable device participated.
-    ASSERT_EQ(result.schedule.per_device.size(), 1u);
-    EXPECT_EQ(result.schedule.per_device[0].device_name, "capable");
+    ASSERT_EQ(result.schedule->per_device.size(), 1u);
+    EXPECT_EQ(result.schedule->per_device[0].device_name, "capable");
 }
 
 TEST_F(SchedulerMapperTest, TunedWarmStartDrivesDynamicSchedule) {
@@ -457,13 +457,13 @@ TEST_F(SchedulerMapperTest, TunedWarmStartDrivesDynamicSchedule) {
         *reference_, *fm_, sim_->batch, 4, 12, {&a, &b});
     HeterogeneousMapperConfig config;
     config.schedule = ScheduleMode::Dynamic;
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             tuned.shares, config);
     const auto result = mapper->map(sim_->batch, 4);
     expect_identical(reference_result(), result);
     // Warm start ~4:1 → the fast device maps the bulk.
-    EXPECT_GT(result.schedule.per_device[0].items,
-              2 * result.schedule.per_device[1].items);
+    EXPECT_GT(result.schedule->per_device[0].items,
+              2 * result.schedule->per_device[1].items);
 }
 
 } // namespace

@@ -95,7 +95,7 @@ TEST_F(TunerTest, TunedSplitFinishesTogether) {
     Device b(profile("b", 4, 0.5e9));
     const auto tuned = tune_shares(*reference_, *fm_, sim_->batch, 4, 12,
                                    {&a, &b});
-    auto mapper = repute::core::make_repute(*reference_, *fm_, 12,
+    auto mapper = repute::core::make_repute(*reference_, *fm_,
                                             tuned.shares);
     const auto result = mapper->map(sim_->batch, 4);
     ASSERT_EQ(result.device_runs.size(), 2u);
@@ -105,7 +105,7 @@ TEST_F(TunerTest, TunedSplitFinishesTogether) {
     EXPECT_LT(std::max(ta, tb) / std::min(ta, tb), 1.25);
 
     // And the tuned split beats a deliberately bad 50/50 split.
-    auto naive = repute::core::make_repute(*reference_, *fm_, 12,
+    auto naive = repute::core::make_repute(*reference_, *fm_,
                                            {{&a, 0.5}, {&b, 0.5}});
     const auto naive_result = naive->map(sim_->batch, 4);
     EXPECT_LT(result.mapping_seconds, naive_result.mapping_seconds);
@@ -116,7 +116,7 @@ TEST_F(TunerTest, PredictionTracksActualTime) {
     const auto tuned =
         tune_shares(*reference_, *fm_, sim_->batch, 4, 12, {&a});
     auto mapper =
-        repute::core::make_repute(*reference_, *fm_, 12, tuned.shares);
+        repute::core::make_repute(*reference_, *fm_, tuned.shares);
     const auto result = mapper->map(sim_->batch, 4);
     EXPECT_NEAR(result.mapping_seconds, tuned.predicted_seconds,
                 0.5 * tuned.predicted_seconds);

@@ -14,6 +14,7 @@
 
 #include "align/edit_distance.hpp"
 #include "align/myers.hpp"
+#include "filter/frequency_scanner.hpp"
 #include "filter/heuristic_seeder.hpp"
 #include "filter/memopt_seeder.hpp"
 #include "filter/optimal_seeder.hpp"
@@ -127,6 +128,70 @@ BENCHMARK(BM_Verify_BandedDp);
 BENCHMARK(BM_Verify_FullDp);
 
 // ------------------------------------------------------ index primitives
+
+// FM hot path: the filtration stage is dominated by occ()/extend(), so
+// these four benches are the recorded perf baseline (BENCH_kernels.json)
+// that every index-layout change is judged against.
+
+void BM_FmOcc(benchmark::State& state) {
+    const auto& w = workload();
+    util::Xoshiro256 rng(11);
+    const auto rows = static_cast<std::uint32_t>(w.fm->size() + 1);
+    std::vector<std::uint32_t> where(1024);
+    for (auto& r : where) {
+        r = static_cast<std::uint32_t>(rng.bounded(rows + 1));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            w.fm->occ(static_cast<std::uint8_t>(i & 3), where[i & 1023]));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FmOcc);
+
+void BM_FmBackwardExtend(benchmark::State& state) {
+    // Full backward search of read-length patterns one extend at a time
+    // (2 occ per extend) — the suffix-frequency scan inner loop.
+    const auto& w = workload();
+    util::Xoshiro256 rng(12);
+    std::vector<std::vector<std::uint8_t>> patterns;
+    for (int i = 0; i < 64; ++i) {
+        const std::size_t pos = rng.bounded(w.reference.size() - 100);
+        patterns.push_back(w.reference.sequence().extract(pos, 100));
+    }
+    std::size_t i = 0;
+    std::int64_t extends = 0;
+    for (auto _ : state) {
+        const auto& p = patterns[i++ & 63];
+        auto range = w.fm->whole_range();
+        for (std::size_t k = p.size(); k-- > 0 && !range.empty();) {
+            range = w.fm->extend(range, p[k]);
+            ++extends;
+        }
+        benchmark::DoNotOptimize(range);
+    }
+    state.SetItemsProcessed(extends);
+}
+BENCHMARK(BM_FmBackwardExtend);
+
+void BM_FmSuffixFrequencies(benchmark::State& state) {
+    // One memopt-DP-style scan: frequencies of every suffix of
+    // read[12, 60) ending at 60 — the per-iteration unit of work of the
+    // paper's filtration DP.
+    const auto& w = workload();
+    std::size_t i = 0;
+    std::vector<std::uint32_t> freqs(48);
+    for (auto _ : state) {
+        const auto& read = w.reads.batch.reads[i++ % w.reads.batch.size()];
+        const filter::FrequencyScanner scanner(*w.fm, read.codes);
+        scanner.suffix_frequencies(12, 60, freqs);
+        benchmark::DoNotOptimize(freqs.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FmSuffixFrequencies);
 
 void BM_FmExactSearch(benchmark::State& state) {
     const auto& w = workload();

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the concurrency story: a plain build + full ctest
-# run, then a ThreadSanitizer build of the queue/scheduler-heavy tests.
+# Tier-1 gate plus the concurrency and memory stories: a plain build +
+# full ctest run + micro-benchmark smoke, then a ThreadSanitizer build
+# of the queue/scheduler-heavy tests and an AddressSanitizer build of
+# the index/filter hot paths (rank-block and scratch-reuse pointer
+# arithmetic lives there).
 # Usage: ./ci.sh [jobs]   (defaults to nproc)
 
 set -euo pipefail
@@ -13,6 +16,13 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== micro-benchmark smoke: kernels build and run =="
+# Minimal min_time: this only proves the benchmarks still run; compare
+# against BENCH_kernels.json manually for perf tracking. (The installed
+# google-benchmark wants a plain double here, not a '0.01s' suffix.)
+./build/bench/micro_kernels --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_Fm' >/dev/null
+
 echo "== tier 2: ThreadSanitizer (queues, scheduler, determinism) =="
 cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -21,5 +31,12 @@ cmake --build build-tsan -j "$JOBS" \
 ./build-tsan/tests/test_ocl
 ./build-tsan/tests/test_scheduler
 ./build-tsan/tests/test_determinism
+
+echo "== tier 2: AddressSanitizer (index layout, filtration) =="
+cmake -B build-asan -S . -DREPUTE_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS" --target test_index test_filter
+./build-asan/tests/test_index
+./build-asan/tests/test_filter
 
 echo "== ci.sh: all green =="

@@ -10,8 +10,13 @@ constexpr std::size_t kMaxWords =
     MyersMatcher::kMaxPatternLength / 64; // 8
 }
 
-MyersMatcher::MyersMatcher(std::span<const std::uint8_t> pattern)
-    : m_(pattern.size()), words_((pattern.size() + 63) / 64) {
+MyersMatcher::MyersMatcher(std::span<const std::uint8_t> pattern) {
+    set_pattern(pattern);
+}
+
+void MyersMatcher::set_pattern(std::span<const std::uint8_t> pattern) {
+    m_ = pattern.size();
+    words_ = (pattern.size() + 63) / 64;
     if (m_ == 0 || m_ > kMaxPatternLength) {
         throw std::invalid_argument(
             "MyersMatcher: pattern length must be in [1, 512]");

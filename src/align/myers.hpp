@@ -25,6 +25,14 @@ public:
     /// Throws std::invalid_argument on empty or oversized patterns.
     explicit MyersMatcher(std::span<const std::uint8_t> pattern);
 
+    /// Empty matcher for deferred set_pattern(); best_in() is invalid
+    /// until a pattern is set.
+    MyersMatcher() = default;
+
+    /// Re-targets the matcher to a new pattern, reusing the Peq storage
+    /// (no allocation once warmed to the largest pattern seen).
+    void set_pattern(std::span<const std::uint8_t> pattern);
+
     static constexpr std::size_t kMaxPatternLength = 512;
 
     struct Hit {

@@ -20,28 +20,33 @@ namespace {
 
 /// Filtration + verification of one strand's code sequence. Appends to
 /// `out` until the first-n cap; accumulates per-stage ops into `stages`.
+/// All transient state lives in `scratch`.
 void map_strand(const index::FmIndex& fm,
                 const genomics::Reference& reference,
                 const filter::Seeder& seeder,
                 std::span<const std::uint8_t> codes,
                 genomics::Strand strand, std::uint32_t delta,
                 const KernelConfig& config,
-                std::vector<ReadMapping>& out, StageTotals& stages) {
+                std::vector<ReadMapping>& out, KernelScratch& scratch,
+                StageTotals& stages) {
     const auto& w = config.weights;
 
     // --- Filtration: DP (or heuristic) seed selection.
-    const filter::SeedPlan plan = seeder.select(fm, codes, delta);
-    stages.filtration_ops +=
-        plan.fm_extends * w.fm_extend + plan.dp_cells * w.dp_cell;
+    filter::SeedPlan& plan = scratch.plan;
+    seeder.select(fm, codes, delta, plan, scratch.seeder);
+    stages.filtration_ops += plan.fm_extends * w.fm_extend +
+                             plan.dp_cells * w.dp_cell +
+                             plan.qgram_jumps * w.qgram_lookup;
 
     // --- Candidate gathering: locate hits; REPUTE's modified flow also
     // collapses duplicate diagonals before verification.
     filter::CandidateConfig cand_config;
     cand_config.max_hits_per_seed = config.max_hits_per_seed;
     cand_config.collapse_diagonals = config.collapse_candidates;
-    const filter::CandidateSet candidates = filter::gather_candidates(
-        fm, plan, static_cast<std::uint32_t>(codes.size()), delta,
-        cand_config);
+    filter::CandidateSet& candidates = scratch.candidates;
+    filter::gather_candidates(fm, plan,
+                              static_cast<std::uint32_t>(codes.size()),
+                              delta, cand_config, candidates, scratch.hits);
     const std::uint64_t locate_cost =
         w.locate_base + w.locate_step * (fm.sa_sample() - 1) / 2;
     stages.locate_ops += candidates.located_hits * locate_cost;
@@ -50,10 +55,11 @@ void map_strand(const index::FmIndex& fm,
     stages.candidates += candidates.positions.size();
 
     // --- Verification: Myers bit-vector over each candidate window.
-    const align::MyersMatcher matcher(codes);
+    align::MyersMatcher& matcher = scratch.matcher;
+    matcher.set_pattern(codes);
     const auto n = static_cast<std::uint32_t>(codes.size());
     const auto text_len = static_cast<std::uint32_t>(fm.size());
-    std::vector<std::uint8_t> window;
+    std::vector<std::uint8_t>& window = scratch.window;
     window.reserve(n + 2 * delta);
 
     for (const std::uint32_t start : candidates.positions) {
@@ -93,14 +99,19 @@ std::uint64_t map_read_workitem(const index::FmIndex& fm,
                                 std::uint32_t delta,
                                 const KernelConfig& config,
                                 std::vector<ReadMapping>& out,
+                                KernelScratch& scratch,
                                 StageTotals* stages) {
     out.clear();
     StageTotals local;
+    const std::uint64_t occ_words_before =
+        index::FmIndex::thread_occ_words();
     map_strand(fm, reference, seeder, read.codes,
-               genomics::Strand::Forward, delta, config, out, local);
-    const auto rc = read.reverse_complement();
-    map_strand(fm, reference, seeder, rc, genomics::Strand::Reverse,
-               delta, config, out, local);
+               genomics::Strand::Forward, delta, config, out, scratch,
+               local);
+    read.reverse_complement(scratch.rc_codes);
+    map_strand(fm, reference, seeder, scratch.rc_codes,
+               genomics::Strand::Reverse, delta, config, out, scratch,
+               local);
     std::sort(out.begin(), out.end(),
               [](const ReadMapping& a, const ReadMapping& b) {
                   return a.position != b.position
@@ -122,6 +133,9 @@ std::uint64_t map_read_workitem(const index::FmIndex& fm,
         m->counter("kernel.raw_seed_hits").add(local.raw_hits);
         m->counter("kernel.candidate_windows").add(local.candidates);
         m->counter("kernel.mappings_accepted").add(local.accepted);
+        m->counter("index.occ_words_scanned")
+            .add(index::FmIndex::thread_occ_words() - occ_words_before);
+        if (scratch.warm) m->counter("kernel.scratch_reuses").add(1);
         if (local.raw_hits > 0) {
             // Diagonal-collapse effectiveness: verified windows per raw
             // seed hit (1.0 = no duplicate work removed).
@@ -130,7 +144,21 @@ std::uint64_t map_read_workitem(const index::FmIndex& fm,
                          static_cast<double>(local.raw_hits));
         }
     }
+    scratch.warm = true;
     return local.total_ops();
+}
+
+std::uint64_t map_read_workitem(const index::FmIndex& fm,
+                                const genomics::Reference& reference,
+                                const filter::Seeder& seeder,
+                                const genomics::Read& read,
+                                std::uint32_t delta,
+                                const KernelConfig& config,
+                                std::vector<ReadMapping>& out,
+                                StageTotals* stages) {
+    KernelScratch scratch;
+    return map_read_workitem(fm, reference, seeder, read, delta, config,
+                             out, scratch, stages);
 }
 
 std::uint64_t kernel_scratch_bytes(const filter::Seeder& seeder,

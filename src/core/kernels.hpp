@@ -18,7 +18,9 @@
 #include <span>
 #include <vector>
 
+#include "align/myers.hpp"
 #include "core/mapping.hpp"
+#include "filter/candidates.hpp"
 #include "filter/seed.hpp"
 #include "genomics/sequence.hpp"
 #include "index/fm_index.hpp"
@@ -31,6 +33,7 @@ namespace repute::core {
 struct OpWeights {
     std::uint64_t fm_extend = 8;      ///< 2 occ queries + bookkeeping
     std::uint64_t dp_cell = 2;        ///< one DP min/add
+    std::uint64_t qgram_lookup = 1;   ///< one jump-table load
     /// SA locate = base + step * (sa_sample - 1) / 2 (the average LF
     /// walk length grows with the sampling interval).
     std::uint64_t locate_base = 19;
@@ -64,12 +67,40 @@ struct StageTotals : obs::StageCounters {
     StageTotals& operator+=(const StageTotals& other) noexcept;
 };
 
+/// Per-work-item reusable buffers: every transient the kernel needs —
+/// seed plan, DP scratch, candidate set, verification window, RC codes,
+/// Myers state. One KernelScratch per worker thread makes the
+/// steady-state kernel allocation-free (buffers grow to the
+/// read-parameter bound on the first read and are recycled after), the
+/// host analogue of statically budgeted OpenCL private memory.
+struct KernelScratch {
+    filter::SeedPlan plan;
+    filter::SeedScratch seeder;
+    filter::CandidateSet candidates;
+    std::vector<std::uint32_t> hits;   ///< per-seed locate buffer
+    std::vector<std::uint8_t> window;  ///< candidate reference window
+    std::vector<std::uint8_t> rc_codes;///< reverse-complemented read
+    align::MyersMatcher matcher;
+    bool warm = false; ///< true once one read has sized the buffers
+};
+
 /// Full pipeline for one read (both strands). Fills `out` (cleared
 /// first) with at most `config.max_locations_per_read` mappings sorted
 /// by (position, strand), and returns the abstract ops consumed.
 /// `reference` must be the sequence the `fm` index was built from.
 /// When `stages` is non-null the per-stage breakdown is accumulated
 /// into it (caller provides one per work-item or synchronizes).
+std::uint64_t map_read_workitem(const index::FmIndex& fm,
+                                const genomics::Reference& reference,
+                                const filter::Seeder& seeder,
+                                const genomics::Read& read,
+                                std::uint32_t delta,
+                                const KernelConfig& config,
+                                std::vector<ReadMapping>& out,
+                                KernelScratch& scratch,
+                                StageTotals* stages = nullptr);
+
+/// Convenience overload allocating a fresh KernelScratch per call.
 std::uint64_t map_read_workitem(const index::FmIndex& fm,
                                 const genomics::Reference& reference,
                                 const filter::Seeder& seeder,

@@ -151,10 +151,14 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
             launch.body = [this, &batch, &result, &read_stages, base,
                            delta](std::size_t i) -> std::uint64_t {
                 // Work items write disjoint slots: no synchronization.
+                // One scratch per pool thread: after the first read the
+                // kernel runs allocation-free on that thread.
+                thread_local KernelScratch kernel_scratch;
                 return map_read_workitem(*fm_, *reference_, *seeder_,
                                          batch.reads[base + i], delta,
                                          config_.kernel,
                                          result.per_read[base + i],
+                                         kernel_scratch,
                                          &read_stages[base + i]);
             };
             dw.events.push_back(queue.enqueue(std::move(launch)));
@@ -322,10 +326,12 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
                 // rewrites exactly the same slots (map_read_workitem
                 // clears its output and stage totals first).
                 read_stages[begin + i] = StageTotals{};
+                thread_local KernelScratch kernel_scratch;
                 return map_read_workitem(*fm_, *reference_, *seeder_,
                                          batch.reads[begin + i], delta,
                                          config_.kernel,
                                          result.per_read[begin + i],
+                                         kernel_scratch,
                                          &read_stages[begin + i]);
             };
             const ocl::LaunchStats stats =

@@ -4,21 +4,28 @@
 
 namespace repute::filter {
 
-CandidateSet gather_candidates(const index::FmIndex& fm,
-                               const SeedPlan& plan,
-                               std::uint32_t read_length,
-                               std::uint32_t delta,
-                               const CandidateConfig& config) {
-    CandidateSet out;
+void gather_candidates(const index::FmIndex& fm, const SeedPlan& plan,
+                       std::uint32_t read_length, std::uint32_t delta,
+                       const CandidateConfig& config, CandidateSet& out,
+                       std::vector<std::uint32_t>& hits_scratch) {
+    out.clear();
     const auto text_len = static_cast<std::uint32_t>(fm.size());
 
-    std::vector<std::uint32_t> hits;
+    // Located hits are bounded by the per-seed cap; reserving the bound
+    // up front keeps the gather loop push_back-realloc-free.
+    std::size_t hit_bound = 0;
+    for (const Seed& seed : plan.seeds) {
+        hit_bound += std::min<std::size_t>(seed.range.count(),
+                                           config.max_hits_per_seed);
+    }
+    out.positions.reserve(hit_bound);
+
     for (const Seed& seed : plan.seeds) {
         if (seed.range.empty()) continue;
-        hits.clear();
-        fm.locate_range(seed.range, config.max_hits_per_seed, hits);
-        out.located_hits += hits.size();
-        for (const std::uint32_t t : hits) {
+        hits_scratch.clear();
+        fm.locate_range(seed.range, config.max_hits_per_seed, hits_scratch);
+        out.located_hits += hits_scratch.size();
+        for (const std::uint32_t t : hits_scratch) {
             // Diagonal read start; seeds near the text start clamp to 0.
             const std::uint32_t start =
                 t >= seed.start ? t - seed.start : 0;
@@ -45,12 +52,27 @@ CandidateSet gather_candidates(const index::FmIndex& fm,
         out.positions.resize(kept);
     }
 
-    // Drop candidates whose window would fall entirely past the text.
-    while (!out.positions.empty() &&
-           out.positions.back() + 1 > text_len + delta) {
-        out.positions.pop_back();
+    // Drop candidates whose window would fall entirely past the text:
+    // positions are sorted, so one lower_bound cut replaces the
+    // element-at-a-time pop_back tail trim.
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(text_len) + delta;
+    if (!out.positions.empty() && out.positions.back() >= limit) {
+        out.positions.erase(std::lower_bound(out.positions.begin(),
+                                             out.positions.end(), limit),
+                            out.positions.end());
     }
     (void)read_length;
+}
+
+CandidateSet gather_candidates(const index::FmIndex& fm,
+                               const SeedPlan& plan,
+                               std::uint32_t read_length,
+                               std::uint32_t delta,
+                               const CandidateConfig& config) {
+    CandidateSet out;
+    std::vector<std::uint32_t> hits;
+    gather_candidates(fm, plan, read_length, delta, config, out, hits);
     return out;
 }
 

@@ -38,10 +38,24 @@ struct CandidateSet {
     std::vector<std::uint32_t> positions;
     std::uint64_t located_hits = 0; ///< SA locate operations performed
     std::uint64_t raw_hits = 0;     ///< hits before dedup (capped)
+
+    /// Resets counters and empties positions, keeping their capacity.
+    void clear() noexcept {
+        positions.clear();
+        located_hits = 0;
+        raw_hits = 0;
+    }
 };
 
 /// Gathers candidates for a read of length `read_length` mapped with
-/// error budget `delta` from `plan` against `fm`.
+/// error budget `delta` from `plan` against `fm`, into `out` (cleared
+/// first; capacity reused). `hits_scratch` buffers per-seed locates.
+void gather_candidates(const index::FmIndex& fm, const SeedPlan& plan,
+                       std::uint32_t read_length, std::uint32_t delta,
+                       const CandidateConfig& config, CandidateSet& out,
+                       std::vector<std::uint32_t>& hits_scratch);
+
+/// Allocating convenience wrapper around the above.
 CandidateSet gather_candidates(const index::FmIndex& fm,
                                const SeedPlan& plan,
                                std::uint32_t read_length,

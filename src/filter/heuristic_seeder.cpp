@@ -11,14 +11,18 @@ namespace {
 constexpr std::uint32_t kGrowthStep = 2;
 } // namespace
 
-SeedPlan HeuristicSeeder::select(const index::FmIndex& fm,
-                                 std::span<const std::uint8_t> read,
-                                 std::uint32_t delta) const {
+// CORAL's serial probes deliberately bypass the q-gram jump table: its
+// published cost model re-pays the full O(k) search per length probe,
+// which is exactly what fm.search() models.
+void HeuristicSeeder::select(const index::FmIndex& fm,
+                             std::span<const std::uint8_t> read,
+                             std::uint32_t delta, SeedPlan& plan,
+                             SeedScratch& /*scratch*/) const {
     validate_read_parameters(read.size(), delta, s_min_);
     const std::uint32_t n_seeds = delta + 1;
     const auto n = static_cast<std::uint32_t>(read.size());
 
-    SeedPlan plan;
+    plan.reset();
     plan.seeds.reserve(n_seeds);
 
     // Serial left-to-right examination (paper §I: "CORAL examines
@@ -53,7 +57,6 @@ SeedPlan HeuristicSeeder::select(const index::FmIndex& fm,
         pos += len;
     }
     plan.scratch_bytes = n_seeds * sizeof(Seed);
-    return plan;
 }
 
 } // namespace repute::filter

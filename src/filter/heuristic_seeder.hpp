@@ -29,9 +29,10 @@ public:
                              std::uint32_t specificity_threshold = 32)
         : s_min_(s_min), threshold_(specificity_threshold) {}
 
-    SeedPlan select(const index::FmIndex& fm,
-                    std::span<const std::uint8_t> read,
-                    std::uint32_t delta) const override;
+    using Seeder::select;
+    void select(const index::FmIndex& fm,
+                std::span<const std::uint8_t> read, std::uint32_t delta,
+                SeedPlan& plan, SeedScratch& scratch) const override;
 
     std::string_view name() const noexcept override { return "heuristic"; }
 

@@ -15,32 +15,38 @@ std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) noexcept {
 }
 } // namespace
 
-SeedPlan MemoryOptimizedSeeder::select(const index::FmIndex& fm,
-                                       std::span<const std::uint8_t> read,
-                                       std::uint32_t delta) const {
+void MemoryOptimizedSeeder::select(const index::FmIndex& fm,
+                                   std::span<const std::uint8_t> read,
+                                   std::uint32_t delta, SeedPlan& plan,
+                                   SeedScratch& scratch) const {
     validate_read_parameters(read.size(), delta, s_min_);
     const auto n = static_cast<std::uint32_t>(read.size());
     const std::uint32_t n_seeds = delta + 1;
     const std::uint32_t e = exploration_space(n, delta, s_min_);
 
-    SeedPlan plan;
+    plan.reset();
     FrequencyScanner scanner(fm, read);
 
     // Window-sized DP rows: row[w] corresponds to prefix end
     // p = x*s_min + w for the iteration currently indexed by x.
-    std::vector<std::uint32_t> prev(e + 1, kInf), curr(e + 1, kInf);
+    auto& prev = scratch.row_a;
+    auto& curr = scratch.row_b;
+    prev.assign(e + 1, kInf);
+    curr.assign(e + 1, kInf);
     // dividers[(x-2)*(e+1) + w] = best divider d for (x, p).
-    std::vector<std::uint16_t> dividers(
-        static_cast<std::size_t>(delta) * (e + 1), 0);
+    auto& dividers = scratch.dividers;
+    dividers.assign(static_cast<std::size_t>(delta) * (e + 1), 0);
     // Scratch for one backward frequency scan (deepest possible scan is
     // a full maximal seed: s_min + e bases).
-    std::vector<std::uint32_t> freqs(s_min_ + e);
+    auto& freqs = scratch.freqs;
+    freqs.resize(s_min_ + e);
 
     // Iteration 1: a single k-mer covering [0, p), p = s_min + w.
     for (std::uint32_t w = 0; w <= e; ++w) {
         const std::uint32_t p = s_min_ + w;
         auto out = std::span<std::uint32_t>(freqs.data(), p);
-        plan.fm_extends += scanner.suffix_frequencies(0, p, out);
+        scanner.suffix_frequencies(0, p, out, plan.fm_extends,
+                                   plan.qgram_jumps);
         prev[w] = out[0]; // freq(0, p)
         ++plan.dp_cells;
     }
@@ -56,7 +62,8 @@ SeedPlan MemoryOptimizedSeeder::select(const index::FmIndex& fm,
             // One backward scan yields freq(d, p) for all d down to
             // d_min; out[k] = freq(d_min + k, p).
             auto out = std::span<std::uint32_t>(freqs.data(), p - d_min);
-            plan.fm_extends += scanner.suffix_frequencies(d_min, p, out);
+            scanner.suffix_frequencies(d_min, p, out, plan.fm_extends,
+                                       plan.qgram_jumps);
 
             std::uint32_t best = kInf;
             std::uint16_t best_d = 0;
@@ -84,7 +91,8 @@ SeedPlan MemoryOptimizedSeeder::select(const index::FmIndex& fm,
 
     // Backtracking (paper Fig. 2, bottom): recover dividers from the
     // last k-mer to the first.
-    std::vector<std::uint16_t> boundaries(n_seeds);
+    auto& boundaries = scratch.boundaries;
+    boundaries.assign(n_seeds, 0);
     std::uint32_t p = n;
     for (std::uint32_t x = n_seeds; x >= 2; --x) {
         const std::uint32_t w = p - x * s_min_;
@@ -95,13 +103,10 @@ SeedPlan MemoryOptimizedSeeder::select(const index::FmIndex& fm,
     }
     boundaries[0] = 0;
 
-    SeedPlan final_plan = plan_from_boundaries(fm, read, boundaries);
-    final_plan.fm_extends += plan.fm_extends;
-    final_plan.dp_cells = plan.dp_cells;
-    final_plan.scratch_bytes =
+    plan_from_boundaries(fm, read, boundaries, plan);
+    plan.scratch_bytes =
         (prev.size() + curr.size() + freqs.size()) * sizeof(std::uint32_t) +
         dividers.size() * sizeof(std::uint16_t);
-    return final_plan;
 }
 
 } // namespace repute::filter

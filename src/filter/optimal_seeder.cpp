@@ -15,9 +15,10 @@ std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) noexcept {
 }
 } // namespace
 
-SeedPlan OptimalSeeder::select(const index::FmIndex& fm,
-                               std::span<const std::uint8_t> read,
-                               std::uint32_t delta) const {
+void OptimalSeeder::select(const index::FmIndex& fm,
+                           std::span<const std::uint8_t> read,
+                           std::uint32_t delta, SeedPlan& plan,
+                           SeedScratch& scratch) const {
     validate_read_parameters(read.size(), delta, s_min_);
     const auto n = static_cast<std::uint32_t>(read.size());
     const std::uint32_t n_seeds = delta + 1;
@@ -25,18 +26,20 @@ SeedPlan OptimalSeeder::select(const index::FmIndex& fm,
     // bases each), so the frequency table needs only l_max columns.
     const std::uint32_t l_max = n - delta * s_min_;
 
-    SeedPlan plan;
+    plan.reset();
     FrequencyScanner scanner(fm, read);
 
     // freq_table[(p-1) * l_max + (len-1)] = freq of read[p-len, p).
-    std::vector<std::uint32_t> freq_table(
-        static_cast<std::size_t>(n) * l_max, 0);
-    std::vector<std::uint32_t> scan_buffer(l_max);
+    auto& freq_table = scratch.freq_table;
+    freq_table.assign(static_cast<std::size_t>(n) * l_max, 0);
+    auto& scan_buffer = scratch.freqs;
+    scan_buffer.resize(l_max);
     for (std::uint32_t p = 1; p <= n; ++p) {
         const std::uint32_t depth = std::min(p, l_max);
         const std::uint32_t min_start = p - depth;
         auto out = std::span<std::uint32_t>(scan_buffer.data(), depth);
-        plan.fm_extends += scanner.suffix_frequencies(min_start, p, out);
+        scanner.suffix_frequencies(min_start, p, out, plan.fm_extends,
+                                   plan.qgram_jumps);
         // out[k] = freq(min_start + k, p) -> len = p - (min_start + k).
         for (std::uint32_t k = 0; k < depth; ++k) {
             const std::uint32_t len = p - (min_start + k);
@@ -50,9 +53,12 @@ SeedPlan OptimalSeeder::select(const index::FmIndex& fm,
     };
 
     // Full-width DP rows and divider matrix.
-    std::vector<std::uint32_t> prev(n + 1, kInf), curr(n + 1, kInf);
-    std::vector<std::uint16_t> dividers(
-        static_cast<std::size_t>(n_seeds + 1) * (n + 1), 0);
+    auto& prev = scratch.row_a;
+    auto& curr = scratch.row_b;
+    prev.assign(n + 1, kInf);
+    curr.assign(n + 1, kInf);
+    auto& dividers = scratch.dividers;
+    dividers.assign(static_cast<std::size_t>(n_seeds + 1) * (n + 1), 0);
 
     // Base: one k-mer covering [0, p).
     for (std::uint32_t p = s_min_; p + delta * s_min_ <= n; ++p) {
@@ -86,7 +92,8 @@ SeedPlan OptimalSeeder::select(const index::FmIndex& fm,
     }
 
     // Backtrack dividers from the full read.
-    std::vector<std::uint16_t> boundaries(n_seeds);
+    auto& boundaries = scratch.boundaries;
+    boundaries.assign(n_seeds, 0);
     std::uint32_t p = n;
     for (std::uint32_t x = n_seeds; x >= 2; --x) {
         const std::uint16_t d =
@@ -96,14 +103,11 @@ SeedPlan OptimalSeeder::select(const index::FmIndex& fm,
     }
     boundaries[0] = 0;
 
-    SeedPlan final_plan = plan_from_boundaries(fm, read, boundaries);
-    final_plan.fm_extends += plan.fm_extends;
-    final_plan.dp_cells = plan.dp_cells;
-    final_plan.scratch_bytes =
+    plan_from_boundaries(fm, read, boundaries, plan);
+    plan.scratch_bytes =
         freq_table.size() * sizeof(std::uint32_t) +
         (prev.size() + curr.size()) * sizeof(std::uint32_t) +
         dividers.size() * sizeof(std::uint16_t);
-    return final_plan;
 }
 
 } // namespace repute::filter

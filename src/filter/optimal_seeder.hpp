@@ -23,9 +23,10 @@ class OptimalSeeder final : public Seeder {
 public:
     explicit OptimalSeeder(std::uint32_t s_min = 12) : s_min_(s_min) {}
 
-    SeedPlan select(const index::FmIndex& fm,
-                    std::span<const std::uint8_t> read,
-                    std::uint32_t delta) const override;
+    using Seeder::select;
+    void select(const index::FmIndex& fm,
+                std::span<const std::uint8_t> read, std::uint32_t delta,
+                SeedPlan& plan, SeedScratch& scratch) const override;
 
     std::string_view name() const noexcept override { return "oss-full"; }
 

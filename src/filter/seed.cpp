@@ -1,7 +1,10 @@
 #include "filter/seed.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+
+#include "index/qgram_table.hpp"
 
 namespace repute::filter {
 
@@ -23,10 +26,12 @@ void validate_read_parameters(std::size_t read_length, std::uint32_t delta,
     }
 }
 
-SeedPlan plan_from_boundaries(const index::FmIndex& fm,
-                              std::span<const std::uint8_t> read,
-                              std::span<const std::uint16_t> boundaries) {
-    SeedPlan plan;
+void plan_from_boundaries(const index::FmIndex& fm,
+                          std::span<const std::uint8_t> read,
+                          std::span<const std::uint16_t> boundaries,
+                          SeedPlan& plan) {
+    const index::QGramTable* qt = fm.qgrams();
+    plan.seeds.clear();
     plan.seeds.reserve(boundaries.size());
     for (std::size_t s = 0; s < boundaries.size(); ++s) {
         const std::uint16_t start = boundaries[s];
@@ -37,11 +42,30 @@ SeedPlan plan_from_boundaries(const index::FmIndex& fm,
         Seed seed;
         seed.start = start;
         seed.length = static_cast<std::uint16_t>(end - start);
-        seed.range = fm.search(read.subspan(start, seed.length));
-        plan.fm_extends += seed.length;
+        if (qt != nullptr && seed.length > 0) {
+            const std::uint32_t jump =
+                std::min<std::uint32_t>(seed.length, qt->q());
+            auto range = qt->lookup(read.subspan(end - jump, jump));
+            for (std::uint32_t d = end - jump; d-- > start && !range.empty();) {
+                range = fm.extend(range, read[d]);
+            }
+            seed.range = range;
+            plan.qgram_jumps += 1;
+            plan.fm_extends += seed.length - jump;
+        } else {
+            seed.range = fm.search(read.subspan(start, seed.length));
+            plan.fm_extends += seed.length;
+        }
         plan.total_candidates += seed.range.count();
         plan.seeds.push_back(seed);
     }
+}
+
+SeedPlan plan_from_boundaries(const index::FmIndex& fm,
+                              std::span<const std::uint8_t> read,
+                              std::span<const std::uint16_t> boundaries) {
+    SeedPlan plan;
+    plan_from_boundaries(fm, read, boundaries, plan);
     return plan;
 }
 

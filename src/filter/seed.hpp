@@ -33,27 +33,65 @@ struct SeedPlan {
     std::uint64_t total_candidates = 0;
 
     // Work accounting consumed by the device performance model.
-    std::uint64_t fm_extends = 0; ///< backward-search extension steps
-    std::uint64_t dp_cells = 0;   ///< DP cells touched (0 for heuristics)
+    std::uint64_t fm_extends = 0;  ///< backward-search extension steps
+    std::uint64_t dp_cells = 0;    ///< DP cells touched (0 for heuristics)
+    std::uint64_t qgram_jumps = 0; ///< jump-table lookups replacing extends
 
     /// Peak bytes of per-read kernel scratch the strategy needs — the
     /// quantity the paper's memory optimization reduces (private-memory
     /// pressure limits GPU occupancy, Fig. 3/4 discussion).
     std::uint64_t scratch_bytes = 0;
+
+    /// Clears accounting and seeds while keeping the seeds capacity —
+    /// called at the top of every select() so plans can be recycled.
+    void reset() noexcept {
+        seeds.clear();
+        total_candidates = 0;
+        fm_extends = 0;
+        dp_cells = 0;
+        qgram_jumps = 0;
+        scratch_bytes = 0;
+    }
+};
+
+/// Reusable working buffers for select(). All seeders size these with
+/// assign()/resize() at entry, so a warm scratch (capacity already at the
+/// read-parameter bound) makes filtration allocation-free — the host-side
+/// analogue of the kernels' statically budgeted private memory.
+struct SeedScratch {
+    std::vector<std::uint32_t> row_a;      ///< DP row (prev)
+    std::vector<std::uint32_t> row_b;      ///< DP row (curr)
+    std::vector<std::uint32_t> freqs;      ///< suffix-frequency scan output
+    std::vector<std::uint32_t> freq_table; ///< OSS full frequency table
+    std::vector<std::uint16_t> dividers;   ///< DP backtrack pointers
+    std::vector<std::uint16_t> boundaries; ///< chosen seed starts
 };
 
 /// Strategy interface. Implementations must be stateless w.r.t. reads
-/// (safe to share across threads).
+/// (safe to share across threads; scratch carries all mutable state).
 class Seeder {
 public:
     virtual ~Seeder() = default;
 
     /// Partitions `read` into `delta + 1` seeds. `read` holds 2-bit
-    /// codes. Throws std::invalid_argument when the read cannot host
-    /// delta+1 seeds of the configured minimum length.
-    virtual SeedPlan select(const index::FmIndex& fm,
-                            std::span<const std::uint8_t> read,
-                            std::uint32_t delta) const = 0;
+    /// codes. Resets `plan`, then fills it in place using `scratch` for
+    /// every working buffer. Throws std::invalid_argument when the read
+    /// cannot host delta+1 seeds of the configured minimum length.
+    virtual void select(const index::FmIndex& fm,
+                        std::span<const std::uint8_t> read,
+                        std::uint32_t delta, SeedPlan& plan,
+                        SeedScratch& scratch) const = 0;
+
+    /// Convenience overload allocating fresh plan + scratch. Derived
+    /// classes re-expose it with `using Seeder::select;`.
+    SeedPlan select(const index::FmIndex& fm,
+                    std::span<const std::uint8_t> read,
+                    std::uint32_t delta) const {
+        SeedPlan plan;
+        SeedScratch scratch;
+        select(fm, read, delta, plan, scratch);
+        return plan;
+    }
 
     virtual std::string_view name() const noexcept = 0;
 
@@ -69,7 +107,17 @@ void validate_read_parameters(std::size_t read_length, std::uint32_t delta,
                               std::uint32_t s_min);
 
 /// Computes the FM ranges for an already-chosen partition (boundaries =
-/// seed start offsets, ascending, first == 0) and assembles a SeedPlan.
+/// seed start offsets, ascending, first == 0), replacing `plan.seeds`
+/// and adding the incurred work to the plan's accounting (counters are
+/// NOT reset — DP accounting accumulated by the caller is preserved).
+/// Each seed's range starts from the q-gram jump table when the index
+/// has one, so only `length - q` real extends are issued per seed.
+void plan_from_boundaries(const index::FmIndex& fm,
+                          std::span<const std::uint8_t> read,
+                          std::span<const std::uint16_t> boundaries,
+                          SeedPlan& plan);
+
+/// Value-returning convenience wrapper around the above.
 SeedPlan plan_from_boundaries(const index::FmIndex& fm,
                               std::span<const std::uint8_t> read,
                               std::span<const std::uint16_t> boundaries);

@@ -2,16 +2,19 @@
 
 namespace repute::filter {
 
-SeedPlan UniformSeeder::select(const index::FmIndex& fm,
-                               std::span<const std::uint8_t> read,
-                               std::uint32_t delta) const {
+void UniformSeeder::select(const index::FmIndex& fm,
+                           std::span<const std::uint8_t> read,
+                           std::uint32_t delta, SeedPlan& plan,
+                           SeedScratch& scratch) const {
     validate_read_parameters(read.size(), delta, s_min_);
     const std::uint32_t n_seeds = delta + 1;
     const auto n = static_cast<std::uint32_t>(read.size());
 
+    plan.reset();
     // Distribute n over n_seeds as evenly as possible; the first
     // (n % n_seeds) k-mers get one extra base.
-    std::vector<std::uint16_t> boundaries(n_seeds);
+    auto& boundaries = scratch.boundaries;
+    boundaries.assign(n_seeds, 0);
     const std::uint32_t base = n / n_seeds;
     const std::uint32_t extra = n % n_seeds;
     std::uint32_t pos = 0;
@@ -19,9 +22,8 @@ SeedPlan UniformSeeder::select(const index::FmIndex& fm,
         boundaries[s] = static_cast<std::uint16_t>(pos);
         pos += base + (s < extra ? 1 : 0);
     }
-    SeedPlan plan = plan_from_boundaries(fm, read, boundaries);
+    plan_from_boundaries(fm, read, boundaries, plan);
     plan.scratch_bytes = n_seeds * sizeof(Seed);
-    return plan;
 }
 
 } // namespace repute::filter

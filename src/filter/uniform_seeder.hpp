@@ -14,9 +14,10 @@ class UniformSeeder final : public Seeder {
 public:
     explicit UniformSeeder(std::uint32_t s_min = 10) : s_min_(s_min) {}
 
-    SeedPlan select(const index::FmIndex& fm,
-                    std::span<const std::uint8_t> read,
-                    std::uint32_t delta) const override;
+    using Seeder::select;
+    void select(const index::FmIndex& fm,
+                std::span<const std::uint8_t> read, std::uint32_t delta,
+                SeedPlan& plan, SeedScratch& scratch) const override;
 
     std::string_view name() const noexcept override { return "uniform"; }
 

@@ -13,11 +13,16 @@ std::string Read::to_string() const {
 }
 
 std::vector<std::uint8_t> Read::reverse_complement() const {
-    std::vector<std::uint8_t> rc(codes.size());
+    std::vector<std::uint8_t> rc;
+    reverse_complement(rc);
+    return rc;
+}
+
+void Read::reverse_complement(std::vector<std::uint8_t>& rc) const {
+    rc.resize(codes.size());
     for (std::size_t i = 0; i < codes.size(); ++i) {
         rc[i] = util::complement_code(codes[codes.size() - 1 - i]);
     }
-    return rc;
 }
 
 Reference Reference::from_ascii(std::string name, std::string_view ascii,

@@ -31,6 +31,8 @@ struct Read {
     std::string to_string() const;
     /// Reverse-complemented copy of the base codes.
     std::vector<std::uint8_t> reverse_complement() const;
+    /// In-place variant reusing `rc`'s capacity.
+    void reverse_complement(std::vector<std::uint8_t>& rc) const;
 };
 
 /// A batch of same-length reads (the paper maps fixed-length read sets:

@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "index/qgram_table.hpp"
 #include "index/suffix_array.hpp"
 #include "util/serialize.hpp"
 
@@ -28,20 +29,40 @@ inline std::uint32_t count_eq(std::uint64_t word, std::uint8_t code,
         std::popcount(~diff & kLowBits & region));
 }
 
+// v1 stored checkpoints and BWT as separate arrays; v2 is the
+// interleaved-block layout (on disk: flat BWT, blocks rebuilt on load).
+constexpr std::uint32_t kMagicV1 = 0x464D4958u; // "FMIX"
+constexpr std::uint32_t kMagicV2 = 0x464D4932u; // "FMI2"
+
+thread_local std::uint64_t tls_occ_words = 0;
+
 } // namespace
 
-FmIndex::FmIndex(const genomics::Reference& reference,
-                 std::uint32_t sa_sample, std::uint32_t checkpoint_every)
-    : n_(reference.size()), sa_sample_(sa_sample == 0 ? 1 : sa_sample),
-      checkpoint_every_(checkpoint_every) {
+FmIndex::FmIndex(FmIndex&&) noexcept = default;
+FmIndex& FmIndex::operator=(FmIndex&&) noexcept = default;
+FmIndex::~FmIndex() = default;
+
+void FmIndex::validate_geometry() const {
     if (checkpoint_every_ < 32 ||
         (checkpoint_every_ & (checkpoint_every_ - 1)) != 0) {
         throw std::invalid_argument(
             "FmIndex: checkpoint_every must be a power of two >= 32");
     }
+    if (qgram_length_ > QGramTable::kMaxQ) {
+        throw std::invalid_argument(
+            "FmIndex: qgram_length exceeds QGramTable::kMaxQ");
+    }
+}
+
+FmIndex::FmIndex(const genomics::Reference& reference,
+                 std::uint32_t sa_sample, std::uint32_t checkpoint_every,
+                 std::uint32_t qgram_length)
+    : n_(reference.size()), sa_sample_(sa_sample == 0 ? 1 : sa_sample),
+      checkpoint_every_(checkpoint_every), qgram_length_(qgram_length) {
+    validate_geometry();
     const auto& text = reference.sequence();
     const auto sa = build_suffix_array(text); // n+1 rows, SA[0] == n
-    const auto rows = static_cast<std::uint32_t>(sa.size());
+    const auto n_rows = static_cast<std::uint32_t>(sa.size());
 
     // C array: sentinel sorts before everything and occupies one row.
     std::array<std::uint32_t, 4> counts{};
@@ -55,64 +76,137 @@ FmIndex::FmIndex(const genomics::Reference& reference,
 
     // BWT[i] = text[SA[i] - 1]; the row with SA[i] == 0 holds the
     // sentinel, which we record separately (its packed slot stores 0).
-    bwt_.assign((rows + 31) / 32, 0);
-    for (std::uint32_t i = 0; i < rows; ++i) {
+    std::vector<std::uint64_t> flat((n_rows + 31) / 32, 0);
+    for (std::uint32_t i = 0; i < n_rows; ++i) {
         std::uint8_t code = 0;
         if (sa[i] == 0) {
             sentinel_row_ = i;
         } else {
             code = text.code_at(static_cast<std::size_t>(sa[i]) - 1);
         }
-        bwt_[i >> 5] |= static_cast<std::uint64_t>(code) << ((i & 31) * 2);
+        flat[i >> 5] |= static_cast<std::uint64_t>(code) << ((i & 31) * 2);
     }
-
-    // Occ checkpoints: cumulative counts at every checkpoint_every_
-    // rows, over the *raw* packed BWT — the sentinel slot is counted as
-    // its stored code 0 here and compensated once in occ().
-    const std::uint32_t n_checkpoints = rows / checkpoint_every_ + 1;
-    checkpoints_.assign(n_checkpoints, {});
-    std::array<std::uint32_t, 4> running{};
-    for (std::uint32_t i = 0; i < rows; ++i) {
-        if (i % checkpoint_every_ == 0) {
-            checkpoints_[i / checkpoint_every_] = running;
-        }
-        ++running[bwt_code(i)];
-    }
-    if (rows % checkpoint_every_ == 0) {
-        checkpoints_[rows / checkpoint_every_] = running;
-    }
+    build_blocks(flat);
 
     // Suffix-array samples: mark rows whose SA value is a multiple of
     // sa_sample (SA value 0 included, so locate always terminates).
-    sampled_rows_ = util::BitVector(rows);
-    for (std::uint32_t i = 0; i < rows; ++i) {
+    sampled_rows_ = util::BitVector(n_rows);
+    for (std::uint32_t i = 0; i < n_rows; ++i) {
         if (static_cast<std::uint32_t>(sa[i]) % sa_sample_ == 0) {
             sampled_rows_.set(i);
         }
     }
     sampled_rows_.build_rank();
     samples_.reserve(sampled_rows_.count_ones());
-    for (std::uint32_t i = 0; i < rows; ++i) {
+    for (std::uint32_t i = 0; i < n_rows; ++i) {
         if (sampled_rows_.get(i)) {
             samples_.push_back(static_cast<std::uint32_t>(sa[i]));
         }
     }
+
+    build_qgrams();
+}
+
+void FmIndex::build_blocks(std::span<const std::uint64_t> flat_bwt) {
+    words_per_block_ = checkpoint_every_ / 32;
+    log2_cpe_ = static_cast<std::uint32_t>(
+        std::countr_zero(checkpoint_every_));
+    // u8 prefix counts cap at cpe - 32 = 224 symbols, so they need
+    // cpe <= 256; wider spacings fall back to the word-scan occ path.
+    has_sub_counts_ = checkpoint_every_ <= 256;
+    sub_base_ = 2 + words_per_block_;
+    const std::uint32_t sub_words =
+        has_sub_counts_ ? (words_per_block_ * 4 + 7) / 8 : 0;
+    stride_words_ = (sub_base_ + sub_words + 7u) & ~7u;
+
+    // One trailing block so occ(rows()) lands on a stored checkpoint.
+    const std::uint32_t n_blocks = rows() / checkpoint_every_ + 1;
+    lines_.assign(
+        static_cast<std::size_t>(n_blocks) * (stride_words_ / 8), Line{});
+
+    // Counts are over the *raw* packed BWT — the sentinel slot counts as
+    // its stored code 0 here and is compensated once in occ().
+    std::array<std::uint32_t, 4> running{};
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+        std::uint64_t* blk = mutable_block_words(b);
+        blk[0] = running[0] |
+                 (static_cast<std::uint64_t>(running[1]) << 32);
+        blk[1] = running[2] |
+                 (static_cast<std::uint64_t>(running[3]) << 32);
+        std::array<std::uint32_t, 4> in_block{};
+        for (std::uint32_t w = 0; w < words_per_block_; ++w) {
+            if (has_sub_counts_) {
+                for (std::uint32_t c = 0; c < 4; ++c) {
+                    const std::uint32_t byte = w * 4 + c;
+                    blk[sub_base_ + (byte >> 3)] |=
+                        static_cast<std::uint64_t>(in_block[c] & 0xFFu)
+                        << ((byte & 7u) * 8);
+                }
+            }
+            const std::size_t g =
+                static_cast<std::size_t>(b) * words_per_block_ + w;
+            const std::uint64_t word = g < flat_bwt.size() ? flat_bwt[g] : 0;
+            blk[2 + w] = word;
+            for (std::uint32_t c = 0; c < 4; ++c) {
+                const std::uint32_t k =
+                    count_eq(word, static_cast<std::uint8_t>(c), 32);
+                in_block[c] += k;
+                running[c] += k;
+            }
+        }
+    }
+}
+
+std::vector<std::uint64_t> FmIndex::flat_bwt() const {
+    std::vector<std::uint64_t> flat((rows() + 31) / 32);
+    for (std::size_t g = 0; g < flat.size(); ++g) {
+        const auto b = static_cast<std::uint32_t>(g / words_per_block_);
+        const auto w = static_cast<std::uint32_t>(g % words_per_block_);
+        flat[g] = block_words(b)[2 + w];
+    }
+    return flat;
+}
+
+void FmIndex::build_qgrams() {
+    if (qgram_length_ == 0) return;
+    // Effective q is capped so the table never outweighs the text it
+    // indexes (~n bytes, with a 4 KiB floor so tiny references still
+    // get a few levels): device images ship reference + index + table,
+    // and the table's marginal value vanishes past distinct-substring
+    // saturation anyway.
+    const std::size_t budget = std::max<std::size_t>(n_, 4096);
+    std::uint32_t q = qgram_length_;
+    while (q > 0 && QGramTable::table_bytes(q) > budget) --q;
+    if (q > 0) qgrams_ = std::make_unique<QGramTable>(*this, q);
 }
 
 std::uint32_t FmIndex::occ(std::uint8_t code,
                            std::uint32_t row) const noexcept {
-    const std::uint32_t cp = row / checkpoint_every_;
-    std::uint32_t count = checkpoints_[cp][code];
-    std::uint32_t i = cp * checkpoint_every_;
-    while (i + 32 <= row) {
-        count += count_eq(bwt_[i >> 5], code, 32);
-        i += 32;
+    const std::uint64_t* blk = block_words(row >> log2_cpe_);
+    const std::uint32_t r = row & (checkpoint_every_ - 1);
+    const std::uint32_t w = r >> 5;
+    std::uint32_t count = static_cast<std::uint32_t>(
+        blk[code >> 1] >> ((code & 1u) * 32));
+    if (has_sub_counts_) {
+        const std::uint32_t byte = w * 4 + code;
+        count += static_cast<std::uint32_t>(
+                     blk[sub_base_ + (byte >> 3)] >> ((byte & 7u) * 8)) &
+                 0xFFu;
+        count += count_eq(blk[2 + w], code, r & 31u);
+        tls_occ_words += 1;
+    } else {
+        for (std::uint32_t i = 0; i < w; ++i) {
+            count += count_eq(blk[2 + i], code, 32);
+        }
+        count += count_eq(blk[2 + w], code, r & 31u);
+        tls_occ_words += w + 1;
     }
-    if (i < row) count += count_eq(bwt_[i >> 5], code, row - i);
     // The sentinel's packed slot stores code 0; un-count it.
     if (code == 0 && sentinel_row_ < row) --count;
     return count;
 }
+
+std::uint64_t FmIndex::thread_occ_words() noexcept { return tls_occ_words; }
 
 std::uint32_t FmIndex::lf(std::uint32_t row) const noexcept {
     if (row == sentinel_row_) return 0;
@@ -152,55 +246,55 @@ void FmIndex::locate_range(Range r, std::size_t max_hits,
 }
 
 void FmIndex::save(std::ostream& out) const {
-    util::write_magic(out, 0x464D4958u); // "FMIX"
+    util::write_magic(out, kMagicV2);
     util::write_pod<std::uint64_t>(out, n_);
     for (const auto c : c_) util::write_pod<std::uint32_t>(out, c);
-    util::write_vector(out, bwt_);
+    util::write_vector(out, flat_bwt());
     util::write_pod<std::uint32_t>(out, sentinel_row_);
-    std::vector<std::uint32_t> flat;
-    flat.reserve(checkpoints_.size() * 4);
-    for (const auto& cp : checkpoints_) {
-        flat.insert(flat.end(), cp.begin(), cp.end());
-    }
-    util::write_vector(out, flat);
     util::write_pod<std::uint32_t>(out, sa_sample_);
     util::write_pod<std::uint32_t>(out, checkpoint_every_);
+    util::write_pod<std::uint32_t>(out, qgram_length_);
     sampled_rows_.save(out);
     util::write_vector(out, samples_);
 }
 
 FmIndex FmIndex::load(std::istream& in) {
-    util::check_magic(in, 0x464D4958u, "FmIndex");
+    const auto magic = util::read_pod<std::uint32_t>(in);
+    if (magic == kMagicV1) {
+        throw std::runtime_error(
+            "FmIndex: legacy FMIX image (pre-interleaved layout) — "
+            "rebuild the index with this binary");
+    }
+    if (magic != kMagicV2) {
+        throw std::runtime_error("serialize: bad magic for FmIndex");
+    }
     FmIndex fm;
     fm.n_ = util::read_pod<std::uint64_t>(in);
     for (auto& c : fm.c_) c = util::read_pod<std::uint32_t>(in);
-    fm.bwt_ = util::read_vector<std::uint64_t>(in);
+    const auto flat = util::read_vector<std::uint64_t>(in);
     fm.sentinel_row_ = util::read_pod<std::uint32_t>(in);
-    const auto flat = util::read_vector<std::uint32_t>(in);
-    if (flat.size() % 4 != 0) {
-        throw std::runtime_error("FmIndex: corrupt checkpoint table");
-    }
-    fm.checkpoints_.resize(flat.size() / 4);
-    for (std::size_t i = 0; i < fm.checkpoints_.size(); ++i) {
-        for (std::size_t c = 0; c < 4; ++c) {
-            fm.checkpoints_[i][c] = flat[i * 4 + c];
-        }
-    }
     fm.sa_sample_ = util::read_pod<std::uint32_t>(in);
     fm.checkpoint_every_ = util::read_pod<std::uint32_t>(in);
+    fm.qgram_length_ = util::read_pod<std::uint32_t>(in);
+    fm.validate_geometry();
+    if (flat.size() != (fm.rows() + 31) / 32) {
+        throw std::runtime_error("FmIndex: corrupt BWT payload");
+    }
+    fm.build_blocks(flat);
     fm.sampled_rows_ = util::BitVector::load(in);
     fm.samples_ = util::read_vector<std::uint32_t>(in);
     if (fm.samples_.size() != fm.sampled_rows_.count_ones()) {
         throw std::runtime_error("FmIndex: corrupt SA samples");
     }
+    fm.build_qgrams();
     return fm;
 }
 
 std::size_t FmIndex::memory_bytes() const noexcept {
-    return bwt_.size() * sizeof(std::uint64_t) +
-           checkpoints_.size() * sizeof(checkpoints_[0]) +
+    return lines_.size() * sizeof(Line) + sizeof(c_) +
            samples_.size() * sizeof(std::uint32_t) +
-           (sampled_rows_.size() + 7) / 8 + sampled_rows_.size() / 4;
+           sampled_rows_.memory_bytes() +
+           (qgrams_ ? qgrams_->memory_bytes() : 0);
 }
 
 } // namespace repute::index

@@ -3,16 +3,26 @@
 // suffix array for locate queries — the preprocessing data structure of
 // the paper (§II-A), shared by REPUTE, CORAL and the FM-based baselines.
 //
-// Layout choices match the paper's memory-footprint concerns:
-//   * the BWT is stored 2 bits/symbol with occ checkpoints every 128
-//     symbols (1 byte/base overhead, popcount rank within a block),
+// Layout choices match the paper's memory-footprint concerns, tuned for
+// the occ() hot path (the filtration stage is memory-bound on it):
+//   * the BWT and its occ rank directory are fused into interleaved
+//     cache-line-aligned blocks: each block carries the absolute counts
+//     at the block start, the packed 2-bit BWT words of the block, and
+//     (for checkpoint spacings <= 256) 8-bit per-word prefix counts —
+//     at the default spacing of 128 one occ() is a single 64-byte line
+//     (counts + sub-count + one masked popcount) instead of two streams
+//     over separate checkpoint and BWT arrays,
 //   * the suffix array is sampled every `sa_sample` text positions
 //     (paper §IV cites Bowtie2-style interval sampling as the fix for
-//     its full-SA footprint — we implement that fix).
+//     its full-SA footprint — we implement that fix),
+//   * an optional q-gram jump table (see qgram_table.hpp) precomputes
+//     the FM range of every pattern of length <= q so backward scans
+//     start q symbols deep.
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,6 +31,8 @@
 #include "util/packed_dna.hpp"
 
 namespace repute::index {
+
+class QGramTable;
 
 class FmIndex {
 public:
@@ -35,15 +47,25 @@ public:
         bool operator==(const Range&) const noexcept = default;
     };
 
+    /// Default q of the q-gram jump table built alongside the index
+    /// (4^8 + ... + 4 ranges, ~700 KB). Pass 0 to skip the table.
+    static constexpr std::uint32_t kDefaultQgramLength = 8;
+
     /// Builds the index for `reference`. `sa_sample` = 1 keeps the full
     /// suffix array (fastest locate, paper's original configuration);
     /// larger values trade locate speed for memory. `checkpoint_every`
     /// (a power of two, >= 32) spaces the occ checkpoints: wider spacing
     /// shrinks the rank directory but lengthens each occ scan — the
     /// second index-footprint knob the paper's §IV discussion points at.
+    /// `qgram_length` sizes the jump table (0 disables it).
     explicit FmIndex(const genomics::Reference& reference,
                      std::uint32_t sa_sample = 4,
-                     std::uint32_t checkpoint_every = 128);
+                     std::uint32_t checkpoint_every = 128,
+                     std::uint32_t qgram_length = kDefaultQgramLength);
+
+    FmIndex(FmIndex&&) noexcept;
+    FmIndex& operator=(FmIndex&&) noexcept;
+    ~FmIndex();
 
     /// Text length (without sentinel).
     std::size_t size() const noexcept { return n_; }
@@ -58,7 +80,9 @@ public:
     Range extend(Range r, std::uint8_t code) const noexcept;
 
     /// Full backward search of `pattern` (2-bit codes, searched from its
-    /// last symbol to its first). O(|pattern|).
+    /// last symbol to its first). O(|pattern|). Performs every extend
+    /// step — callers that may start q symbols deep (the filtration
+    /// scanners) go through qgrams() so the saved work is accounted.
     Range search(std::span<const std::uint8_t> pattern) const noexcept;
 
     /// Text position of the suffix at `row`. O(sa_sample) LF steps.
@@ -83,32 +107,88 @@ public:
         return checkpoint_every_;
     }
 
+    /// The q-gram jump table, or nullptr when built with
+    /// qgram_length = 0.
+    const QGramTable* qgrams() const noexcept { return qgrams_.get(); }
+    std::uint32_t qgram_length() const noexcept { return qgram_length_; }
+
     /// Heap bytes used by the index (footprint accounting for the device
-    /// memory ceilings).
+    /// memory ceilings): rank blocks incl. alignment padding, C array,
+    /// SA samples with their rank directories, and the q-gram table.
     std::size_t memory_bytes() const noexcept;
 
+    /// BWT words examined by occ() on the calling thread since thread
+    /// start — sampled around kernel executions to feed the
+    /// `index.occ_words_scanned` metric (one unconditional thread-local
+    /// add per occ; no atomics on the hot path).
+    static std::uint64_t thread_occ_words() noexcept;
+
     /// Binary serialization — build once, reuse across runs (index
-    /// construction dominates start-up for large references).
+    /// construction dominates start-up for large references). The
+    /// on-disk format stores the flat BWT; interleaved blocks and the
+    /// q-gram table are rebuilt on load. Pre-interleaving "FMIX" images
+    /// are rejected with a "rebuild" error.
     void save(std::ostream& out) const;
     static FmIndex load(std::istream& in);
 
 private:
     FmIndex() = default; // for load()
 
-    std::size_t n_ = 0;                       ///< text length
-    std::array<std::uint32_t, 5> c_{};        ///< C[c], c_[4] = n+1
-    std::vector<std::uint64_t> bwt_;          ///< packed BWT, n+1 symbols
-    std::uint32_t sentinel_row_ = 0;          ///< row whose BWT char is $
-    std::vector<std::array<std::uint32_t, 4>> checkpoints_;
+    /// 64-byte-aligned backing storage for the interleaved blocks.
+    struct alignas(64) Line {
+        std::uint64_t w[8] = {};
+    };
+
+    std::size_t n_ = 0;                ///< text length
+    std::array<std::uint32_t, 5> c_{}; ///< C[c], c_[4] = n+1
+    std::uint32_t sentinel_row_ = 0;   ///< row whose BWT char is $
+
+    // Interleaved rank blocks. Block b (rows [b*cpe, (b+1)*cpe)) spans
+    // stride_words_ u64 words:
+    //   words [0, 2):                     occ counts at the block start
+    //                                     (4 x u32, code-major),
+    //   words [2, 2+W):                   packed BWT, W = cpe/32,
+    //   words [2+W, ...)  (cpe <= 256):   u8 prefix counts per (word,
+    //                                     code): symbols equal to `code`
+    //                                     in words [0, w) of the block.
+    // The stride is padded to a multiple of 8 words so blocks start on
+    // cache-line boundaries (exactly one line at the default cpe = 128).
+    std::vector<Line> lines_;
+    std::uint32_t words_per_block_ = 0;
+    std::uint32_t stride_words_ = 0;
+    std::uint32_t sub_base_ = 0; ///< word offset of the u8 prefix counts
+    std::uint32_t log2_cpe_ = 0;
+    bool has_sub_counts_ = false;
+
     std::uint32_t sa_sample_ = 4;
     std::uint32_t checkpoint_every_ = 128;
-    util::BitVector sampled_rows_;            ///< rank-enabled marks
-    std::vector<std::uint32_t> samples_;      ///< SA values at marked rows
+    std::uint32_t qgram_length_ = kDefaultQgramLength;
+    util::BitVector sampled_rows_;       ///< rank-enabled marks
+    std::vector<std::uint32_t> samples_; ///< SA values at marked rows
+    std::unique_ptr<QGramTable> qgrams_;
 
-    std::uint8_t bwt_code(std::uint32_t i) const noexcept {
-        return static_cast<std::uint8_t>((bwt_[i >> 5] >> ((i & 31) * 2)) &
-                                         3u);
+    std::uint32_t rows() const noexcept {
+        return static_cast<std::uint32_t>(n_ + 1);
     }
+    const std::uint64_t* block_words(std::uint32_t b) const noexcept {
+        return reinterpret_cast<const std::uint64_t*>(lines_.data()) +
+               static_cast<std::size_t>(b) * stride_words_;
+    }
+    std::uint64_t* mutable_block_words(std::uint32_t b) noexcept {
+        return reinterpret_cast<std::uint64_t*>(lines_.data()) +
+               static_cast<std::size_t>(b) * stride_words_;
+    }
+    std::uint8_t bwt_code(std::uint32_t i) const noexcept {
+        const std::uint64_t* blk = block_words(i >> log2_cpe_);
+        const std::uint32_t r = i & (checkpoint_every_ - 1);
+        return static_cast<std::uint8_t>(
+            (blk[2 + (r >> 5)] >> ((r & 31u) * 2)) & 3u);
+    }
+
+    void validate_geometry() const;
+    void build_blocks(std::span<const std::uint64_t> flat_bwt);
+    std::vector<std::uint64_t> flat_bwt() const;
+    void build_qgrams();
 };
 
 } // namespace repute::index

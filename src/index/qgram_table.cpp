@@ -1,0 +1,64 @@
+#include "index/qgram_table.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace repute::index {
+
+namespace {
+
+/// Fills levels depth+1..q below a non-empty node by extend()ing one
+/// symbol at a time. Empty children are pruned: their entire subtrees
+/// keep the zero-initialized {0, 0} entries, which is exactly the
+/// "absent pattern" encoding lookup() documents.
+void fill_subtree(const FmIndex& fm, std::vector<FmIndex::Range>& ranges,
+                  const std::vector<std::size_t>& level_offset,
+                  FmIndex::Range range, std::uint64_t idx,
+                  std::uint32_t depth, std::uint32_t q) {
+    if (depth == q) return;
+    for (std::uint8_t c = 0; c < 4; ++c) {
+        const FmIndex::Range child = fm.extend(range, c);
+        if (child.empty()) continue;
+        const std::uint64_t child_idx =
+            (static_cast<std::uint64_t>(c) << (2 * depth)) | idx;
+        ranges[level_offset[depth + 1] + child_idx] = child;
+        fill_subtree(fm, ranges, level_offset, child, child_idx, depth + 1,
+                     q);
+    }
+}
+
+} // namespace
+
+QGramTable::QGramTable(const FmIndex& fm, std::uint32_t q) : q_(q) {
+    if (q == 0 || q > kMaxQ) {
+        throw std::invalid_argument(
+            "QGramTable: q must be in [1, " + std::to_string(kMaxQ) + "]");
+    }
+    level_offset_.assign(q + 1, 0);
+    std::size_t offset = 0;
+    std::size_t level_size = 4;
+    for (std::uint32_t level = 1; level <= q; ++level) {
+        level_offset_[level] = offset;
+        offset += level_size;
+        level_size *= 4;
+    }
+    ranges_.assign(offset, FmIndex::Range{0, 0});
+    fill_subtree(fm, ranges_, level_offset_, fm.whole_range(), 0, 0, q);
+}
+
+FmIndex::Range QGramTable::lookup(
+    std::span<const std::uint8_t> codes) const noexcept {
+    const auto len = static_cast<std::uint32_t>(codes.size());
+    std::uint64_t idx = 0;
+    for (std::uint32_t i = 0; i < len; ++i) {
+        idx |= static_cast<std::uint64_t>(codes[i]) << (2 * (len - 1 - i));
+    }
+    return lookup(len, idx);
+}
+
+std::size_t QGramTable::memory_bytes() const noexcept {
+    return ranges_.size() * sizeof(FmIndex::Range) +
+           level_offset_.size() * sizeof(std::size_t);
+}
+
+} // namespace repute::index

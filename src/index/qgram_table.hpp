@@ -1,0 +1,74 @@
+#pragma once
+// Q-gram jump table: precomputed FM ranges for every pattern of length
+// 1..q.
+//
+// FM backward search narrows the row range one prepended symbol at a
+// time, so the range of ANY pattern of length L <= q is a pure function
+// of its 2-bit encoding — independent of the read it came from. The
+// table materializes all (4^(q+1) - 4) / 3 of them (q = 8 default:
+// 87,380 ranges, ~700 KB), letting every suffix-frequency scan and
+// seed-range computation start q symbols deep: one L2-resident load
+// replaces q extend() steps (2q occ() queries over the rank blocks).
+//
+// Lookups are exact, not approximate: a table hit returns the range
+// extend() would have produced symbol by symbol, so mapping output is
+// unchanged (the jump-table-equivalence tests pin this).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/fm_index.hpp"
+
+namespace repute::index {
+
+class QGramTable {
+public:
+    /// Largest supported q: 4^12 ranges = 128 MB is already past any
+    /// sensible footprint/speed trade-off.
+    static constexpr std::uint32_t kMaxQ = 12;
+
+    /// Builds ranges for all patterns of length 1..q over `fm` by a
+    /// pruned DFS of extend() steps (cost ~ 4 * distinct substrings of
+    /// length <= q, far below 4^q on small references).
+    QGramTable(const FmIndex& fm, std::uint32_t q);
+
+    std::uint32_t q() const noexcept { return q_; }
+
+    /// Bytes of the range array a depth-`q` table occupies — used by
+    /// FmIndex to cap q so the table never outweighs the text itself.
+    static constexpr std::size_t table_bytes(std::uint32_t q) noexcept {
+        std::size_t entries = 0;
+        std::size_t level = 4;
+        for (std::uint32_t l = 1; l <= q; ++l) {
+            entries += level;
+            level *= 4;
+        }
+        return entries * sizeof(FmIndex::Range);
+    }
+
+    /// Range of the length-`len` pattern (1 <= len <= q) whose
+    /// big-endian 2-bit encoding is `idx` (first symbol in the highest
+    /// bits). Absent patterns yield the canonical empty range {0, 0}.
+    /// Callers build `idx` incrementally while walking a read backwards:
+    /// prepending symbol c to a length-L pattern is
+    /// `idx |= c << (2 * L)`.
+    FmIndex::Range lookup(std::uint32_t len,
+                          std::uint64_t idx) const noexcept {
+        return ranges_[level_offset_[len] + idx];
+    }
+
+    /// Range for an explicit pattern (codes 0..3, 1 <= size() <= q).
+    FmIndex::Range lookup(std::span<const std::uint8_t> codes) const noexcept;
+
+    /// Heap footprint (range array + offsets) — part of the index image
+    /// uploaded to every device.
+    std::size_t memory_bytes() const noexcept;
+
+private:
+    std::uint32_t q_ = 0;
+    std::vector<std::size_t> level_offset_; ///< [L] = base of level L
+    std::vector<FmIndex::Range> ranges_;
+};
+
+} // namespace repute::index

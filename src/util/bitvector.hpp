@@ -49,6 +49,13 @@ public:
     /// Total number of set bits. Requires a prior build_rank().
     std::size_t count_ones() const noexcept { return total_ones_; }
 
+    /// Heap bytes held: bit words plus both rank directories.
+    std::size_t memory_bytes() const noexcept {
+        return words_.size() * sizeof(std::uint64_t) +
+               superblock_.size() * sizeof(std::uint64_t) +
+               block_.size() * sizeof(std::uint16_t);
+    }
+
     /// Builds the rank directories; call after the last mutation.
     void build_rank();
 

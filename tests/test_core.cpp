@@ -273,9 +273,10 @@ TEST_F(CoreTest, TinyDeviceMemoryForcesChunkingWithSameResults) {
     Device big(fast_test_profile("big"));
     DeviceProfile tiny_profile = fast_test_profile("tiny");
     // With a 1000-location output cap, 250 reads need ~2 MB of output
-    // buffer — beyond the quarter ceiling of a 2 MiB device, forcing
-    // several kernel invocations; the index still fits.
-    tiny_profile.global_memory_bytes = 2 * 1024 * 1024;
+    // buffer — beyond the quarter ceiling of a 4 MiB device, forcing
+    // several kernel invocations; the index image (rank blocks + q-gram
+    // table + reference, ~0.6 MB here) still fits the ceiling.
+    tiny_profile.global_memory_bytes = 4 * 1024 * 1024;
     Device tiny(tiny_profile);
 
     repute::core::HeterogeneousMapperConfig config;

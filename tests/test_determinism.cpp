@@ -156,6 +156,20 @@ TEST_F(DeterminismTest, DynamicScheduleEquivalentToSingleDevice) {
     }
 }
 
+TEST_F(DeterminismTest, JumpTableInvisibleInMappingOutput) {
+    // Index-layout perf knobs must never leak into results: an index
+    // without the q-gram jump table (q=0) must map every read to exactly
+    // the same locations as the default index — the table is an exact
+    // precomputation, not an approximation.
+    const FmIndex plain(*reference_, 4, 128, /*qgram_length=*/0);
+    Device dev(profile_with_units(8));
+    auto fast = repute::core::make_repute(*reference_, *fm_,
+                                          {{&dev, 1.0}});
+    auto slow = repute::core::make_repute(*reference_, plain,
+                                          {{&dev, 1.0}});
+    expect_identical(fast->map(sim_->batch, 5), slow->map(sim_->batch, 5));
+}
+
 TEST_F(DeterminismTest, StressRepeatedConcurrentMapping) {
     // Hammer one device with interleaved map() calls from two mappers;
     // the in-order device must serialize without corrupting results.

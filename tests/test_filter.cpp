@@ -287,6 +287,48 @@ TEST_F(FilterTest, MaxHitsPerSeedCapsLocates) {
     EXPECT_LE(cands.located_hits, 2u * plan.seeds.size());
 }
 
+TEST_F(FilterTest, JumpTablePathMatchesPlainBackwardSearch) {
+    // The q-gram jump table is a pure fast path: every seeder must
+    // produce the same partition, ranges, and candidate totals whether
+    // the index carries a table (default q=8) or none at all (q=0) —
+    // only the extends-vs-jumps accounting split may differ.
+    const FmIndex no_jump(*reference_, 4, 128, /*qgram_length=*/0);
+    ASSERT_NE(fm_->qgrams(), nullptr);
+    ASSERT_EQ(no_jump.qgrams(), nullptr);
+
+    const MemoryOptimizedSeeder memopt(12);
+    const OptimalSeeder optimal(12);
+    const UniformSeeder uniform(10);
+    const Seeder* seeders[] = {&memopt, &optimal, &uniform};
+
+    Xoshiro256 rng(2468);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto read = sample_read(rng, 80 + rng.bounded(120));
+        const std::uint32_t delta = 2 + rng.bounded(4);
+        for (const Seeder* s : seeders) {
+            SCOPED_TRACE(std::string(s->name()) + " trial " +
+                         std::to_string(trial));
+            const SeedPlan with = s->select(*fm_, read, delta);
+            const SeedPlan without = s->select(no_jump, read, delta);
+            ASSERT_EQ(with.seeds.size(), without.seeds.size());
+            for (std::size_t i = 0; i < with.seeds.size(); ++i) {
+                EXPECT_EQ(with.seeds[i].start, without.seeds[i].start);
+                EXPECT_EQ(with.seeds[i].length, without.seeds[i].length);
+                EXPECT_EQ(with.seeds[i].range.count(),
+                          without.seeds[i].range.count());
+                if (!with.seeds[i].range.empty()) {
+                    EXPECT_EQ(with.seeds[i].range, without.seeds[i].range);
+                }
+            }
+            EXPECT_EQ(with.total_candidates, without.total_candidates);
+            EXPECT_EQ(with.dp_cells, without.dp_cells);
+            EXPECT_GT(with.qgram_jumps, 0u);
+            EXPECT_EQ(without.qgram_jumps, 0u);
+            EXPECT_LT(with.fm_extends, without.fm_extends);
+        }
+    }
+}
+
 TEST_F(FilterTest, ExplorationSpaceFormula) {
     EXPECT_EQ(MemoryOptimizedSeeder::exploration_space(100, 4, 10), 50u);
     EXPECT_EQ(MemoryOptimizedSeeder::exploration_space(150, 5, 22), 18u);

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <set>
 #include <string>
 
 #include "genomics/genome_sim.hpp"
 #include "index/fm_index.hpp"
+#include "index/qgram_table.hpp"
 #include "index/suffix_array.hpp"
 #include "util/prng.hpp"
 
@@ -237,6 +239,100 @@ TEST(FmIndex, OccIsMonotoneAndConsistent) {
     EXPECT_EQ(fm.occ(0, rows) + fm.occ(1, rows) + fm.occ(2, rows) +
                   fm.occ(3, rows),
               text.size());
+}
+
+TEST(FmIndex, OccMatchesScalarReferenceAcrossGeometries) {
+    // Property: the interleaved rank blocks (checkpoint counts + packed
+    // BWT + u8 sub-counts fused per cache line) must answer occ()
+    // exactly like a scalar count over the BWT — for every row, symbol,
+    // and block geometry, including the word-scan fallback used when
+    // checkpoint_every is too large for u8 sub-counts (> 256).
+    Xoshiro256 rng(2026);
+    for (const std::uint32_t cpe : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+        const std::size_t n = 700 + rng.bounded(3000);
+        const std::string text = random_dna(rng, n);
+        const Reference ref("t", PackedDna{text});
+        const FmIndex fm(ref, /*sa_sample=*/4, cpe);
+
+        // Scalar reference: BWT[row] = text[sa[row] - 1] (sentinel row
+        // excluded from every symbol's count).
+        const auto sa = build_suffix_array(ref.sequence());
+        std::array<std::vector<std::uint32_t>, 4> prefix;
+        for (auto& p : prefix) p.assign(sa.size() + 1, 0);
+        for (std::size_t row = 0; row < sa.size(); ++row) {
+            for (int c = 0; c < 4; ++c) {
+                prefix[c][row + 1] = prefix[c][row];
+            }
+            if (sa[row] != 0) {
+                ++prefix[repute::util::base_to_code(
+                    text[static_cast<std::size_t>(sa[row]) - 1])][row + 1];
+            }
+        }
+        for (std::uint32_t row = 0; row <= n + 1; ++row) {
+            for (std::uint8_t c = 0; c < 4; ++c) {
+                ASSERT_EQ(fm.occ(c, row), prefix[c][row])
+                    << "cpe=" << cpe << " row=" << row << " code="
+                    << int(c);
+            }
+        }
+    }
+}
+
+TEST(FmIndex, QGramLookupsMatchBackwardSearch) {
+    // Every jump-table hit must be the exact range a symbol-by-symbol
+    // backward search produces — the invariant that makes the q-gram
+    // fast path output-invisible.
+    Xoshiro256 rng(777);
+    const std::string text = random_dna(rng, 20'000);
+    const Reference ref("t", PackedDna{text});
+    const FmIndex fm(ref, 4, 128, /*qgram_length=*/8);
+    const auto* qt = fm.qgrams();
+    ASSERT_NE(qt, nullptr);
+
+    for (int trial = 0; trial < 400; ++trial) {
+        const std::uint32_t len = 1 + rng.bounded(qt->q());
+        std::vector<std::uint8_t> codes(len);
+        if (rng.chance(0.7)) {
+            const std::size_t pos = rng.bounded(text.size() - len);
+            for (std::uint32_t i = 0; i < len; ++i) {
+                codes[i] = repute::util::base_to_code(text[pos + i]);
+            }
+        } else {
+            for (auto& c : codes) {
+                c = static_cast<std::uint8_t>(rng.bounded(4));
+            }
+        }
+        const auto expected = fm.search(codes);
+        const auto got = qt->lookup(codes);
+        if (expected.empty()) {
+            EXPECT_TRUE(got.empty()) << "trial " << trial;
+        } else {
+            EXPECT_EQ(got, expected) << "trial " << trial;
+        }
+        // The incremental-index form scanners use (prepend symbol c to a
+        // length-L pattern: idx |= c << 2L) must agree with the span form.
+        std::uint64_t idx = 0;
+        for (std::uint32_t l = 1; l <= len; ++l) {
+            idx |= static_cast<std::uint64_t>(codes[len - l])
+                   << (2 * (l - 1));
+        }
+        EXPECT_EQ(qt->lookup(len, idx).count(), got.count());
+    }
+}
+
+TEST(FmIndex, QGramTableCappedByReferenceFootprint) {
+    // The effective q shrinks on small references so the table never
+    // outweighs the text it accelerates; q=0 disables it entirely.
+    Xoshiro256 rng(31);
+    const std::string small = random_dna(rng, 1000);
+    const FmIndex tiny(Reference("s", PackedDna{small}), 4, 128, 8);
+    ASSERT_NE(tiny.qgrams(), nullptr);
+    EXPECT_LT(tiny.qgrams()->q(), 8u);
+    EXPECT_LE(repute::index::QGramTable::table_bytes(tiny.qgrams()->q()),
+              std::max<std::size_t>(small.size() + 1, 4096));
+
+    const FmIndex off(Reference("s", PackedDna{small}), 4, 128, 0);
+    EXPECT_EQ(off.qgrams(), nullptr);
 }
 
 TEST(FmIndex, WorksOnRepeatRichSimulatedGenome) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "genomics/genome_sim.hpp"
 #include "index/fm_index.hpp"
@@ -99,6 +100,29 @@ TEST(Serialize, FmIndexRoundTripAnswersIdentically) {
         loaded.locate_range(b, 32, hb);
         EXPECT_EQ(ha, hb);
     }
+}
+
+TEST(Serialize, FmIndexRejectsLegacyLayoutMagic) {
+    // Pre-interleaved images ("FMIX") stored checkpoint tables and BWT
+    // words separately; the block layout cannot be reconstructed from a
+    // header alone, so load must fail loudly with a rebuild hint rather
+    // than misread the stream.
+    std::stringstream io;
+    repute::util::write_pod<std::uint32_t>(io, 0x464D4958u); // "FMIX"
+    repute::util::write_pod<std::uint64_t>(io, 100);
+    try {
+        (void)FmIndex::load(io);
+        FAIL() << "legacy magic accepted";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("legacy"),
+                  std::string::npos);
+    }
+}
+
+TEST(Serialize, FmIndexRejectsUnknownMagic) {
+    std::stringstream io;
+    repute::util::write_pod<std::uint32_t>(io, 0x12345678u);
+    EXPECT_THROW((void)FmIndex::load(io), std::runtime_error);
 }
 
 TEST(Serialize, FmIndexTruncatedStreamThrows) {

@@ -28,6 +28,21 @@ WorkloadConfig parse_workload_config(const util::Args& args) {
     return config;
 }
 
+FunnelToggles parse_funnel_toggles(const util::Args& args) {
+    FunnelToggles toggles;
+    toggles.prefilter = !args.get_bool("no-prefilter", false);
+    toggles.banded_verification = !args.get_bool("no-band", false);
+    toggles.coalesce_windows = !args.get_bool("no-coalesce", false);
+    if (!toggles.prefilter || !toggles.banded_verification ||
+        !toggles.coalesce_windows) {
+        std::printf("# funnel layers: prefilter=%s banded=%s coalesce=%s\n",
+                    toggles.prefilter ? "on" : "OFF",
+                    toggles.banded_verification ? "on" : "OFF",
+                    toggles.coalesce_windows ? "on" : "OFF");
+    }
+    return toggles;
+}
+
 Workload make_workload(const WorkloadConfig& config) {
     util::Stopwatch timer;
     std::printf("# workload: genome=%zu bp, reads=%zu per set, seed=%llu\n",

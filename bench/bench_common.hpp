@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels.hpp"
 #include "core/mapping.hpp"
 #include "core/repute_mapper.hpp"
 #include "genomics/genome_sim.hpp"
@@ -57,6 +58,24 @@ struct WorkloadConfig {
 /// Parses --genome/--reads/--seed (and --quick, which shrinks both by
 /// 4x) into a WorkloadConfig.
 WorkloadConfig parse_workload_config(const util::Args& args);
+
+/// Verification-funnel escape hatches: --no-prefilter, --no-band and
+/// --no-coalesce turn off individual layers (see DESIGN.md
+/// "Verification funnel"). Every layer is output-neutral, so these
+/// only exist for before/after timing and for debugging a suspected
+/// funnel bug in the field.
+struct FunnelToggles {
+    bool prefilter = true;
+    bool banded_verification = true;
+    bool coalesce_windows = true;
+
+    void apply(core::KernelConfig& kernel) const {
+        kernel.prefilter = prefilter;
+        kernel.banded_verification = banded_verification;
+        kernel.coalesce_windows = coalesce_windows;
+    }
+};
+FunnelToggles parse_funnel_toggles(const util::Args& args);
 
 /// Builds the genome, index and both read sets. Prints progress to
 /// stdout (benches are interactive tools).

@@ -51,11 +51,14 @@ std::vector<MapperSpec> baseline_specs(const Workload& w,
 
 MapperSpec repute_spec(const Workload& w,
                        std::vector<core::DeviceShare> shares,
-                       const std::string& name) {
-    return {name, [&w, shares, name](std::size_t n, std::uint32_t delta) {
+                       const std::string& name, FunnelToggles toggles) {
+    return {name,
+            [&w, shares, name, toggles](std::size_t n,
+                                        std::uint32_t delta) {
                 core::HeterogeneousMapperConfig config;
                 config.kernel.s_min = best_s_min(n, delta);
                 config.kernel.max_locations_per_read = 1000;
+                toggles.apply(config.kernel);
                 auto mapper = core::make_repute(w.reference, *w.fm,
                                                 shares, config);
                 return mapper;
@@ -64,11 +67,14 @@ MapperSpec repute_spec(const Workload& w,
 
 MapperSpec coral_spec(const Workload& w,
                       std::vector<core::DeviceShare> shares,
-                      const std::string& name) {
-    return {name, [&w, shares, name](std::size_t n, std::uint32_t delta) {
+                      const std::string& name, FunnelToggles toggles) {
+    return {name,
+            [&w, shares, name, toggles](std::size_t n,
+                                        std::uint32_t delta) {
                 core::HeterogeneousMapperConfig config;
                 config.kernel.s_min = best_s_min(n, delta);
                 config.kernel.max_locations_per_read = 1000;
+                toggles.apply(config.kernel);
                 auto mapper = core::make_coral(w.reference, *w.fm,
                                                shares, config);
                 return mapper;

@@ -49,11 +49,15 @@ std::vector<MapperSpec> baseline_specs(const Workload& w,
                                        ocl::Device& cpu);
 
 /// REPUTE / CORAL on the given device shares, capped at 1000 locations.
+/// `toggles` applies the --no-prefilter/--no-band/--no-coalesce escape
+/// hatches to every kernel the spec builds.
 MapperSpec repute_spec(const Workload& w,
                        std::vector<core::DeviceShare> shares,
-                       const std::string& name);
+                       const std::string& name,
+                       FunnelToggles toggles = {});
 MapperSpec coral_spec(const Workload& w,
                       std::vector<core::DeviceShare> shares,
-                      const std::string& name);
+                      const std::string& name,
+                      FunnelToggles toggles = {});
 
 } // namespace repute::bench

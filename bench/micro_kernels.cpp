@@ -11,9 +11,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <span>
 
 #include "align/edit_distance.hpp"
 #include "align/myers.hpp"
+#include "align/prefilter.hpp"
+#include "filter/candidates.hpp"
 #include "filter/frequency_scanner.hpp"
 #include "filter/heuristic_seeder.hpp"
 #include "filter/memopt_seeder.hpp"
@@ -25,6 +28,7 @@
 #include "index/bi_fm_index.hpp"
 #include "index/fm_index.hpp"
 #include "index/suffix_array.hpp"
+#include "util/packed_dna.hpp"
 #include "util/prng.hpp"
 
 namespace {
@@ -126,6 +130,192 @@ void BM_Verify_FullDp(benchmark::State& state) {
 BENCHMARK(BM_Verify_Myers);
 BENCHMARK(BM_Verify_BandedDp);
 BENCHMARK(BM_Verify_FullDp);
+
+// ---------------------------------------------- verification funnel
+
+void BM_Verify_MyersBanded(benchmark::State& state) {
+    // Same accept-case window as BM_Verify_Myers, δ-banded.
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    const align::MyersMatcher matcher(read.codes);
+    const auto window = w.reference.sequence().extract(
+        w.reads.origins[3].position, 110);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            matcher.best_in_bounded(window, 5).distance);
+    }
+}
+BENCHMARK(BM_Verify_MyersBanded);
+
+void BM_Prefilter_RejectRandom(benchmark::State& state) {
+    // The prefilter's money case: a false-positive candidate window,
+    // killed without running Myers at all.
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    align::Prefilter filter;
+    filter.set_pattern(read.codes);
+    // A window the read does NOT come from (origin of another read).
+    std::vector<std::uint64_t> words(util::PackedDna::packed_word_count(110));
+    w.reference.sequence().extract_words(w.reads.origins[200].position,
+                                         110, words.data());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(filter.admits(words.data(), 0, 110, 5));
+    }
+}
+BENCHMARK(BM_Prefilter_RejectRandom);
+
+void BM_Prefilter_AcceptPlanted(benchmark::State& state) {
+    // True-positive window: the early accept exit fires on the group
+    // containing the real alignment.
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    align::Prefilter filter;
+    filter.set_pattern(read.codes);
+    std::vector<std::uint64_t> words(util::PackedDna::packed_word_count(110));
+    w.reference.sequence().extract_words(w.reads.origins[3].position, 110,
+                                         words.data());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(filter.admits(words.data(), 0, 110, 5));
+    }
+}
+BENCHMARK(BM_Prefilter_AcceptPlanted);
+
+// The table1-workload candidate mix: every candidate window the DP
+// seeder produces for the first 64 reads on BOTH strands, exactly as
+// the kernel verifies them (the reverse-complement pass contributes
+// most of the false positives — true hits and false candidates appear
+// in their real ~1:1 ratio). _Baseline is the pre-funnel path (byte
+// window + full best_in per candidate); _Full is the three-layer
+// funnel. The BENCH_kernels.json acceptance gate compares these two.
+struct FunnelMix {
+    struct PerStrand {
+        std::vector<std::uint8_t> codes;
+        filter::CandidateSet candidates;
+    };
+    std::vector<PerStrand> jobs;
+};
+
+const FunnelMix& funnel_mix() {
+    static const FunnelMix mix = [] {
+        const auto& w = workload();
+        const filter::MemoryOptimizedSeeder seeder(12);
+        filter::CandidateConfig cand_config;
+        cand_config.max_hits_per_seed = 2048;
+        cand_config.coalesce_windows = true;
+        FunnelMix m;
+        std::vector<std::uint8_t> rc;
+        for (std::size_t r = 0; r < 64; ++r) {
+            const auto& read = w.reads.batch.reads[r];
+            read.reverse_complement(rc);
+            const auto& rc_ref = rc;
+            for (const auto* codes : {&read.codes, &rc_ref}) {
+                const auto plan = seeder.select(*w.fm, *codes, 5);
+                FunnelMix::PerStrand job;
+                job.codes = *codes;
+                job.candidates = filter::gather_candidates(
+                    *w.fm, plan,
+                    static_cast<std::uint32_t>(codes->size()), 5,
+                    cand_config);
+                m.jobs.push_back(std::move(job));
+            }
+        }
+        return m;
+    }();
+    return mix;
+}
+
+void BM_VerifyFunnel_Baseline(benchmark::State& state) {
+    const auto& w = workload();
+    const auto& mix = funnel_mix();
+    const auto text_len = static_cast<std::uint32_t>(w.fm->size());
+    align::MyersMatcher matcher;
+    std::vector<std::uint8_t> window;
+    std::size_t i = 0;
+    std::int64_t verified = 0;
+    std::uint64_t accepted = 0;
+    for (auto _ : state) {
+        const auto& pr = mix.jobs[i++ % mix.jobs.size()];
+        matcher.set_pattern(pr.codes);
+        const auto n = static_cast<std::uint32_t>(pr.codes.size());
+        for (const std::uint32_t start : pr.candidates.positions) {
+            const std::uint32_t win_lo = start >= 5 ? start - 5 : 0;
+            const std::uint32_t win_len =
+                std::min<std::uint32_t>(n + 10, text_len - win_lo);
+            if (win_len + 5 < n) continue;
+            window.resize(win_len);
+            w.reference.sequence().extract(win_lo, win_len, window.data());
+            const auto hit = matcher.best_in(window);
+            accepted += hit.distance <= 5 ? 1 : 0;
+            ++verified;
+        }
+    }
+    benchmark::DoNotOptimize(accepted);
+    state.SetItemsProcessed(verified);
+}
+BENCHMARK(BM_VerifyFunnel_Baseline);
+
+void BM_VerifyFunnel_Full(benchmark::State& state) {
+    const auto& w = workload();
+    const auto& mix = funnel_mix();
+    const auto text_len = static_cast<std::uint32_t>(w.fm->size());
+    align::MyersMatcher matcher;
+    align::Prefilter filter;
+    std::vector<std::uint8_t> window;
+    std::vector<std::uint64_t> words;
+    std::size_t i = 0;
+    std::int64_t verified = 0;
+    std::uint64_t accepted = 0;
+    for (auto _ : state) {
+        const auto& pr = mix.jobs[i++ % mix.jobs.size()];
+        filter.set_pattern(pr.codes);
+        bool matcher_set = false; // deferred, as in the kernel
+        const auto n = static_cast<std::uint32_t>(pr.codes.size());
+        for (const auto& group : pr.candidates.groups) {
+            bool have_words = false, have_bytes = false;
+            for (std::uint32_t ci = 0; ci < group.count; ++ci) {
+                const std::uint32_t start =
+                    pr.candidates.positions[group.first + ci];
+                const std::uint32_t win_lo = start >= 5 ? start - 5 : 0;
+                const std::uint32_t win_len =
+                    std::min<std::uint32_t>(n + 10, text_len - win_lo);
+                if (win_len + 5 < n) continue;
+                ++verified;
+                if (!have_words) {
+                    words.resize(
+                        util::PackedDna::packed_word_count(group.len));
+                    w.reference.sequence().extract_words(
+                        group.lo, group.len, words.data());
+                    have_words = true;
+                }
+                if (!filter.admits(words.data(), win_lo - group.lo,
+                                   win_len, 5)) {
+                    continue;
+                }
+                if (filter.last_exact()) {
+                    ++accepted; // certified distance 0, Myers skipped
+                    continue;
+                }
+                if (!have_bytes) {
+                    window.resize(group.len);
+                    w.reference.sequence().extract(group.lo, group.len,
+                                                   window.data());
+                    have_bytes = true;
+                }
+                const std::span<const std::uint8_t> text{
+                    window.data() + (win_lo - group.lo), win_len};
+                if (!matcher_set) {
+                    matcher.set_pattern(pr.codes);
+                    matcher_set = true;
+                }
+                const auto hit = matcher.best_in_bounded(text, 5);
+                accepted += hit.distance <= 5 ? 1 : 0;
+            }
+        }
+    }
+    benchmark::DoNotOptimize(accepted);
+    state.SetItemsProcessed(verified);
+}
+BENCHMARK(BM_VerifyFunnel_Full);
 
 // ------------------------------------------------------ index primitives
 

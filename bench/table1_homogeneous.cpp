@@ -27,9 +27,12 @@ int main(int argc, char** argv) {
     auto platform = ocl::Platform::system1();
     auto& cpu = platform.device("i7-2600");
 
+    const FunnelToggles toggles = parse_funnel_toggles(args);
     std::vector<MapperSpec> specs = baseline_specs(workload, cpu);
-    specs.push_back(coral_spec(workload, {{&cpu, 1.0}}, "CORAL-cpu"));
-    specs.push_back(repute_spec(workload, {{&cpu, 1.0}}, "REPUTE-cpu"));
+    specs.push_back(
+        coral_spec(workload, {{&cpu, 1.0}}, "CORAL-cpu", toggles));
+    specs.push_back(
+        repute_spec(workload, {{&cpu, 1.0}}, "REPUTE-cpu", toggles));
 
     // Gold standard per cell (RazerS3 result, reused for every mapper).
     std::vector<core::MapResult> gold;

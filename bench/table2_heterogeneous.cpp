@@ -30,15 +30,18 @@ int main(int argc, char** argv) {
     auto& gpu0 = platform.device("gtx590-0");
     auto& gpu1 = platform.device("gtx590-1");
 
+    const FunnelToggles toggles = parse_funnel_toggles(args);
     std::vector<MapperSpec> specs = baseline_specs(workload, cpu);
-    specs.push_back(coral_spec(workload, {{&cpu, 1.0}}, "CORAL-cpu"));
-    specs.push_back(repute_spec(workload, {{&cpu, 1.0}}, "REPUTE-cpu"));
+    specs.push_back(
+        coral_spec(workload, {{&cpu, 1.0}}, "CORAL-cpu", toggles));
+    specs.push_back(
+        repute_spec(workload, {{&cpu, 1.0}}, "REPUTE-cpu", toggles));
 
     // Heterogeneous line-up: shares balanced by occupancy-adjusted
     // throughput for each cell's kernel scratch requirement.
     auto hetero_spec = [&](const std::string& name, bool dp) {
         return MapperSpec{
-            name, [&workload, &cpu, &gpu0, &gpu1, dp, name](
+            name, [&workload, &cpu, &gpu0, &gpu1, dp, name, toggles](
                       std::size_t n, std::uint32_t delta)
                       -> std::unique_ptr<core::Mapper> {
                 const std::uint32_t s_min = best_s_min(n, delta);
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
                 core::HeterogeneousMapperConfig config;
                 config.kernel.s_min = s_min;
                 config.kernel.max_locations_per_read = 1000;
+                toggles.apply(config.kernel);
                 if (dp) {
                     return core::make_repute(workload.reference,
                                              *workload.fm,

@@ -51,9 +51,10 @@ int main(int argc, char** argv) {
                  workload.reference, a73, 1000,
                  scaled_q(workload.reference.size(), 11.0));
          }});
+    const FunnelToggles toggles = parse_funnel_toggles(args);
     auto hetero_spec = [&](const std::string& name, bool dp) {
         return MapperSpec{
-            name, [&workload, cluster_shares, dp](
+            name, [&workload, cluster_shares, dp, toggles](
                       std::size_t n, std::uint32_t delta)
                       -> std::unique_ptr<core::Mapper> {
                 const std::uint32_t s_min = best_s_min(n, delta);
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
                 core::HeterogeneousMapperConfig config;
                 config.kernel.s_min = s_min;
                 config.kernel.max_locations_per_read = 1000;
+                toggles.apply(config.kernel);
                 if (dp) {
                     return core::make_repute(
                         workload.reference, *workload.fm,

@@ -3,12 +3,20 @@
 # full ctest run + micro-benchmark smoke, then a ThreadSanitizer build
 # of the queue/scheduler-heavy tests and an AddressSanitizer build of
 # the index/filter hot paths (rank-block and scratch-reuse pointer
-# arithmetic lives there).
-# Usage: ./ci.sh [jobs]   (defaults to nproc)
+# arithmetic lives there) plus the verification funnel (prefilter and
+# banded-Myers pointer arithmetic).
+# Usage: ./ci.sh [--quick] [jobs]   (jobs defaults to nproc)
+#   --quick  trims the micro-benchmark smoke to a single rep per bench;
+#            builds and tests are unaffected.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+    shift
+fi
 JOBS="${1:-$(nproc)}"
 
 echo "== tier 1: configure + build + ctest =="
@@ -16,12 +24,25 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== micro-benchmark smoke: kernels build and run =="
+echo "== micro-benchmark smoke: kernels and verification funnel =="
 # Minimal min_time: this only proves the benchmarks still run; compare
-# against BENCH_kernels.json manually for perf tracking. (The installed
-# google-benchmark wants a plain double here, not a '0.01s' suffix.)
-./build/bench/micro_kernels --benchmark_min_time=0.01 \
+# against BENCH_kernels.json / BENCH_verify.json manually for perf
+# tracking. (The installed google-benchmark wants a plain double here,
+# not a '0.01s' suffix.)
+if [[ "$QUICK" == "1" ]]; then
+    MIN_TIME=0.001
+    REPS=1
+else
+    MIN_TIME=0.01
+    REPS=3
+fi
+./build/bench/micro_kernels --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions="$REPS" \
     --benchmark_filter='BM_Fm' >/dev/null
+./build/bench/micro_kernels --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_filter='BM_Verify_Myers|BM_Verify_MyersBanded|BM_Prefilter|BM_VerifyFunnel' \
+    >/dev/null
 
 echo "== tier 2: ThreadSanitizer (queues, scheduler, determinism) =="
 cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
@@ -32,11 +53,16 @@ cmake --build build-tsan -j "$JOBS" \
 ./build-tsan/tests/test_scheduler
 ./build-tsan/tests/test_determinism
 
-echo "== tier 2: AddressSanitizer (index layout, filtration) =="
+echo "== tier 2: AddressSanitizer (index layout, filtration, funnel) =="
 cmake -B build-asan -S . -DREPUTE_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j "$JOBS" --target test_index test_filter
+cmake --build build-asan -j "$JOBS" \
+      --target test_index test_filter test_funnel
 ./build-asan/tests/test_index
 ./build-asan/tests/test_filter
+# Funnel equivalence (layer toggles byte-identical) under ASan: the
+# prefilter's packed-word sweep and the banded scan's segment pointers
+# are exactly the code most likely to read out of bounds.
+./build-asan/tests/test_funnel
 
 echo "== ci.sh: all green =="

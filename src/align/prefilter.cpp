@@ -1,0 +1,247 @@
+#include "align/prefilter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace repute::align {
+
+namespace {
+
+constexpr std::uint64_t kOddBits = 0x5555555555555555ULL;
+
+/// Patterns above this many packed words (512 bases — MyersMatcher's
+/// own cap) skip the filter: admitting unconditionally is always sound.
+constexpr std::size_t kMaxStackWords = 16;
+
+/// Ones in the low `count` 2-bit slots (count in [0, 32]).
+constexpr std::uint64_t low_slots(std::int64_t count) noexcept {
+    return count >= 32 ? ~0ULL
+                       : ((1ULL << (2 * count)) - 1);
+}
+
+} // namespace
+
+void Prefilter::set_pattern(std::span<const std::uint8_t> pattern) {
+    n_ = pattern.size();
+    pat_words_ = (n_ + 31) / 32;
+    if (pattern_.size() < pat_words_) pattern_.resize(pat_words_);
+    std::size_t i = 0;
+    for (std::size_t w = 0; w < pat_words_; ++w) {
+        std::uint64_t out = 0;
+        std::size_t slot = 0;
+        if constexpr (std::endian::native == std::endian::little) {
+            // 8 byte-codes per load, folded into 16 packed bits with
+            // three masked shift-ORs. Re-packing per read is on the
+            // steady-state path, so this matters.
+            while (slot < 32 && i + 8 <= n_) {
+                std::uint64_t x;
+                std::memcpy(&x, pattern.data() + i, 8);
+                x &= 0x0303030303030303ULL;
+                x = (x | (x >> 6)) & 0x000F000F000F000FULL;
+                x = (x | (x >> 12)) & 0x000000FF000000FFULL;
+                x = (x | (x >> 24)) & 0xFFFFULL;
+                out |= x << (2 * slot);
+                slot += 8;
+                i += 8;
+            }
+        }
+        for (; slot < 32 && i < n_; ++slot, ++i) {
+            out |= static_cast<std::uint64_t>(pattern[i] & 3u)
+                   << (2 * slot);
+        }
+        pattern_[w] = out;
+    }
+    tail_mask_ = low_slots(std::int64_t(n_) - 32 * (std::int64_t(pat_words_) - 1));
+}
+
+template <std::size_t PW>
+bool Prefilter::admits_impl(const std::uint64_t* words,
+                            std::size_t win_off, std::size_t win_len,
+                            std::uint32_t delta) {
+    // With PW a compile-time constant the per-word loops below unroll
+    // completely and the sliding registers live in machine registers —
+    // this is what makes a full rejection sweep several times cheaper
+    // than the Myers scan it replaces.
+    const std::size_t pw = PW != 0 ? PW : pat_words_;
+    const auto n = std::int64_t(n_);
+    const auto L = std::int64_t(win_len);
+    const auto d = std::int64_t(delta);
+
+    // Shifts e ∈ [-δ, L - n + δ]; group starts b ∈ [-δ, L - n]. Mask
+    // index idx ↔ shift e = idx - δ; group index g ↔ start b = g - δ,
+    // covering masks [g, g + δ], evaluated when mask g + δ is built.
+    const std::int64_t shifts = L - n + 2 * d + 1;
+    const std::int64_t groups = shifts - d;
+    if (groups <= 0) return true; // too short to filter soundly
+    const std::size_t avail_words = (win_off + win_len + 31) / 32;
+    const std::int64_t avail_bases = std::int64_t(avail_words) * 32;
+
+    const auto block = std::size_t(d) + 1;
+    if (block_.size() < block * pw) {
+        block_.resize(block * pw);
+        suffix_.resize(block * pw);
+    }
+
+    // Load the shift registers with the window at the leftmost shift
+    // e = -δ: register word w holds window bases [e + 32w, e + 32w + 32)
+    // (2-bit packed). Out-of-buffer bases read as zero; they are
+    // cleared by the validity fixups below before any popcount.
+    std::uint64_t sh[PW != 0 ? PW : kMaxStackWords];
+    std::uint64_t pre[PW != 0 ? PW : kMaxStackWords];
+    {
+        const std::int64_t base = std::int64_t(win_off) - d;
+        for (std::size_t w = 0; w < pw; ++w) {
+            const std::int64_t b0 = base + 32 * std::int64_t(w);
+            std::uint64_t v = 0;
+            if (b0 <= -32) {
+                v = 0;
+            } else if (b0 < 0) {
+                v = words[0] << (2 * std::size_t(-b0));
+            } else {
+                const auto k = std::size_t(b0) / 32;
+                const std::size_t s = (std::size_t(b0) % 32) * 2;
+                v = k < avail_words ? words[k] >> s : 0ULL;
+                if (s != 0 && k + 1 < avail_words) {
+                    v |= words[k + 1] << (64 - s);
+                }
+            }
+            sh[w] = v;
+        }
+    }
+
+    std::uint64_t ops = 0;
+    bool admit = false;
+    for (std::int64_t blk_lo = 0; blk_lo < shifts && !admit;
+         blk_lo += std::int64_t(block)) {
+        const std::int64_t blk_hi =
+            std::min(shifts, blk_lo + std::int64_t(block));
+        for (std::size_t w = 0; w < pw; ++w) pre[w] = ~0ULL;
+        for (std::int64_t idx = blk_lo; idx < blk_hi; ++idx) {
+            const std::int64_t e = idx - d;
+            if (idx != 0) {
+                // Advance the shift registers by one base: slide right
+                // 2 bits, feed the top slot from the source buffer.
+                for (std::size_t w = 0; w + 1 < pw; ++w) {
+                    sh[w] = (sh[w] >> 2) | (sh[w + 1] << 62);
+                }
+                const std::int64_t src = std::int64_t(win_off) + e +
+                                         32 * std::int64_t(pw) - 1;
+                std::uint64_t top = sh[pw - 1] >> 2;
+                if (src >= 0 && src < avail_bases) {
+                    top |= ((words[std::size_t(src) >> 5] >>
+                             (2 * (std::size_t(src) & 31))) &
+                            3ULL)
+                           << 62;
+                }
+                sh[pw - 1] = top;
+            }
+
+            // Mismatch mask for this shift: XOR + fold, one bit per
+            // mismatching base. The tail mask clears pattern slots ≥ n
+            // (pattern_ is zero there but the window is not).
+            std::uint64_t* mask = &block_[std::size_t(idx - blk_lo) * pw];
+            for (std::size_t w = 0; w < pw; ++w) {
+                const std::uint64_t folded = pattern_[w] ^ sh[w];
+                mask[w] = (folded | (folded >> 1)) & kOddBits;
+            }
+            mask[pw - 1] &= tail_mask_;
+            // Clear positions outside the window: out-of-window
+            // comparisons count as matches (sound — only weakens the
+            // filter). Only the δ leftmost / δ rightmost shifts hang
+            // over an edge, so the common case pays nothing here.
+            if (e < 0) {
+                // Pattern positions i < -e fall left of the window.
+                const std::int64_t c = -e;
+                std::size_t w = 0;
+                for (; 32 * std::int64_t(w + 1) <= c; ++w) mask[w] = 0;
+                if (w < pw) {
+                    mask[w] &= ~low_slots(c - 32 * std::int64_t(w));
+                }
+            }
+            const bool fully_inside = e >= 0 && e <= L - n;
+            if (e > L - n) {
+                // Pattern positions i ≥ L - e fall right of the window.
+                const std::int64_t c = std::max<std::int64_t>(L - e, 0);
+                std::size_t w = std::size_t(c) / 32;
+                if (w < pw) {
+                    mask[w] &= low_slots(c - 32 * std::int64_t(w));
+                    for (++w; w < pw; ++w) mask[w] = 0;
+                }
+            }
+            ops += 2 * pw;
+
+            if (fully_inside) {
+                // Exact-match certificate: the whole pattern sits in
+                // the window at this shift with zero mismatches ⇒ the
+                // window's best edit distance is exactly 0.
+                std::uint64_t any = 0;
+                for (std::size_t w = 0; w < pw; ++w) any |= mask[w];
+                if (any == 0) {
+                    last_exact_ = true;
+                    admit = true;
+                    break;
+                }
+            }
+
+            for (std::size_t w = 0; w < pw; ++w) pre[w] &= mask[w];
+
+            if (idx < d) continue; // no group ends at this mask yet
+            const std::int64_t g = idx - d;
+            std::uint64_t pc = 0;
+            if (g >= blk_lo) {
+                // Group lies entirely in this block (g == blk_lo):
+                // the prefix currently holds exactly masks [g, g+δ].
+                for (std::size_t w = 0; w < pw; ++w) {
+                    pc += std::uint64_t(std::popcount(pre[w]));
+                }
+            } else {
+                const std::uint64_t* suf =
+                    &suffix_[std::size_t(g - blk_lo +
+                                         std::int64_t(block)) *
+                             pw];
+                for (std::size_t w = 0; w < pw; ++w) {
+                    pc += std::uint64_t(std::popcount(suf[w] & pre[w]));
+                }
+            }
+            ops += pw;
+            if (pc <= std::uint64_t(d)) {
+                admit = true; // early accept
+                break;
+            }
+        }
+        if (!admit && blk_hi < shifts) {
+            // Suffix ANDs of this (full) block for the next block.
+            const auto cnt = std::size_t(blk_hi - blk_lo);
+            std::copy_n(&block_[(cnt - 1) * pw], pw,
+                        &suffix_[(cnt - 1) * pw]);
+            for (std::size_t i = cnt - 1; i-- > 0;) {
+                for (std::size_t w = 0; w < pw; ++w) {
+                    suffix_[i * pw + w] =
+                        block_[i * pw + w] & suffix_[(i + 1) * pw + w];
+                }
+            }
+            ops += cnt * pw;
+        }
+    }
+    last_word_ops_ = ops;
+    return admit;
+}
+
+bool Prefilter::admits(const std::uint64_t* words, std::size_t win_off,
+                       std::size_t win_len, std::uint32_t delta) {
+    last_word_ops_ = 0;
+    last_exact_ = false;
+    if (win_len == 0 || n_ == 0) return true;
+    if (pat_words_ > kMaxStackWords) return true; // over Myers' cap
+    switch (pat_words_) {
+    case 1: return admits_impl<1>(words, win_off, win_len, delta);
+    case 2: return admits_impl<2>(words, win_off, win_len, delta);
+    case 3: return admits_impl<3>(words, win_off, win_len, delta);
+    case 4: return admits_impl<4>(words, win_off, win_len, delta);
+    case 5: return admits_impl<5>(words, win_off, win_len, delta);
+    default: return admits_impl<0>(words, win_off, win_len, delta);
+    }
+}
+
+} // namespace repute::align

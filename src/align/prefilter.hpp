@@ -1,0 +1,97 @@
+#pragma once
+// GateKeeper/SHD-style bit-parallel pre-alignment filter.
+//
+// First layer of the verification funnel: before a candidate window is
+// handed to the Myers matcher, a cheap XOR/AND/popcount test proves —
+// for most false-positive candidates — that no alignment with edit
+// distance ≤ δ can exist in the window. The test is one-sided: it may
+// admit a window Myers will reject, but it NEVER rejects a window
+// Myers would accept (see DESIGN.md "Verification funnel" for the
+// argument; tests/test_funnel.cpp pins it with a property test).
+//
+// Sketch: a ≤ δ alignment occupying window span [s, s2) with `del`
+// deletions places every *matched* pattern position i at window
+// position i + e for some shift e in the width-≤δ interval
+// [s - del, s + ins]. Writing b = s - del, the whole interval lies in
+// [b, b + δ] with b ∈ [-δ, win_len - n] (s ≥ 0 and s2 ≤ win_len bound
+// both sides). So if we AND the per-shift mismatch masks over the
+// width-(δ+1) shift group starting at b, every matched position
+// contributes a zero bit, and the surviving popcount is at most the
+// number of edited positions ≤ δ. The filter therefore admits iff ANY
+// width-(δ+1) group of consecutive shifts has popcount ≤ δ. Narrow
+// groups are what keep the filter strong: AND-ing all shifts at once
+// would leave almost no surviving bits even for random windows.
+//
+// Everything runs on 2-bit-packed words (32 bases per u64, as produced
+// by util::PackedDna::extract_words): XOR then fold (x | x>>1) & 0x55…
+// marks each mismatching base with one bit, so popcount works directly
+// on the folded masks without compaction. Consecutive shifts differ by
+// one base, so the shifted window lives in a register file that slides
+// right 2 bits per shift — each mask costs one shift/XOR/fold pass
+// instead of a fresh gather. Group ANDs use the classic block
+// prefix/suffix decomposition so each group costs one AND + popcount
+// regardless of δ, masks are built lazily with an early accept exit,
+// and an all-zero fully-in-window mask doubles as an exact-match
+// certificate (edit distance exactly 0) that lets the caller skip
+// Myers entirely. All scratch is grow-only — zero heap allocations in
+// steady state.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repute::align {
+
+class Prefilter {
+public:
+    /// Re-targets the filter to a new pattern (codes 0..3), 2-bit
+    /// packing it into internal words. Grow-only; no allocation once
+    /// warmed to the largest pattern seen.
+    void set_pattern(std::span<const std::uint8_t> pattern);
+
+    /// Tests the window [win_off, win_off + win_len) of the packed
+    /// sequence `words` (base i at bits [2(i%32), 2(i%32)+2) of
+    /// words[i/32]). Returns false only if no semi-global alignment of
+    /// the pattern within the window can have edit distance ≤ delta.
+    /// `words` must cover base win_off + win_len - 1; bases outside the
+    /// window may hold anything (they are masked out).
+    bool admits(const std::uint64_t* words, std::size_t win_off,
+                std::size_t win_len, std::uint32_t delta);
+
+    /// True iff the most recent admits() returned true via the
+    /// exact-match certificate: some shift placed the ENTIRE pattern
+    /// inside the window with zero mismatches, so the window's best
+    /// semi-global edit distance is exactly 0 and the Myers scan can be
+    /// skipped without changing output.
+    bool last_exact() const noexcept { return last_exact_; }
+
+    std::size_t pattern_length() const noexcept { return n_; }
+
+    /// Packed-word operations executed by the most recent admits()
+    /// call — input to the device cost model (OpWeights::prefilter_word).
+    std::uint64_t last_word_ops() const noexcept { return last_word_ops_; }
+
+private:
+    std::size_t n_ = 0;         ///< pattern length in bases
+    std::size_t pat_words_ = 0; ///< ceil(n_ / 32)
+    std::vector<std::uint64_t> pattern_; ///< 2-bit packed, zero tail
+    std::uint64_t tail_mask_ = 0; ///< valid slots of the last word
+
+    // Scratch for admits(): one block of per-shift mismatch masks and
+    // the previous block's suffix-AND array (the sliding window
+    // registers and the running prefix live on the stack, specialized
+    // on the pattern word count so the sweep fully unrolls).
+    std::vector<std::uint64_t> block_;  ///< (delta+1) * pat_words_
+    std::vector<std::uint64_t> suffix_; ///< (delta+1) * pat_words_
+    std::uint64_t last_word_ops_ = 0;
+    bool last_exact_ = false;
+
+    /// The sweep, compiled once per pattern word count (PW = 0 keeps
+    /// the count dynamic — the fallback for long patterns).
+    template <std::size_t PW>
+    bool admits_impl(const std::uint64_t* words, std::size_t win_off,
+                     std::size_t win_len, std::uint32_t delta);
+};
+
+} // namespace repute::align

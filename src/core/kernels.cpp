@@ -13,6 +13,10 @@ StageTotals& StageTotals::operator+=(const StageTotals& other) noexcept {
     obs::StageCounters::operator+=(other);
     raw_hits += other.raw_hits;
     accepted += other.accepted;
+    prefilter_rejects += other.prefilter_rejects;
+    prefilter_exacts += other.prefilter_exacts;
+    myers_early_exits += other.myers_early_exits;
+    windows_coalesced += other.windows_coalesced;
     return *this;
 }
 
@@ -43,6 +47,7 @@ void map_strand(const index::FmIndex& fm,
     filter::CandidateConfig cand_config;
     cand_config.max_hits_per_seed = config.max_hits_per_seed;
     cand_config.collapse_diagonals = config.collapse_candidates;
+    cand_config.coalesce_windows = config.coalesce_windows;
     filter::CandidateSet& candidates = scratch.candidates;
     filter::gather_candidates(fm, plan,
                               static_cast<std::uint32_t>(codes.size()),
@@ -54,38 +59,136 @@ void map_strand(const index::FmIndex& fm,
     stages.raw_hits += candidates.raw_hits;
     stages.candidates += candidates.positions.size();
 
-    // --- Verification: Myers bit-vector over each candidate window.
+    // --- Verification: three-layer funnel over each candidate window.
+    // Layer 1 (prefilter) kills most false candidates with packed
+    // XOR/AND/popcount words; layer 2 (banded Myers) verifies survivors
+    // touching only the words inside the δ-band and bailing once the
+    // decision is provably fixed; layer 3 (coalescing) lets overlapping
+    // windows share one reference fetch. Every layer is output-neutral:
+    // the accept decisions, distances, and order match the plain
+    // best_in() loop exactly.
     align::MyersMatcher& matcher = scratch.matcher;
-    matcher.set_pattern(codes);
+    // Deferred until a candidate actually reaches Myers: on workloads
+    // where the prefilter settles every window (reject or exact
+    // certificate) the Peq build is pure overhead.
+    bool matcher_set = false;
+    if (config.prefilter) {
+        scratch.prefilter.set_pattern(codes);
+    } else {
+        matcher.set_pattern(codes);
+        matcher_set = true;
+    }
     const auto n = static_cast<std::uint32_t>(codes.size());
     const auto text_len = static_cast<std::uint32_t>(fm.size());
     std::vector<std::uint8_t>& window = scratch.window;
     window.reserve(n + 2 * delta);
 
-    for (const std::uint32_t start : candidates.positions) {
+    const bool grouped =
+        config.coalesce_windows && !candidates.groups.empty();
+    if (grouped) {
+        stages.windows_coalesced +=
+            candidates.positions.size() - candidates.groups.size();
+    }
+    const std::size_t n_groups =
+        grouped ? candidates.groups.size() : candidates.positions.size();
+
+    for (std::size_t gi = 0; gi < n_groups; ++gi) {
         if (out.size() >= config.max_locations_per_read) break; // first-n
-        const std::uint32_t win_lo = start >= delta ? start - delta : 0;
-        if (win_lo >= text_len) continue;
-        const std::uint32_t win_len =
-            std::min<std::uint32_t>(n + 2 * delta, text_len - win_lo);
-        if (win_len + delta < n) continue; // window cannot fit the read
 
-        window.resize(win_len);
-        reference.sequence().extract(win_lo, win_len, window.data());
-        const auto hit = matcher.best_in(window);
-        stages.verify_ops += matcher.scan_cost(win_len) * w.myers_word;
+        filter::CandidateSet::WindowGroup group;
+        if (grouped) {
+            group = candidates.groups[gi];
+        } else {
+            // Singleton fallback: the candidate's own window is the
+            // group span.
+            const std::uint32_t start = candidates.positions[gi];
+            const std::uint32_t lo = start >= delta ? start - delta : 0;
+            if (lo >= text_len) continue;
+            group = {static_cast<std::uint32_t>(gi), 1, lo,
+                     std::min<std::uint32_t>(n + 2 * delta,
+                                             text_len - lo)};
+        }
 
-        if (hit.distance <= delta) {
-            ReadMapping m;
-            // Report the candidate diagonal (clamped): the alignment
-            // start lies within +-delta of it, and every mapper in the
-            // comparison uses the same convention, so the accuracy
-            // protocols compare like with like.
-            m.position = start;
-            m.edit_distance = static_cast<std::uint16_t>(hit.distance);
-            m.strand = strand;
-            out.push_back(m);
-            ++stages.accepted;
+        // Both extractions are lazy: the packed words only when the
+        // prefilter runs, the byte window only once a candidate
+        // survives to Myers.
+        bool have_words = false;
+        bool have_bytes = false;
+
+        for (std::uint32_t ci = 0; ci < group.count; ++ci) {
+            if (out.size() >= config.max_locations_per_read) break;
+            const std::uint32_t start =
+                candidates.positions[group.first + ci];
+            const std::uint32_t win_lo =
+                start >= delta ? start - delta : 0;
+            if (win_lo >= text_len) continue;
+            const std::uint32_t win_len =
+                std::min<std::uint32_t>(n + 2 * delta, text_len - win_lo);
+            if (win_len + delta < n) continue; // window cannot fit read
+            const std::uint32_t off = win_lo - group.lo;
+
+            bool certified_exact = false;
+            if (config.prefilter) {
+                if (!have_words) {
+                    scratch.win_words.resize(
+                        util::PackedDna::packed_word_count(group.len));
+                    reference.sequence().extract_words(
+                        group.lo, group.len, scratch.win_words.data());
+                    have_words = true;
+                }
+                const bool admit = scratch.prefilter.admits(
+                    scratch.win_words.data(), off, win_len, delta);
+                stages.verify_ops +=
+                    scratch.prefilter.last_word_ops() * w.prefilter_word;
+                if (!admit) {
+                    ++stages.prefilter_rejects;
+                    continue;
+                }
+                certified_exact = scratch.prefilter.last_exact();
+            }
+
+            std::uint32_t distance;
+            if (certified_exact) {
+                // The prefilter found the full pattern verbatim in the
+                // window: best_in() would return distance 0, so skip
+                // the Myers scan entirely.
+                distance = 0;
+                ++stages.prefilter_exacts;
+            } else {
+                if (!have_bytes) {
+                    window.resize(group.len);
+                    reference.sequence().extract(group.lo, group.len,
+                                                 window.data());
+                    have_bytes = true;
+                }
+                const std::span<const std::uint8_t> text{
+                    window.data() + off, win_len};
+                if (!matcher_set) {
+                    matcher.set_pattern(codes);
+                    matcher_set = true;
+                }
+                if (config.banded_verification) {
+                    const auto hit = matcher.best_in_bounded(text, delta);
+                    if (hit.early_exit) ++stages.myers_early_exits;
+                    distance = hit.distance;
+                } else {
+                    distance = matcher.best_in(text).distance;
+                }
+                stages.verify_ops += matcher.last_word_ops() * w.myers_word;
+            }
+
+            if (distance <= delta) {
+                ReadMapping m;
+                // Report the candidate diagonal (clamped): the
+                // alignment start lies within +-delta of it, and every
+                // mapper in the comparison uses the same convention, so
+                // the accuracy protocols compare like with like.
+                m.position = start;
+                m.edit_distance = static_cast<std::uint16_t>(distance);
+                m.strand = strand;
+                out.push_back(m);
+                ++stages.accepted;
+            }
         }
     }
 }
@@ -133,6 +236,10 @@ std::uint64_t map_read_workitem(const index::FmIndex& fm,
         m->counter("kernel.raw_seed_hits").add(local.raw_hits);
         m->counter("kernel.candidate_windows").add(local.candidates);
         m->counter("kernel.mappings_accepted").add(local.accepted);
+        m->counter("kernel.prefilter_rejects").add(local.prefilter_rejects);
+        m->counter("kernel.prefilter_exacts").add(local.prefilter_exacts);
+        m->counter("kernel.myers_early_exits").add(local.myers_early_exits);
+        m->counter("kernel.windows_coalesced").add(local.windows_coalesced);
         m->counter("index.occ_words_scanned")
             .add(index::FmIndex::thread_occ_words() - occ_words_before);
         if (scratch.warm) m->counter("kernel.scratch_reuses").add(1);
@@ -167,9 +274,19 @@ std::uint64_t kernel_scratch_bytes(const filter::Seeder& seeder,
     const std::uint64_t window_bytes = read_length + 2 * delta;
     const std::uint64_t myers_words = (read_length + 63) / 64;
     const std::uint64_t myers_bytes = myers_words * 8 * (4 + 4); // Peq+state
+    // Prefilter: packed pattern + packed window + one mask block and
+    // its suffix array (2-bit packed words; the sliding registers and
+    // running prefix live in kernel-private registers).
+    const std::uint64_t packed_words = (read_length + 31) / 32;
+    const std::uint64_t prefilter_bytes =
+        (packed_words                      // pattern
+         + (window_bytes + 31) / 32        // packed window
+         + 2 * (delta + 1) * packed_words) // block + suffix
+        * 8;
     const std::uint64_t dedup_cache = 64 * 4; // recent-diagonal ring
     return seeder.scratch_bound(read_length, delta) + window_bytes +
-           myers_bytes + dedup_cache + 128 /*misc locals*/;
+           myers_bytes + prefilter_bytes + dedup_cache +
+           128 /*misc locals*/;
 }
 
 } // namespace repute::core

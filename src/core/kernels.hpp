@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "align/myers.hpp"
+#include "align/prefilter.hpp"
 #include "core/mapping.hpp"
 #include "filter/candidates.hpp"
 #include "filter/seed.hpp"
@@ -39,6 +40,7 @@ struct OpWeights {
     std::uint64_t locate_base = 19;
     std::uint64_t locate_step = 14;
     std::uint64_t myers_word = 4;     ///< one 64-bit Myers column word
+    std::uint64_t prefilter_word = 1; ///< one packed XOR/AND/popcount word
     std::uint64_t per_candidate = 48; ///< window fetch + dedup
 };
 
@@ -53,6 +55,13 @@ struct KernelConfig {
     /// duplicated work grows with delta+1 and is the main reason the DP
     /// filtration wins at long reads / high error budgets (§IV).
     bool collapse_candidates = true;
+    /// Verification-funnel layers (DESIGN.md "Verification funnel").
+    /// Each is output-neutral — mapping results are byte-identical with
+    /// any combination toggled off; the toggles exist as debugging
+    /// escape hatches and for before/after benchmarks.
+    bool prefilter = true;           ///< bit-parallel pre-alignment reject
+    bool banded_verification = true; ///< δ-banded early-exit Myers
+    bool coalesce_windows = true;    ///< shared fetch of overlapping windows
     OpWeights weights;
 };
 
@@ -63,6 +72,11 @@ struct KernelConfig {
 struct StageTotals : obs::StageCounters {
     std::uint64_t raw_hits = 0; ///< seed hits before diagonal collapse
     std::uint64_t accepted = 0; ///< mappings written (pre-merge)
+    // Verification-funnel effectiveness.
+    std::uint64_t prefilter_rejects = 0;  ///< windows killed before Myers
+    std::uint64_t prefilter_exacts = 0;   ///< exact certificates, Myers skipped
+    std::uint64_t myers_early_exits = 0;  ///< banded scans abandoned early
+    std::uint64_t windows_coalesced = 0;  ///< windows sharing a fetch
 
     StageTotals& operator+=(const StageTotals& other) noexcept;
 };
@@ -79,8 +93,10 @@ struct KernelScratch {
     filter::CandidateSet candidates;
     std::vector<std::uint32_t> hits;   ///< per-seed locate buffer
     std::vector<std::uint8_t> window;  ///< candidate reference window
+    std::vector<std::uint64_t> win_words; ///< 2-bit packed window (prefilter)
     std::vector<std::uint8_t> rc_codes;///< reverse-complemented read
     align::MyersMatcher matcher;
+    align::Prefilter prefilter;
     bool warm = false; ///< true once one read has sized the buffers
 };
 

@@ -62,7 +62,31 @@ void gather_candidates(const index::FmIndex& fm, const SeedPlan& plan,
                                              out.positions.end(), limit),
                             out.positions.end());
     }
-    (void)read_length;
+
+    if (config.coalesce_windows) {
+        // Coalesce overlapping verification windows: candidates whose
+        // delta-padded windows [p-δ, p+n+δ) share reference bytes form
+        // one group; the kernel fetches the group span once and
+        // verifies each candidate on its sub-window (same bytes per
+        // candidate as before, so output is unchanged).
+        for (std::size_t i = 0; i < out.positions.size(); ++i) {
+            const std::uint32_t p = out.positions[i];
+            const std::uint32_t win_lo = p >= delta ? p - delta : 0;
+            const std::uint64_t want_hi =
+                std::uint64_t(win_lo) + read_length + 2 * delta;
+            const auto win_hi = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(want_hi, text_len));
+            if (!out.groups.empty() && win_lo < out.groups.back().lo +
+                                                    out.groups.back().len) {
+                CandidateSet::WindowGroup& g = out.groups.back();
+                ++g.count;
+                if (win_hi > g.lo + g.len) g.len = win_hi - g.lo;
+            } else {
+                out.groups.push_back({static_cast<std::uint32_t>(i), 1,
+                                      win_lo, win_hi - win_lo});
+            }
+        }
+    }
 }
 
 CandidateSet gather_candidates(const index::FmIndex& fm,

@@ -30,18 +30,40 @@ struct CandidateConfig {
     /// repeatedly; set false to model that flow (hits are still sorted
     /// for deterministic output, but not collapsed).
     bool collapse_diagonals = true;
+    /// Group candidates whose delta-padded windows overlap in reference
+    /// space (CandidateSet::groups), so the kernel fetches each shared
+    /// reference byte once per group instead of once per candidate.
+    /// Verification still runs per candidate on its own sub-window, so
+    /// mapping output is unchanged.
+    bool coalesce_windows = true;
 };
 
 struct CandidateSet {
     /// Sorted, deduplicated candidate read-start positions (clamped into
     /// the reference).
     std::vector<std::uint32_t> positions;
+
+    /// A run of candidates whose verification windows overlap in
+    /// reference space: positions[first, first+count) share the
+    /// reference span [lo, lo+len), which covers every per-candidate
+    /// window in the run.
+    struct WindowGroup {
+        std::uint32_t first = 0; ///< index into positions
+        std::uint32_t count = 0; ///< candidates in the group
+        std::uint32_t lo = 0;    ///< reference start of the shared span
+        std::uint32_t len = 0;   ///< length of the shared span
+    };
+    /// Filled when CandidateConfig::coalesce_windows is set; groups
+    /// partition positions in order.
+    std::vector<WindowGroup> groups;
+
     std::uint64_t located_hits = 0; ///< SA locate operations performed
     std::uint64_t raw_hits = 0;     ///< hits before dedup (capped)
 
     /// Resets counters and empties positions, keeping their capacity.
     void clear() noexcept {
         positions.clear();
+        groups.clear();
         located_hits = 0;
         raw_hits = 0;
     }

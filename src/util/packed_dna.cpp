@@ -58,6 +58,23 @@ std::vector<std::uint8_t> PackedDna::extract(std::size_t pos,
     return out;
 }
 
+void PackedDna::extract_words(std::size_t pos, std::size_t len,
+                              std::uint64_t* out) const noexcept {
+    const std::size_t n_out = packed_word_count(len);
+    const std::size_t word = pos >> 5;
+    const std::size_t shift = (pos & 31) * 2;
+    for (std::size_t w = 0; w < n_out; ++w) {
+        std::uint64_t v = words_[word + w] >> shift;
+        if (shift != 0 && word + w + 1 < words_.size()) {
+            v |= words_[word + w + 1] << (64 - shift);
+        }
+        out[w] = v;
+    }
+    // Zero the bits past `len` so callers can mask-free compare.
+    const std::size_t tail = len & 31;
+    if (tail != 0) out[n_out - 1] &= (1ULL << (tail * 2)) - 1;
+}
+
 std::string PackedDna::to_string(std::size_t pos, std::size_t len) const {
     std::string s(len, '\0');
     for (std::size_t i = 0; i < len; ++i) s[i] = char_at(pos + i);

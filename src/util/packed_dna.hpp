@@ -56,6 +56,19 @@ public:
     std::vector<std::uint8_t> extract(std::size_t pos,
                                       std::size_t len) const;
 
+    /// Extracts [pos, pos+len) as 2-bit-packed words (32 bases per
+    /// u64, base i at bits [2i, 2i+2) of out[i/32]) into `out`, which
+    /// must hold packed_word_count(len) words. Bits past `len` are
+    /// zero. Word-at-a-time shift-combine, not a per-base loop — this
+    /// is the verification prefilter's window fetch.
+    void extract_words(std::size_t pos, std::size_t len,
+                       std::uint64_t* out) const noexcept;
+
+    static constexpr std::size_t packed_word_count(
+        std::size_t len) noexcept {
+        return (len + 31) / 32;
+    }
+
     /// ASCII round-trip of [pos, pos+len).
     std::string to_string(std::size_t pos, std::size_t len) const;
     std::string to_string() const { return to_string(0, size_); }

@@ -236,4 +236,119 @@ TEST(Myers, EmptyTextReturnsPatternLength) {
     EXPECT_EQ(hit.text_end, 0u);
 }
 
+// ------------------------------------------------- banded Myers matcher
+
+class MyersBandedSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(MyersBandedSweep, AgreesWithFullScanAtEveryDelta) {
+    const auto [pattern_len, seed] = GetParam();
+    Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 7777 + pattern_len);
+    for (int trial = 0; trial < 25; ++trial) {
+        const auto p = random_codes(rng, pattern_len);
+        std::vector<std::uint8_t> t;
+        if (rng.chance(0.6)) {
+            t = mutate(rng, p, static_cast<std::uint32_t>(rng.bounded(10)));
+            auto left = random_codes(rng, rng.bounded(20));
+            auto right = random_codes(rng, rng.bounded(20));
+            left.insert(left.end(), t.begin(), t.end());
+            left.insert(left.end(), right.begin(), right.end());
+            t = std::move(left);
+        } else {
+            t = random_codes(rng, 1 + rng.bounded(2 * pattern_len));
+        }
+        const MyersMatcher m(p);
+        const auto full = m.best_in(t);
+        const auto full_ops = m.last_word_ops();
+        EXPECT_EQ(full_ops, m.scan_cost(t.size()));
+        for (std::uint32_t delta = 0; delta <= 8; ++delta) {
+            const auto banded = m.best_in_bounded(t, delta);
+            if (full.distance <= delta) {
+                // Exact contract below the bound: same distance, same
+                // earliest end.
+                EXPECT_EQ(banded.distance, full.distance)
+                    << "len " << pattern_len << " delta " << delta;
+                EXPECT_EQ(banded.text_end, full.text_end)
+                    << "len " << pattern_len << " delta " << delta;
+            } else {
+                EXPECT_GT(banded.distance, delta)
+                    << "len " << pattern_len << " delta " << delta;
+            }
+            // The banded scan never does more work than the full scan.
+            EXPECT_LE(m.last_word_ops(), full_ops);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, MyersBandedSweep,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(5, 17, 63, 64, 65, 100, 127, 128,
+                                       129, 150, 192, 200, 300),
+        ::testing::Values(1, 2, 3)));
+
+TEST(MyersBanded, SkipsWordsOutsideTheBand) {
+    // n=300 (5 words), short window: the band never reaches the high
+    // words early and freezes low words late, so the banded scan must
+    // do measurably fewer word-columns than the full scan.
+    Xoshiro256 rng(99);
+    const auto p = random_codes(rng, 300);
+    const auto t = random_codes(rng, 310);
+    const MyersMatcher m(p);
+    (void)m.best_in(t);
+    const auto full_ops = m.last_word_ops();
+    (void)m.best_in_bounded(t, 5);
+    EXPECT_LT(m.last_word_ops(), full_ops / 2)
+        << "banded scan did " << m.last_word_ops() << " of " << full_ops;
+}
+
+TEST(MyersBanded, EarlyExitOnHopelessWindowIsFlagged) {
+    // All-A pattern vs all-T text: the bottom score stays ~m, so the
+    // Lipschitz bound abandons the scan long before the last column.
+    const std::vector<std::uint8_t> p(100, 0), t(500, 3);
+    const MyersMatcher m(p);
+    const auto hit = m.best_in_bounded(t, 5);
+    EXPECT_GT(hit.distance, 5u);
+    EXPECT_TRUE(hit.early_exit);
+    EXPECT_LT(m.last_word_ops(), m.scan_cost(t.size()));
+}
+
+TEST(MyersBanded, ExactHitStopsAtZero) {
+    const MyersMatcher m(codes("ACGT"));
+    const auto hit = m.best_in_bounded(codes("TTACGTTTACGTTT"), 1);
+    EXPECT_EQ(hit.distance, 0u);
+    EXPECT_EQ(hit.text_end, 6u);
+    EXPECT_TRUE(hit.early_exit);
+}
+
+TEST(MyersBanded, WindowShorterThanPattern) {
+    // Clamped windows at reference boundaries can be shorter than the
+    // read; the scan must survive and agree with the full DP.
+    Xoshiro256 rng(123);
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto p = random_codes(rng, 20 + rng.bounded(120));
+        const auto t = random_codes(rng, 1 + rng.bounded(p.size() - 1));
+        const MyersMatcher m(p);
+        const auto full = m.best_in(t);
+        for (const std::uint32_t delta : {0u, 3u, 5u}) {
+            const auto banded = m.best_in_bounded(t, delta);
+            if (full.distance <= delta) {
+                EXPECT_EQ(banded.distance, full.distance);
+                EXPECT_EQ(banded.text_end, full.text_end);
+            } else {
+                EXPECT_GT(banded.distance, delta);
+            }
+        }
+    }
+}
+
+TEST(MyersBanded, EmptyTextReturnsPatternLength) {
+    const MyersMatcher m(codes("ACGTACGT"));
+    const auto hit = m.best_in_bounded({}, 3);
+    EXPECT_EQ(hit.distance, 8u);
+    EXPECT_EQ(hit.text_end, 0u);
+    EXPECT_FALSE(hit.early_exit);
+    EXPECT_EQ(m.last_word_ops(), 0u);
+}
+
 } // namespace

@@ -9,7 +9,9 @@
 #include "align/myers.hpp"
 #include "util/prng.hpp"
 #include "core/accuracy.hpp"
+#include "core/kernels.hpp"
 #include "core/repute_mapper.hpp"
+#include "filter/memopt_seeder.hpp"
 #include "genomics/genome_sim.hpp"
 #include "genomics/multi_reference.hpp"
 #include "genomics/read_sim.hpp"
@@ -223,6 +225,80 @@ TEST(EdgeAlign, PatternLongerThanText) {
     const auto hit = matcher.best_in(text);
     // 90 pattern bases cannot be consumed: distance 90.
     EXPECT_EQ(hit.distance, 90u);
+}
+
+TEST(EdgeAlign, BandedPatternLongerThanText) {
+    // The clamped boundary window case: text shorter than the pattern
+    // must not trip the banded word-range logic.
+    const std::vector<std::uint8_t> pattern(100, 2);
+    const std::vector<std::uint8_t> text(10, 2);
+    const repute::align::MyersMatcher matcher(pattern);
+    for (const std::uint32_t delta : {0u, 5u, 89u, 90u, 95u}) {
+        const auto hit = matcher.best_in_bounded(text, delta);
+        if (delta >= 90u) {
+            EXPECT_EQ(hit.distance, 90u) << "delta " << delta;
+        } else {
+            EXPECT_GT(hit.distance, delta) << "delta " << delta;
+        }
+    }
+}
+
+// ------------------------------------- reference-boundary candidates
+
+TEST(EdgeMapping, ReadsAtReferenceBoundariesMapWithFunnelOnAndOff) {
+    // Reads planted at position 0 and at ref_len - read_len force the
+    // kernel's window clamping on both edges: the left window loses its
+    // delta pad (win_lo clamps to 0) and the right one is truncated at
+    // text_len. Both must map identically with every funnel layer on
+    // and off.
+    GenomeSimConfig gconfig;
+    gconfig.length = 30'000;
+    gconfig.seed = 77;
+    const auto ref = simulate_genome(gconfig);
+    const FmIndex fm(ref, 4);
+    const std::uint32_t n = 100;
+    const auto ref_len = static_cast<std::uint32_t>(ref.size());
+
+    repute::genomics::ReadBatch batch;
+    batch.read_length = n;
+    std::uint32_t id = 0;
+    for (const std::uint32_t pos : {0u, ref_len - n}) {
+        // One exact read and one with a few substitutions.
+        for (const int edits : {0, 3}) {
+            repute::genomics::Read read;
+            read.id = id++;
+            read.codes = ref.sequence().extract(pos, n);
+            for (int e = 0; e < edits; ++e) {
+                auto& c = read.codes[static_cast<std::size_t>(7 + 31 * e)];
+                c = static_cast<std::uint8_t>((c + 1) & 3);
+            }
+            batch.reads.push_back(std::move(read));
+        }
+    }
+
+    repute::core::KernelConfig funnel_on;
+    repute::core::KernelConfig funnel_off;
+    funnel_off.prefilter = false;
+    funnel_off.banded_verification = false;
+    funnel_off.coalesce_windows = false;
+    const repute::filter::MemoryOptimizedSeeder seeder(12);
+
+    std::vector<ReadMapping> out_on, out_off;
+    for (std::size_t i = 0; i < batch.reads.size(); ++i) {
+        const auto& read = batch.reads[i];
+        repute::core::map_read_workitem(fm, ref, seeder, read, 5,
+                                        funnel_on, out_on, nullptr);
+        repute::core::map_read_workitem(fm, ref, seeder, read, 5,
+                                        funnel_off, out_off, nullptr);
+        ASSERT_EQ(out_on, out_off) << "read " << read.id;
+
+        const std::uint32_t expected = i < 2 ? 0u : ref_len - n;
+        ReadMapping truth;
+        truth.position = expected;
+        truth.strand = Strand::Forward;
+        EXPECT_TRUE(contains_mapping(out_on, truth, 0))
+            << "boundary read " << read.id << " at " << expected;
+    }
 }
 
 } // namespace

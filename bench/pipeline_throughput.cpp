@@ -1,0 +1,149 @@
+// Streaming pipeline vs monolithic wall clock.
+//
+//   pipeline_throughput [--quick] [--genome N] [--reads N] [--seed S]
+//                       [--n 100|150] [--delta D] [--batch-size N]
+//                       [--queue-depth N] [--threads N] [--repeats N]
+//                       [--trace out.json]
+//
+// Both paths do the same end-to-end work on the table 1 workload —
+// parse FASTQ, map, emit SAM — and their outputs are byte-compared
+// (the run fails if they ever diverge). The monolithic path is
+// examples/map_fastq's shape: read everything, one map() call, one
+// emit pass. The streaming path is the repute CLI's shape: chunked
+// parsing, --threads mapper workers, ordered emission, all overlapped
+// through bounded queues. The difference is real host wall clock, so
+// the win scales with available cores (parse/map/emit overlap); on a
+// single-core host expect parity, not regression.
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/paired.hpp"
+#include "genomics/multi_reference.hpp"
+#include "pipeline/mapping_pipeline.hpp"
+#include "pipeline/sam_emitter.hpp"
+#include "pipeline/streaming_fastx.hpp"
+#include "util/timer.hpp"
+
+using namespace repute;
+
+namespace {
+
+std::string to_fastq_text(const genomics::SimulatedReads& sim) {
+    std::ostringstream out;
+    genomics::write_fastq(out, genomics::to_fastq_records(sim));
+    return out.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const bench::ScopedTrace trace(args);
+    const auto workload_config = bench::parse_workload_config(args);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 100));
+    const auto delta =
+        static_cast<std::uint32_t>(args.get_int("delta", 5));
+    const auto batch_size =
+        static_cast<std::size_t>(args.get_int("batch-size", 2048));
+    const auto threads =
+        static_cast<std::size_t>(args.get_int("threads", 2));
+    const auto repeats =
+        static_cast<std::size_t>(args.get_int("repeats", 3));
+    pipeline::PipelineConfig pipe_config;
+    pipe_config.queue_depth =
+        static_cast<std::size_t>(args.get_int("queue-depth", 4));
+
+    const auto workload = bench::make_workload(workload_config);
+    const genomics::MultiReference multi(
+        {{workload.reference.name(),
+          workload.reference.sequence().to_string()}});
+    const std::string fastq = to_fastq_text(workload.reads(n));
+    std::printf("workload: n=%zu delta=%u, %zu reads, FASTQ %.1f MB, "
+                "batch %zu, %zu worker(s), queue depth %zu\n",
+                n, delta, workload.reads(n).batch.size(),
+                static_cast<double>(fastq.size()) / 1e6, batch_size,
+                threads, pipe_config.queue_depth);
+
+    core::HeterogeneousMapperConfig mapper_config;
+    mapper_config.kernel.s_min = 14;
+    const auto make_mapper = [&](ocl::Device& device) {
+        return core::make_repute(workload.reference, *workload.fm,
+                                 {{&device, 1.0}}, mapper_config);
+    };
+    pipeline::SamEmitterConfig emit_config;
+    emit_config.delta = delta;
+
+    // Monolithic: parse everything, then map, then emit.
+    double mono_best = 1e300;
+    std::string mono_sam;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        ocl::Device device(ocl::profile_i7_2600());
+        auto mapper = make_mapper(device);
+        std::ostringstream sam;
+        util::Stopwatch timer;
+        std::istringstream in(fastq);
+        const auto batch =
+            genomics::to_read_batch(genomics::read_fastq(in));
+        const auto result = mapper->map(batch, delta);
+        pipeline::SamEmitter emitter(sam, multi, emit_config);
+        emitter.write_header();
+        emitter.emit(batch, result);
+        mono_best = std::min(mono_best, timer.seconds());
+        mono_sam = sam.str();
+    }
+
+    // Streaming: the same work overlapped through the pipeline.
+    double stream_best = 1e300;
+    std::string stream_sam;
+    pipeline::PipelineStats stream_stats;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        std::vector<std::unique_ptr<ocl::Device>> devices;
+        std::vector<std::unique_ptr<core::HeterogeneousMapper>> owned;
+        std::vector<core::Mapper*> mappers;
+        for (std::size_t t = 0; t < threads; ++t) {
+            devices.push_back(
+                std::make_unique<ocl::Device>(ocl::profile_i7_2600()));
+            owned.push_back(make_mapper(*devices.back()));
+            mappers.push_back(owned.back().get());
+        }
+        std::ostringstream sam;
+        util::Stopwatch timer;
+        std::istringstream in(fastq);
+        pipeline::StreamingReaderConfig reader_config;
+        reader_config.batch_size = batch_size;
+        pipeline::StreamingFastxReader reader(in, reader_config);
+        pipeline::SamEmitter emitter(sam, multi, emit_config);
+        emitter.write_header();
+        const auto stats = pipeline::run_mapping_pipeline(
+            reader, mappers, delta,
+            [&](std::size_t, const genomics::ReadBatch& batch,
+                const core::MapResult& result) {
+                emitter.emit(batch, result);
+            },
+            pipe_config);
+        stream_best = std::min(stream_best, timer.seconds());
+        stream_sam = sam.str();
+        stream_stats = stats;
+    }
+
+    if (mono_sam != stream_sam) {
+        std::fprintf(stderr,
+                     "FAIL: streaming SAM diverges from monolithic "
+                     "(%zu vs %zu bytes)\n",
+                     stream_sam.size(), mono_sam.size());
+        return 1;
+    }
+    std::printf("outputs byte-identical (%zu bytes)  [OK]\n",
+                mono_sam.size());
+    std::printf("%s", stream_stats.format().c_str());
+    const double speedup =
+        mono_best > 0.0 ? (mono_best / stream_best - 1.0) * 100.0 : 0.0;
+    std::printf("monolithic  best of %zu: %8.3f s\n", repeats, mono_best);
+    std::printf("streaming   best of %zu: %8.3f s  (%+.1f%% throughput)\n",
+                repeats, stream_best, speedup);
+    return 0;
+}

@@ -1,68 +1,152 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the concurrency and memory stories: a plain build +
-# full ctest run + micro-benchmark smoke, then a ThreadSanitizer build
-# of the queue/scheduler-heavy tests and an AddressSanitizer build of
-# the index/filter hot paths (rank-block and scratch-reuse pointer
-# arithmetic lives there) plus the verification funnel (prefilter and
-# banded-Myers pointer arithmetic).
-# Usage: ./ci.sh [--quick] [jobs]   (jobs defaults to nproc)
-#   --quick  trims the micro-benchmark smoke to a single rep per bench;
-#            builds and tests are unaffected.
+# CI entry point. Tiers:
+#   tier1         configure + build + full ctest (the gate every change
+#                 must pass) + micro-benchmark smoke
+#   bench         benchmark regression gate: micro_kernels vs
+#                 BENCH_kernels.json via ci/check_bench.py (>25% fails)
+#   tsan          ThreadSanitizer build of the queue/scheduler-heavy
+#                 tests plus the streaming pipeline
+#   asan          AddressSanitizer build of the index/filter hot paths
+#                 (rank-block and scratch-reuse pointer arithmetic) and
+#                 the verification funnel
+#   ubsan         UndefinedBehaviorSanitizer build of the alignment
+#                 kernels and funnel (shift/overflow-dense bit-vector
+#                 code)
+#   format        clang-format --dry-run --Werror over the tree
+#
+# Usage: ./ci.sh [--quick] [tier...] [jobs]
+#   ./ci.sh                 run everything (jobs = nproc)
+#   ./ci.sh --quick         run everything, trimmed bench smoke
+#   ./ci.sh tier1 8         one tier, 8 jobs
+#   ./ci.sh --format-check  alias for the format tier
+# GitHub Actions runs the tiers as parallel matrix jobs (see
+# .github/workflows/ci.yml); this script is the single source of truth
+# for what each job does.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-    QUICK=1
-    shift
+TIERS=()
+JOBS=""
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        --format-check) TIERS+=(format) ;;
+        tier1|bench|tsan|asan|ubsan|format) TIERS+=("$arg") ;;
+        ''|*[!0-9]*) echo "unknown argument: $arg" >&2; exit 2 ;;
+        *) JOBS="$arg" ;;
+    esac
+done
+[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan format)
+JOBS="${JOBS:-$(nproc)}"
+
+# ccache transparently accelerates the CI matrix (each job re-runs the
+# configure); harmless when absent.
+LAUNCHER=()
+if command -v ccache >/dev/null 2>&1; then
+    LAUNCHER=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
-JOBS="${1:-$(nproc)}"
 
-echo "== tier 1: configure + build + ctest =="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+has_tier() {
+    local tier
+    for tier in "${TIERS[@]}"; do
+        [[ "$tier" == "$1" ]] && return 0
+    done
+    return 1
+}
 
-echo "== micro-benchmark smoke: kernels and verification funnel =="
-# Minimal min_time: this only proves the benchmarks still run; compare
-# against BENCH_kernels.json / BENCH_verify.json manually for perf
-# tracking. (The installed google-benchmark wants a plain double here,
-# not a '0.01s' suffix.)
-if [[ "$QUICK" == "1" ]]; then
-    MIN_TIME=0.001
-    REPS=1
-else
-    MIN_TIME=0.01
-    REPS=3
+if has_tier tier1; then
+    echo "== tier 1: configure + build + ctest =="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
+    cmake --build build -j "$JOBS"
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+
+    echo "== micro-benchmark smoke: kernels and verification funnel =="
+    # Minimal min_time: this only proves the benchmarks still run; the
+    # bench tier does the regression comparison. (The installed
+    # google-benchmark wants a plain double here, not a '0.01s' suffix.)
+    if [[ "$QUICK" == "1" ]]; then
+        MIN_TIME=0.001
+        REPS=1
+    else
+        MIN_TIME=0.01
+        REPS=3
+    fi
+    ./build/bench/micro_kernels --benchmark_min_time="$MIN_TIME" \
+        --benchmark_repetitions="$REPS" \
+        --benchmark_filter='BM_Fm' >/dev/null
+    ./build/bench/micro_kernels --benchmark_min_time="$MIN_TIME" \
+        --benchmark_repetitions="$REPS" \
+        --benchmark_filter='BM_Verify_Myers|BM_Verify_MyersBanded|BM_Prefilter|BM_VerifyFunnel' \
+        >/dev/null
 fi
-./build/bench/micro_kernels --benchmark_min_time="$MIN_TIME" \
-    --benchmark_repetitions="$REPS" \
-    --benchmark_filter='BM_Fm' >/dev/null
-./build/bench/micro_kernels --benchmark_min_time="$MIN_TIME" \
-    --benchmark_repetitions="$REPS" \
-    --benchmark_filter='BM_Verify_Myers|BM_Verify_MyersBanded|BM_Prefilter|BM_VerifyFunnel' \
-    >/dev/null
 
-echo "== tier 2: ThreadSanitizer (queues, scheduler, determinism) =="
-cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" \
-      --target test_ocl test_scheduler test_determinism
-./build-tsan/tests/test_ocl
-./build-tsan/tests/test_scheduler
-./build-tsan/tests/test_determinism
+if has_tier bench; then
+    echo "== bench gate: micro_kernels vs BENCH_kernels.json =="
+    if [[ ! -x build/bench/micro_kernels ]]; then
+        cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
+        cmake --build build -j "$JOBS" --target micro_kernels
+    fi
+    # Even quick keeps >=2 repetitions: the gate's min-over-reps is what
+    # absorbs scheduler noise on shared runners.
+    if [[ "$QUICK" == "1" ]]; then
+        python3 ci/check_bench.py --min-time 0.005 --repetitions 2
+    else
+        python3 ci/check_bench.py
+    fi
+fi
 
-echo "== tier 2: AddressSanitizer (index layout, filtration, funnel) =="
-cmake -B build-asan -S . -DREPUTE_SANITIZE=address \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j "$JOBS" \
-      --target test_index test_filter test_funnel
-./build-asan/tests/test_index
-./build-asan/tests/test_filter
-# Funnel equivalence (layer toggles byte-identical) under ASan: the
-# prefilter's packed-word sweep and the banded scan's segment pointers
-# are exactly the code most likely to read out of bounds.
-./build-asan/tests/test_funnel
+if has_tier tsan; then
+    echo "== tier 2: ThreadSanitizer (queues, scheduler, pipeline) =="
+    cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
+    cmake --build build-tsan -j "$JOBS" \
+          --target test_ocl test_scheduler test_determinism test_pipeline
+    ./build-tsan/tests/test_ocl
+    ./build-tsan/tests/test_scheduler
+    ./build-tsan/tests/test_determinism
+    # The streaming pipeline is three thread stages around two bounded
+    # queues — exactly the code TSan exists for.
+    ./build-tsan/tests/test_pipeline
+fi
 
-echo "== ci.sh: all green =="
+if has_tier asan; then
+    echo "== tier 2: AddressSanitizer (index layout, filtration, funnel) =="
+    cmake -B build-asan -S . -DREPUTE_SANITIZE=address \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
+    cmake --build build-asan -j "$JOBS" \
+          --target test_index test_filter test_funnel
+    ./build-asan/tests/test_index
+    ./build-asan/tests/test_filter
+    # Funnel equivalence (layer toggles byte-identical) under ASan: the
+    # prefilter's packed-word sweep and the banded scan's segment
+    # pointers are exactly the code most likely to read out of bounds.
+    ./build-asan/tests/test_funnel
+fi
+
+if has_tier ubsan; then
+    echo "== tier 2: UndefinedBehaviorSanitizer (alignment kernels, funnel) =="
+    cmake -B build-ubsan -S . -DREPUTE_SANITIZE=undefined \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
+    cmake --build build-ubsan -j "$JOBS" --target test_align test_funnel
+    # Myers bit-vector and banded DP are shift- and overflow-dense; UBSan
+    # runs them standalone (the ASan tier already pairs ASan+UBSan, this
+    # catches UB that only manifests without ASan's memory layout).
+    ./build-ubsan/tests/test_align
+    ./build-ubsan/tests/test_funnel
+fi
+
+if has_tier format; then
+    echo "== format: clang-format --dry-run --Werror =="
+    if command -v clang-format >/dev/null 2>&1; then
+        find src tests bench examples \
+            \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+            xargs -0 clang-format --dry-run --Werror
+        echo "format clean"
+    else
+        echo "clang-format not installed — skipping format check" >&2
+    fi
+fi
+
+echo "== ci.sh: all green (${TIERS[*]}) =="

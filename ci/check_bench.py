@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Runs the micro_kernels google-benchmark binary with JSON output and
+compares per-benchmark CPU time against the committed baseline
+(BENCH_kernels.json). Fails (exit 1) if any benchmark present in both
+runs is more than --tolerance percent slower than the baseline.
+
+Being faster never fails; benchmarks that exist on only one side are
+reported but do not fail the gate (renames and new benches land with a
+baseline refresh, see --update-baseline).
+
+The baseline is machine-specific and shared runners drift, so the
+comparison removes common-mode noise before gating: times are taken as
+the *minimum* over --repetitions runs (minimum is the stable statistic
+for timing), and each benchmark's slowdown is divided by the geometric
+mean slowdown of the whole suite. A machine that is uniformly 40%
+slower today passes; one kernel regressing 25% relative to its peers
+fails. Pass --no-normalize on dedicated, pinned hardware to gate on
+raw times instead. The common-mode factor itself is printed so a
+suite-wide regression (e.g. a dropped -O2) is still visible.
+
+Transient load spikes are filtered by retrying: any benchmark over
+tolerance is re-measured (up to --retries times, flagged benchmarks
+only) and its time is the minimum across attempts. A spike does not
+reproduce; a real regression does.
+
+Usage:
+  ci/check_bench.py [--binary build/bench/micro_kernels]
+                    [--baseline BENCH_kernels.json] [--tolerance 25]
+                    [--min-time 0.01] [--repetitions 3] [--filter RE]
+                    [--update-baseline]
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import subprocess
+import sys
+
+
+def run_benchmarks(binary, min_time, repetitions, bench_filter):
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+        f"--benchmark_repetitions={repetitions}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed: {' '.join(cmd)}")
+    return json.loads(proc.stdout)
+
+
+def cpu_times(report):
+    """name -> minimum cpu_time in ns over all iteration entries."""
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        t = bench["cpu_time"] * scale
+        name = bench["name"]
+        times[name] = min(times.get(name, t), t)
+    return times
+
+
+def regressed(baseline, current, tolerance, normalize):
+    """Returns ({name: delta_pct}, common_mode) for shared benchmarks."""
+    ratios = {
+        name: current[name] / baseline[name]
+        for name in set(baseline) & set(current)
+        if baseline[name] > 0
+    }
+    common_mode = 1.0
+    if ratios and normalize:
+        log_sum = sum(math.log(r) for r in ratios.values())
+        common_mode = math.exp(log_sum / len(ratios))
+    deltas = {
+        name: (r / common_mode - 1.0) * 100.0 for name, r in ratios.items()
+    }
+    over = {n: d for n, d in deltas.items() if d > tolerance}
+    return over, deltas, common_mode
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="build/bench/micro_kernels")
+    parser.add_argument("--baseline", default="BENCH_kernels.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPUTE_BENCH_TOLERANCE", 25.0)),
+        help="max allowed slowdown, percent (default 25, or "
+        "$REPUTE_BENCH_TOLERANCE)",
+    )
+    parser.add_argument("--min-time", type=float, default=0.01)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--filter", default="")
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="gate on raw times instead of dividing out the "
+        "suite-wide (common-mode) slowdown",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-measure over-tolerance benchmarks this many times "
+        "before declaring a regression (default 2)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the fresh run over --baseline instead of comparing",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmarks(
+        args.binary, args.min_time, args.repetitions, args.filter
+    )
+    if args.update_baseline:
+        with open(args.baseline, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = cpu_times(json.load(fh))
+    current = cpu_times(report)
+
+    over, deltas, common_mode = regressed(
+        baseline, current, args.tolerance, not args.no_normalize
+    )
+    for attempt in range(args.retries):
+        if not over:
+            break
+        names = "|".join(re.escape(n) for n in sorted(over))
+        print(
+            f"retry {attempt + 1}: re-measuring {len(over)} "
+            f"over-tolerance benchmark(s)"
+        )
+        retry = cpu_times(
+            run_benchmarks(
+                args.binary,
+                args.min_time,
+                args.repetitions,
+                f"^({names})$",
+            )
+        )
+        for name, t in retry.items():
+            current[name] = min(current.get(name, t), t)
+        over, deltas, common_mode = regressed(
+            baseline, current, args.tolerance, not args.no_normalize
+        )
+
+    shared = sorted(set(baseline) & set(current))
+    print(
+        f"common-mode factor {common_mode:.3f}x over {len(deltas)} "
+        f"benchmarks ({'divided out' if not args.no_normalize else 'raw gate'})"
+    )
+    regressions = sorted(over.items())
+    print(f"{'benchmark':<40} {'base':>10} {'now':>10} {'delta':>8}")
+    for name in shared:
+        base, now = baseline[name], current[name]
+        delta = deltas.get(name, 0.0)
+        flag = "  << REGRESSION" if name in over else ""
+        print(
+            f"{name:<40} {base:>9.0f}n {now:>9.0f}n {delta:>+7.1f}%{flag}"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<40} (in baseline only — not compared)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<40} (new — no baseline, not compared)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+            f"than {args.tolerance:.0f}% vs {args.baseline}"
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.tolerance:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

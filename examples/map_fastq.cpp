@@ -1,8 +1,14 @@
-// map_fastq — REPUTE as a command-line mapping tool for real data.
+// map_fastq — the monolithic (load-everything-then-map) reference path.
 //
 //   map_fastq --reference ref.fa --reads reads.fastq [--delta 5]
 //             [--smin 14] [--max-locations 100] [--out out.sam]
 //             [--cigar true]
+//
+// For real work prefer the `repute` CLI (src/cli), which streams the
+// same mapping through the bounded batch pipeline; this example stays
+// as the simplest possible end-to-end program and as the equivalence
+// oracle the streaming tests compare against (both paths share
+// pipeline::SamEmitter, so their SAM output is byte-identical).
 //
 // Multi-sequence FASTA references are supported (sequences are indexed
 // as one concatenated text; mappings crossing a boundary are dropped
@@ -17,7 +23,6 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/cigar.hpp"
 #include "core/repute_mapper.hpp"
 #include "genomics/fastx.hpp"
 #include "genomics/genome_sim.hpp"
@@ -25,6 +30,7 @@
 #include "genomics/read_sim.hpp"
 #include "index/fm_index.hpp"
 #include "ocl/platform.hpp"
+#include "pipeline/sam_emitter.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -114,74 +120,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.total_mappings()),
                 timer.seconds(), result.mapping_seconds);
 
-    // SAM export: resolve concatenated coordinates back to the source
-    // sequences, dropping boundary-straddling mappings, and compute
-    // CIGARs unless disabled.
-    const bool want_cigar = args.get_bool("cigar", true);
-    const auto read_len = static_cast<std::uint32_t>(batch.read_length);
-    std::vector<genomics::SamRecord> records;
-    std::size_t dropped_boundary = 0, dropped_cigar = 0;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        std::size_t emitted = 0;
-        bool first = true;
-        for (const auto& m : result.per_read[i]) {
-            if (!multi.within_one_sequence(m.position, read_len)) {
-                ++dropped_boundary;
-                continue;
-            }
-            genomics::SamRecord rec;
-            rec.qname = batch.reads[i].name;
-            rec.seq = batch.reads[i].to_string();
-            rec.edit_distance = m.edit_distance;
-            if (m.strand == genomics::Strand::Reverse) {
-                rec.flag |= genomics::SamRecord::kFlagReverse;
-            }
-            if (!first) rec.flag |= genomics::SamRecord::kFlagSecondary;
-            std::uint32_t global_pos = m.position;
-            if (want_cigar) {
-                const auto annotated = core::annotate_mapping(
-                    reference, batch.reads[i], m, delta);
-                if (!annotated.has_value()) {
-                    ++dropped_cigar;
-                    continue;
-                }
-                rec.cigar = annotated->cigar;
-                rec.edit_distance = annotated->mapping.edit_distance;
-                global_pos = annotated->precise_position;
-            }
-            const auto loc = multi.resolve(global_pos);
-            rec.rname = multi.sequence_name(loc.sequence_index);
-            rec.pos = loc.offset + 1;
-            records.push_back(std::move(rec));
-            first = false;
-            ++emitted;
-        }
-        if (emitted == 0) {
-            genomics::SamRecord rec;
-            rec.qname = batch.reads[i].name;
-            rec.flag = genomics::SamRecord::kFlagUnmapped;
-            rec.rname = "*";
-            records.push_back(std::move(rec));
-        }
-    }
-
-    std::ofstream out(out_path);
-    out << "@HD\tVN:1.6\tSO:unknown\n";
-    for (std::size_t s = 0; s < multi.sequence_count(); ++s) {
-        out << "@SQ\tSN:" << multi.sequence_name(s)
-            << "\tLN:" << multi.sequence_length(s) << '\n';
-    }
-    out << "@PG\tID:repute\tPN:repute\tVN:1.0.0\n";
-    for (const auto& rec : records) {
-        out << rec.qname << '\t' << rec.flag << '\t'
-            << (rec.unmapped() ? "*" : rec.rname) << '\t' << rec.pos
-            << '\t' << static_cast<unsigned>(rec.mapq) << '\t'
-            << rec.cigar << "\t*\t0\t0\t" << rec.seq << "\t*\tNM:i:"
-            << rec.edit_distance << '\n';
-    }
+    // SAM export through the shared emitter: resolves concatenated
+    // coordinates back to the source sequences, drops
+    // boundary-straddling mappings, computes CIGARs unless disabled.
+    std::ofstream out(out_path, std::ios::binary);
+    pipeline::SamEmitterConfig emit_config;
+    emit_config.cigar = args.get_bool("cigar", true);
+    emit_config.delta = delta;
+    pipeline::SamEmitter emitter(out, multi, emit_config);
+    emitter.write_header();
+    emitter.emit(batch, result);
     std::printf("SAM written to %s (%zu records; %zu boundary-dropped, "
                 "%zu cigar-dropped)\n",
-                out_path.c_str(), records.size(), dropped_boundary,
-                dropped_cigar);
+                out_path.c_str(), emitter.stats().records,
+                emitter.stats().dropped_boundary,
+                emitter.stats().dropped_cigar);
     return 0;
 }

@@ -1,0 +1,314 @@
+// repute — streaming read-mapping CLI over the batch pipeline.
+//
+//   repute --reference ref.fa --reads reads.fastq [--reads2 mates.fastq]
+//          [--out out.sam] [--delta 5] [--smin 14] [--max-locations 100]
+//          [--cigar true] [--batch-size 4096] [--queue-depth 4]
+//          [--threads 1] [--on-malformed drop|fail] [--read-length 0]
+//          [--devices i7-2600[,gtx590-0,...]] [--platform system1]
+//          [--schedule static|dynamic] [--monolithic] [--trace out.json]
+//
+// Reads stream through a bounded three-stage pipeline (parse -> map ->
+// SAM write) so peak memory is O(queue-depth x batch-size) regardless
+// of file size and parsing/output overlap the mapping; --monolithic
+// runs the load-everything-then-map reference path instead (same SAM
+// bytes, see tests/test_pipeline.cpp). --reads2 switches to paired-end
+// mapping with mate rescue. --trace writes a Chrome trace plus a
+// per-stage summary including the pipeline queue/stall metrics.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/paired.hpp"
+#include "core/repute_mapper.hpp"
+#include "genomics/fastx.hpp"
+#include "genomics/multi_reference.hpp"
+#include "index/fm_index.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "ocl/platform.hpp"
+#include "pipeline/mapping_pipeline.hpp"
+#include "pipeline/sam_emitter.hpp"
+#include "pipeline/streaming_fastx.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace repute;
+
+namespace {
+
+constexpr const char* kUsage = R"(repute — OpenCL-style heterogeneous read mapper (streaming CLI)
+
+required:
+  --reference FILE      multi-sequence FASTA reference
+  --reads FILE          FASTA/FASTQ reads (format auto-detected)
+options:
+  --reads2 FILE         second-mate file: paired-end mapping + rescue
+  --out FILE            SAM output path, '-' for stdout (default out.sam)
+  --delta N             edit-distance budget (default 5)
+  --smin N              minimum seed k-mer length (default 14)
+  --max-locations N     mappings reported per read (default 100)
+  --cigar BOOL          host-side re-alignment + CIGAR (default true)
+pipeline:
+  --batch-size N        reads per batch (default 4096)
+  --queue-depth N       batches buffered between stages (default 4)
+  --threads N           concurrent map workers (default 1)
+  --on-malformed MODE   drop (count and continue) | fail (default drop)
+  --read-length N       fixed read length; 0 = lock to first record
+  --monolithic          load whole file, map once, then write (no overlap)
+devices:
+  --platform NAME       system1 (i7 + 2x GTX590) | system2 (HiKey970)
+  --devices LIST        comma-separated device names (default i7-2600)
+  --schedule MODE       static | dynamic work-stealing (default static)
+observability:
+  --trace FILE          write Chrome trace JSON + per-stage summary
+)";
+
+struct CliError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const auto comma = csv.find(',', start);
+        const auto end = comma == std::string::npos ? csv.size() : comma;
+        if (end > start) out.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+pipeline::OnMalformed parse_on_malformed(const std::string& mode) {
+    if (mode == "drop") return pipeline::OnMalformed::Drop;
+    if (mode == "fail") return pipeline::OnMalformed::Fail;
+    throw CliError("--on-malformed must be 'drop' or 'fail', got: " +
+                   mode);
+}
+
+ocl::Platform make_platform(const std::string& name) {
+    if (name == "system1") return ocl::Platform::system1();
+    if (name == "system2") return ocl::Platform::system2();
+    throw CliError("--platform must be 'system1' or 'system2', got: " +
+                   name);
+}
+
+/// RAII --trace support (the CLI twin of bench::ScopedTrace).
+class TraceScope {
+public:
+    explicit TraceScope(const std::string& path) : path_(path) {
+        if (!path_.empty()) {
+            session_ = std::make_unique<obs::TraceSession>();
+        }
+    }
+    ~TraceScope() {
+        if (!session_) return;
+        const auto json = obs::chrome_trace_json(session_->recorder());
+        std::ofstream out(path_, std::ios::binary);
+        if (out) {
+            out.write(json.data(),
+                      static_cast<std::streamsize>(json.size()));
+            std::fprintf(stderr, "trace written to %s (%zu bytes)\n",
+                         path_.c_str(), json.size());
+        } else {
+            std::fprintf(stderr, "ERROR: cannot write trace to %s\n",
+                         path_.c_str());
+        }
+        std::fprintf(stderr, "%s",
+                     obs::stage_summary(session_->recorder(),
+                                        &session_->registry())
+                         .c_str());
+    }
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+private:
+    std::string path_;
+    std::unique_ptr<obs::TraceSession> session_;
+};
+
+int run(const util::Args& args) {
+    const std::string fasta = args.get_string("reference", "");
+    const std::string reads_path = args.get_string("reads", "");
+    if (args.has("help") || fasta.empty() || reads_path.empty()) {
+        std::fputs(kUsage, fasta.empty() || reads_path.empty() ? stderr
+                                                               : stdout);
+        return fasta.empty() || reads_path.empty() ? 2 : 0;
+    }
+    const std::string reads2_path = args.get_string("reads2", "");
+    const std::string out_path = args.get_string("out", "out.sam");
+    const auto delta =
+        static_cast<std::uint32_t>(args.get_int("delta", 5));
+    const auto s_min =
+        static_cast<std::uint32_t>(args.get_int("smin", 14));
+    const auto max_locations =
+        static_cast<std::uint32_t>(args.get_int("max-locations", 100));
+
+    pipeline::StreamingReaderConfig reader_config;
+    reader_config.batch_size =
+        static_cast<std::size_t>(args.get_int("batch-size", 4096));
+    reader_config.read_length =
+        static_cast<std::size_t>(args.get_int("read-length", 0));
+    reader_config.on_malformed =
+        parse_on_malformed(args.get_string("on-malformed", "drop"));
+
+    pipeline::PipelineConfig pipe_config;
+    pipe_config.queue_depth =
+        static_cast<std::size_t>(args.get_int("queue-depth", 4));
+    const auto threads =
+        static_cast<std::size_t>(args.get_int("threads", 1));
+
+    const TraceScope trace(args.get_string("trace", ""));
+
+    // Reference + index.
+    util::Stopwatch timer;
+    const auto fasta_records = genomics::read_fasta_file(fasta);
+    if (fasta_records.empty()) {
+        throw CliError("no sequences in " + fasta);
+    }
+    const genomics::MultiReference multi(fasta_records);
+    const auto& reference = multi.concatenated();
+    std::fprintf(stderr,
+                 "reference: %zu sequence(s), %zu bp (%.1f s)\n",
+                 multi.sequence_count(), reference.size(),
+                 timer.seconds());
+    timer.reset();
+    const index::FmIndex fm(reference, 4);
+    std::fprintf(stderr, "index built in %.1f s (%.1f MB)\n",
+                 timer.seconds(),
+                 static_cast<double>(fm.memory_bytes()) / 1e6);
+
+    // Device fleet.
+    auto platform = make_platform(args.get_string("platform", "system1"));
+    std::vector<core::DeviceShare> shares;
+    for (const auto& name :
+         split_csv(args.get_string("devices", "i7-2600"))) {
+        shares.push_back({&platform.device(name), 1.0});
+    }
+    core::HeterogeneousMapperConfig config;
+    config.kernel.s_min = s_min;
+    config.kernel.max_locations_per_read = max_locations;
+    const std::string schedule = args.get_string("schedule", "static");
+    if (schedule == "dynamic") {
+        config.schedule = core::ScheduleMode::Dynamic;
+    } else if (schedule != "static") {
+        throw CliError("--schedule must be 'static' or 'dynamic', got: " +
+                       schedule);
+    }
+
+    // One mapper per map worker: Mapper::map is stateful per instance,
+    // and the simulated devices already serialize concurrent launches
+    // like shared hardware queues.
+    std::vector<std::unique_ptr<core::HeterogeneousMapper>> owned;
+    std::vector<core::Mapper*> mappers;
+    for (std::size_t w = 0; w < std::max<std::size_t>(threads, 1); ++w) {
+        owned.push_back(core::make_repute(reference, fm, shares, config));
+        mappers.push_back(owned.back().get());
+    }
+
+    // Output.
+    std::ofstream out_file;
+    const bool to_stdout = out_path == "-";
+    if (!to_stdout) {
+        out_file.open(out_path, std::ios::binary);
+        if (!out_file) throw CliError("cannot write " + out_path);
+    }
+    std::ostream& out = to_stdout ? std::cout : out_file;
+    pipeline::SamEmitterConfig emit_config;
+    emit_config.cigar = args.get_bool("cigar", true);
+    emit_config.delta = delta;
+    pipeline::SamEmitter emitter(out, multi, emit_config);
+    emitter.write_header();
+
+    timer.reset();
+    pipeline::PipelineStats stats;
+    std::size_t reads_in = 0, dropped = 0;
+
+    if (!reads2_path.empty()) { // paired-end
+        std::vector<std::unique_ptr<core::PairedMapper>> paired_owned;
+        std::vector<core::PairedMapper*> paired;
+        core::PairedConfig pair_config;
+        pair_config.min_insert = static_cast<std::uint32_t>(
+            args.get_int("insert-min", pair_config.min_insert));
+        pair_config.max_insert = static_cast<std::uint32_t>(
+            args.get_int("insert-max", pair_config.max_insert));
+        for (auto& mapper : owned) {
+            paired_owned.push_back(std::make_unique<core::PairedMapper>(
+                *mapper, reference, pair_config));
+            paired.push_back(paired_owned.back().get());
+        }
+        pipeline::StreamingFastxReader r1(reads_path, reader_config);
+        pipeline::StreamingFastxReader r2(reads2_path, reader_config);
+        stats = pipeline::run_paired_pipeline(
+            r1, r2, paired, delta,
+            [&](std::size_t, const pipeline::PairedUnit& unit,
+                const core::PairedResult& result) {
+                emitter.emit_paired(unit.first, unit.second, result);
+            },
+            pipe_config);
+        reads_in = r1.stats().records + r2.stats().records;
+        dropped = r1.stats().dropped() + r2.stats().dropped();
+    } else if (args.has("monolithic")) {
+        // Reference path: parse everything, map once, write everything.
+        std::size_t length_dropped = 0;
+        const auto batch = genomics::to_read_batch(
+            genomics::read_fastq_file(reads_path), &length_dropped);
+        if (batch.empty()) throw CliError("no reads in " + reads_path);
+        const auto result = mappers.front()->map(batch, delta);
+        emitter.emit(batch, result);
+        reads_in = batch.size() + length_dropped;
+        dropped = length_dropped;
+    } else { // single-end streaming
+        pipeline::StreamingFastxReader reader(reads_path, reader_config);
+        stats = pipeline::run_mapping_pipeline(
+            reader, mappers, delta,
+            [&](std::size_t, const genomics::ReadBatch& batch,
+                const core::MapResult& result) {
+                emitter.emit(batch, result);
+            },
+            pipe_config);
+        reads_in = reader.stats().records + reader.stats().dropped();
+        dropped = reader.stats().dropped();
+        if (dropped > 0) {
+            std::fprintf(stderr,
+                         "dropped %zu record(s): %zu malformed, %zu "
+                         "wrong length (last: %s)\n",
+                         dropped, reader.stats().dropped_malformed,
+                         reader.stats().dropped_length,
+                         reader.stats().last_error.empty()
+                             ? "length mismatch"
+                             : reader.stats().last_error.c_str());
+        }
+    }
+
+    const double wall = timer.seconds();
+    const auto& emitted = emitter.stats();
+    std::fprintf(stderr,
+                 "%zu reads in (%zu dropped) -> %zu SAM records "
+                 "(%zu boundary-dropped, %zu cigar-dropped) in %.2f s "
+                 "(%.0f reads/s)\n",
+                 reads_in, dropped, emitted.records,
+                 emitted.dropped_boundary, emitted.dropped_cigar, wall,
+                 wall > 0 ? static_cast<double>(emitted.reads) / wall
+                          : 0.0);
+    if (stats.units > 0) {
+        std::fprintf(stderr, "%s", stats.format().c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run(util::Args(argc, argv));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "repute: %s\n", e.what());
+        return 1;
+    }
+}

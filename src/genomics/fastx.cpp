@@ -139,4 +139,100 @@ ReadBatch to_read_batch(const std::vector<FastqRecord>& records,
     return batch;
 }
 
+FastxRecordStream::FastxRecordStream(std::istream& in, FastxFormat format)
+    : in_(&in), format_(format) {}
+
+bool FastxRecordStream::next_line(std::string& line) {
+    if (has_pending_) {
+        line = std::move(pending_);
+        has_pending_ = false;
+        return true;
+    }
+    while (std::getline(*in_, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!line.empty()) return true; // blank lines are never records
+    }
+    return false;
+}
+
+FastxRecordStream::Status FastxRecordStream::next(FastqRecord& out,
+                                                  std::string* error) {
+    if (format_ == FastxFormat::Auto) {
+        std::string line;
+        if (!next_line(line)) return Status::End;
+        format_ = line[0] == '@' ? FastxFormat::Fastq : FastxFormat::Fasta;
+        pending_ = std::move(line);
+        has_pending_ = true;
+    }
+    const Status status = format_ == FastxFormat::Fasta
+                              ? next_fasta(out, error)
+                              : next_fastq(out, error);
+    if (status != Status::End) ++records_seen_;
+    return status;
+}
+
+FastxRecordStream::Status FastxRecordStream::next_fasta(
+    FastqRecord& out, std::string* error) {
+    std::string line;
+    while (next_line(line)) {
+        if (line[0] == ';') continue; // legacy FASTA comment
+        if (line[0] != '>') {
+            if (error) {
+                *error = "FASTA: sequence data before header: " + line;
+            }
+            return Status::Malformed; // consume the stray line, resync
+        }
+        out.name = header_name(line, 1);
+        out.sequence.clear();
+        out.quality.clear();
+        while (next_line(line)) {
+            if (line[0] == '>') { // next record: push back as lookahead
+                pending_ = std::move(line);
+                has_pending_ = true;
+                break;
+            }
+            if (line[0] == ';') continue;
+            out.sequence += line;
+        }
+        return Status::Record;
+    }
+    return Status::End;
+}
+
+FastxRecordStream::Status FastxRecordStream::next_fastq(
+    FastqRecord& out, std::string* error) {
+    std::string header;
+    if (!next_line(header)) return Status::End;
+    if (header[0] != '@') {
+        if (error) *error = "FASTQ: expected '@', got: " + header;
+        return Status::Malformed; // consume one line, resync on next '@'
+    }
+    std::string seq, plus, qual;
+    if (!next_line(seq) || !next_line(plus) || !next_line(qual)) {
+        if (error) *error = "FASTQ: truncated record: " + header;
+        return Status::Malformed;
+    }
+    if (plus.empty() || plus[0] != '+') {
+        if (error) {
+            *error = "FASTQ: missing '+' line in record: " + header;
+        }
+        // The '+' slot held something else — likely the start of the
+        // next record; push it back so one bad record costs one record.
+        pending_ = std::move(plus);
+        has_pending_ = true;
+        return Status::Malformed;
+    }
+    if (seq.size() != qual.size()) {
+        if (error) {
+            *error = "FASTQ: sequence/quality length mismatch in record: " +
+                     header;
+        }
+        return Status::Malformed;
+    }
+    out.name = header_name(header, 1);
+    out.sequence = std::move(seq);
+    out.quality = std::move(qual);
+    return Status::Record;
+}
+
 } // namespace repute::genomics

@@ -44,4 +44,47 @@ void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records);
 ReadBatch to_read_batch(const std::vector<FastqRecord>& records,
                         std::size_t* dropped = nullptr);
 
+enum class FastxFormat { Auto, Fasta, Fastq };
+
+/// Record-at-a-time FASTA/FASTQ scanner — the streaming counterpart of
+/// read_fasta()/read_fastq(). Instead of throwing on a structurally
+/// malformed record it reports Status::Malformed for that record and
+/// resynchronizes on the next plausible record start, so a caller can
+/// implement a per-record error policy (drop-and-count or fail-fast)
+/// without losing the rest of the file. FASTA records come back as
+/// FastqRecords with an empty quality string.
+class FastxRecordStream {
+public:
+    enum class Status {
+        Record,    ///< `out` holds the next well-formed record
+        Malformed, ///< record skipped; `error` describes why
+        End,       ///< stream exhausted
+    };
+
+    /// The stream must outlive the scanner. With FastxFormat::Auto the
+    /// format is resolved from the first record marker ('>' vs '@').
+    explicit FastxRecordStream(std::istream& in,
+                               FastxFormat format = FastxFormat::Auto);
+
+    Status next(FastqRecord& out, std::string* error = nullptr);
+
+    /// Resolved format (Auto until the first marker has been seen).
+    FastxFormat format() const noexcept { return format_; }
+
+    /// Records consumed so far, malformed ones included (1-based ordinal
+    /// of the most recently returned record).
+    std::size_t records_seen() const noexcept { return records_seen_; }
+
+private:
+    bool next_line(std::string& line);
+    Status next_fasta(FastqRecord& out, std::string* error);
+    Status next_fastq(FastqRecord& out, std::string* error);
+
+    std::istream* in_;
+    FastxFormat format_;
+    std::string pending_; ///< one-line lookahead (FASTA record boundary)
+    bool has_pending_ = false;
+    std::size_t records_seen_ = 0;
+};
+
 } // namespace repute::genomics

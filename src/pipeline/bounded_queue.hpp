@@ -1,0 +1,116 @@
+#pragma once
+// Bounded blocking queue — the backpressure primitive of the batch
+// pipeline.
+//
+// A fixed-capacity FIFO shared by one or more producers and consumers.
+// push() blocks while the queue is full, so a fast producer is paced by
+// the slowest downstream stage and pipeline memory stays bounded by
+// capacity x item size. close() wakes everyone: pending items still
+// drain, further pushes are refused. The queue keeps per-side stall
+// clocks (host wall time spent blocked) — the raw signal behind the
+// pipeline's "which stage starves" instrumentation.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace repute::pipeline {
+
+template <typename T>
+class BoundedQueue {
+public:
+    /// Capacity is clamped to at least 1.
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocks while full. Returns false (and drops `value`) when the
+    /// queue was closed before space became available.
+    bool push(T value) {
+        std::unique_lock lock(mutex_);
+        if (items_.size() >= capacity_ && !closed_) {
+            const auto start = clock::now();
+            not_full_.wait(lock, [&] {
+                return items_.size() < capacity_ || closed_;
+            });
+            push_stall_seconds_ += elapsed(start);
+        }
+        if (closed_) return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks while empty. Returns nullopt once the queue is closed and
+    /// fully drained.
+    std::optional<T> pop() {
+        std::unique_lock lock(mutex_);
+        if (items_.empty() && !closed_) {
+            const auto start = clock::now();
+            not_empty_.wait(lock,
+                            [&] { return !items_.empty() || closed_; });
+            pop_stall_seconds_ += elapsed(start);
+        }
+        if (items_.empty()) return std::nullopt; // closed and drained
+        T value = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /// Refuses further pushes and wakes all waiters; queued items still
+    /// drain through pop(). Idempotent.
+    void close() {
+        {
+            const std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    std::size_t depth() const {
+        const std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Host seconds producers spent blocked on a full queue.
+    double push_stall_seconds() const {
+        const std::lock_guard lock(mutex_);
+        return push_stall_seconds_;
+    }
+
+    /// Host seconds consumers spent blocked on an empty queue.
+    double pop_stall_seconds() const {
+        const std::lock_guard lock(mutex_);
+        return pop_stall_seconds_;
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+
+    static double elapsed(clock::time_point start) {
+        return std::chrono::duration<double>(clock::now() - start).count();
+    }
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+    double push_stall_seconds_ = 0.0;
+    double pop_stall_seconds_ = 0.0;
+};
+
+} // namespace repute::pipeline

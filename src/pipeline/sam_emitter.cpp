@@ -1,0 +1,121 @@
+#include "pipeline/sam_emitter.hpp"
+
+#include <ostream>
+
+#include "core/cigar.hpp"
+
+namespace repute::pipeline {
+
+SamEmitter::SamEmitter(std::ostream& out,
+                       const genomics::MultiReference& multi,
+                       SamEmitterConfig config)
+    : out_(&out), multi_(&multi), config_(config) {}
+
+void SamEmitter::write_header() {
+    *out_ << "@HD\tVN:1.6\tSO:unknown\n";
+    for (std::size_t s = 0; s < multi_->sequence_count(); ++s) {
+        *out_ << "@SQ\tSN:" << multi_->sequence_name(s)
+              << "\tLN:" << multi_->sequence_length(s) << '\n';
+    }
+    *out_ << "@PG\tID:repute\tPN:repute\tVN:1.0.0\n";
+}
+
+void SamEmitter::write_record(const genomics::SamRecord& rec) {
+    *out_ << rec.qname << '\t' << rec.flag << '\t'
+          << (rec.unmapped() ? "*" : rec.rname) << '\t' << rec.pos << '\t'
+          << static_cast<unsigned>(rec.mapq) << '\t' << rec.cigar << '\t'
+          << rec.rnext << '\t' << rec.pnext << '\t' << rec.tlen << '\t'
+          << rec.seq << "\t*\tNM:i:" << rec.edit_distance << '\n';
+    ++stats_.records;
+}
+
+void SamEmitter::emit(const genomics::ReadBatch& batch,
+                      const core::MapResult& result) {
+    const auto& reference = multi_->concatenated();
+    const auto read_len = static_cast<std::uint32_t>(batch.read_length);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        std::size_t emitted = 0;
+        bool first = true;
+        for (const auto& m : result.per_read[i]) {
+            if (!multi_->within_one_sequence(m.position, read_len)) {
+                ++stats_.dropped_boundary;
+                continue;
+            }
+            genomics::SamRecord rec;
+            rec.qname = batch.reads[i].name;
+            rec.seq = batch.reads[i].to_string();
+            rec.edit_distance = m.edit_distance;
+            if (m.strand == genomics::Strand::Reverse) {
+                rec.flag |= genomics::SamRecord::kFlagReverse;
+            }
+            if (!first) rec.flag |= genomics::SamRecord::kFlagSecondary;
+            std::uint32_t global_pos = m.position;
+            if (config_.cigar) {
+                const auto annotated = core::annotate_mapping(
+                    reference, batch.reads[i], m, config_.delta);
+                if (!annotated.has_value()) {
+                    ++stats_.dropped_cigar;
+                    continue;
+                }
+                rec.cigar = annotated->cigar;
+                rec.edit_distance = annotated->mapping.edit_distance;
+                global_pos = annotated->precise_position;
+            }
+            const auto loc = multi_->resolve(global_pos);
+            rec.rname = multi_->sequence_name(loc.sequence_index);
+            rec.pos = loc.offset + 1;
+            write_record(rec);
+            first = false;
+            ++emitted;
+        }
+        if (emitted == 0) {
+            genomics::SamRecord rec;
+            rec.qname = batch.reads[i].name;
+            rec.flag = genomics::SamRecord::kFlagUnmapped;
+            rec.rname = "*";
+            write_record(rec);
+        }
+        ++stats_.reads;
+    }
+}
+
+void SamEmitter::emit_paired(const genomics::ReadBatch& first,
+                             const genomics::ReadBatch& second,
+                             const core::PairedResult& result) {
+    const auto read_len = static_cast<std::uint32_t>(first.read_length);
+    auto records = core::paired_to_sam(
+        first, second, result, multi_->concatenated().name());
+    for (auto& rec : records) {
+        if (!rec.unmapped()) {
+            // paired_to_sam reports concatenated-text coordinates;
+            // resolve to the source sequence or demote to unmapped when
+            // the placement straddles a boundary.
+            if (!multi_->within_one_sequence(rec.pos - 1, read_len)) {
+                ++stats_.dropped_boundary;
+                rec.flag |= genomics::SamRecord::kFlagUnmapped;
+                rec.flag &= static_cast<std::uint16_t>(
+                    ~genomics::SamRecord::kFlagProperPair);
+                rec.pos = 0;
+                rec.cigar = "*";
+                rec.tlen = 0;
+            } else {
+                const auto loc = multi_->resolve(rec.pos - 1);
+                rec.rname = multi_->sequence_name(loc.sequence_index);
+                rec.pos = loc.offset + 1;
+            }
+        }
+        if (rec.pnext != 0) {
+            if (multi_->within_one_sequence(rec.pnext - 1, read_len)) {
+                rec.pnext = multi_->resolve(rec.pnext - 1).offset + 1;
+            } else {
+                rec.rnext = "*";
+                rec.pnext = 0;
+                rec.tlen = 0;
+            }
+        }
+        write_record(rec);
+        ++stats_.reads;
+    }
+}
+
+} // namespace repute::pipeline

@@ -1,0 +1,73 @@
+#pragma once
+// Streaming SAM emission — the output stage of the batch pipeline.
+//
+// One SamEmitter owns an output stream for the duration of a run:
+// write_header() once, then emit() per mapped batch, in order. The
+// record formatting is the single source of truth shared by the
+// streaming CLI and the monolithic map_fastq path, which is what makes
+// "streaming output is byte-identical to monolithic output" a testable
+// property rather than a hope.
+//
+// Coordinates: mapping positions are on the concatenated multi-sequence
+// text; the emitter resolves them back to (sequence name, 1-based
+// offset) and drops mappings whose window straddles a sequence
+// boundary. With cigar enabled (the default) each mapping is re-aligned
+// host-side for a precise position and CIGAR string
+// (core::annotate_mapping); mappings the re-alignment cannot confirm
+// are dropped and counted.
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "core/mapping.hpp"
+#include "core/paired.hpp"
+#include "genomics/multi_reference.hpp"
+
+namespace repute::pipeline {
+
+struct SamEmitterConfig {
+    bool cigar = true;      ///< host-side re-alignment per mapping
+    std::uint32_t delta = 5; ///< edit budget the mappings were made at
+};
+
+class SamEmitter {
+public:
+    struct Stats {
+        std::size_t records = 0;          ///< SAM lines written
+        std::size_t reads = 0;            ///< reads (or mates) covered
+        std::size_t dropped_boundary = 0; ///< straddled a sequence join
+        std::size_t dropped_cigar = 0;    ///< re-alignment disagreed
+    };
+
+    /// `out` and `multi` must outlive the emitter.
+    SamEmitter(std::ostream& out, const genomics::MultiReference& multi,
+               SamEmitterConfig config);
+
+    /// @HD / @SQ (one per sequence) / @PG lines.
+    void write_header();
+
+    /// Emits one batch's mappings: every read produces at least one
+    /// record (unmapped reads get a flag-0x4 placeholder); the first
+    /// reported mapping is primary, the rest are flagged secondary.
+    void emit(const genomics::ReadBatch& batch,
+              const core::MapResult& result);
+
+    /// Paired batch: two records per pair with mate flags and TLEN,
+    /// resolved to per-sequence coordinates. Mates whose placement
+    /// straddles a sequence boundary are demoted to unmapped records.
+    void emit_paired(const genomics::ReadBatch& first,
+                     const genomics::ReadBatch& second,
+                     const core::PairedResult& result);
+
+    const Stats& stats() const noexcept { return stats_; }
+
+private:
+    void write_record(const genomics::SamRecord& rec);
+
+    std::ostream* out_;
+    const genomics::MultiReference* multi_;
+    SamEmitterConfig config_;
+    Stats stats_;
+};
+
+} // namespace repute::pipeline

@@ -1,0 +1,84 @@
+#pragma once
+// Chunked FASTA/FASTQ reading: the input stage of the batch pipeline.
+//
+// StreamingFastxReader turns a (possibly huge) sequence file into a
+// series of fixed-size ReadBatches without ever materializing the whole
+// file: each next_batch() call parses just enough records to fill one
+// batch, so peak reader memory is one batch regardless of file size.
+// Built on genomics::FastxRecordStream, which surfaces malformed
+// records one at a time instead of throwing away the file — the reader
+// applies a per-record error policy on top (drop-and-count, the
+// default, or fail-fast for pipelines that must not silently lose
+// input).
+//
+// Batches are fixed-length (the paper's kernels map fixed-n read sets):
+// the length locks to the first well-formed record (or an explicit
+// config value) and records of any other length are dropped and
+// counted, mirroring genomics::to_read_batch's majority rule without
+// needing to see the whole file first.
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <string>
+
+#include "genomics/fastx.hpp"
+#include "genomics/sequence.hpp"
+
+namespace repute::pipeline {
+
+/// Policy for structurally malformed records (truncated record, missing
+/// '+' line, length-mismatched quality, stray sequence data).
+enum class OnMalformed {
+    Drop, ///< skip the record, count it, keep streaming
+    Fail, ///< throw std::runtime_error naming the record
+};
+
+struct StreamingReaderConfig {
+    /// Reads per batch; the last batch of a file may be smaller.
+    std::size_t batch_size = 4096;
+    OnMalformed on_malformed = OnMalformed::Drop;
+    /// Fixed read length; 0 locks to the first well-formed record.
+    std::size_t read_length = 0;
+    genomics::FastxFormat format = genomics::FastxFormat::Auto;
+};
+
+struct StreamingReaderStats {
+    std::size_t records = 0;           ///< well-formed records parsed
+    std::size_t batches = 0;           ///< non-empty batches yielded
+    std::size_t dropped_malformed = 0; ///< structural rejects (Drop mode)
+    std::size_t dropped_length = 0;    ///< wrong-length records
+    std::size_t read_length = 0;       ///< locked batch read length
+    std::string last_error;            ///< most recent malformed message
+
+    std::size_t dropped() const noexcept {
+        return dropped_malformed + dropped_length;
+    }
+};
+
+class StreamingFastxReader {
+public:
+    /// The stream must outlive the reader.
+    explicit StreamingFastxReader(std::istream& in,
+                                  StreamingReaderConfig config = {});
+    /// Opens `path`; throws std::runtime_error when it cannot be read.
+    explicit StreamingFastxReader(const std::string& path,
+                                  StreamingReaderConfig config = {});
+
+    /// Fills `out` with up to batch_size reads (ids dense within the
+    /// batch, exactly like genomics::to_read_batch). Returns false when
+    /// the input is exhausted and `out` came back empty. Throws on a
+    /// malformed record under OnMalformed::Fail.
+    bool next_batch(genomics::ReadBatch& out);
+
+    const StreamingReaderStats& stats() const noexcept { return stats_; }
+    const StreamingReaderConfig& config() const noexcept { return config_; }
+
+private:
+    std::unique_ptr<std::ifstream> owned_; ///< set by the path ctor
+    genomics::FastxRecordStream stream_;
+    StreamingReaderConfig config_;
+    StreamingReaderStats stats_;
+};
+
+} // namespace repute::pipeline

@@ -33,12 +33,15 @@ FunnelToggles parse_funnel_toggles(const util::Args& args) {
     toggles.prefilter = !args.get_bool("no-prefilter", false);
     toggles.banded_verification = !args.get_bool("no-band", false);
     toggles.coalesce_windows = !args.get_bool("no-coalesce", false);
+    toggles.simd_verification = !args.get_bool("no-simd", false);
     if (!toggles.prefilter || !toggles.banded_verification ||
-        !toggles.coalesce_windows) {
-        std::printf("# funnel layers: prefilter=%s banded=%s coalesce=%s\n",
-                    toggles.prefilter ? "on" : "OFF",
-                    toggles.banded_verification ? "on" : "OFF",
-                    toggles.coalesce_windows ? "on" : "OFF");
+        !toggles.coalesce_windows || !toggles.simd_verification) {
+        std::printf(
+            "# funnel layers: prefilter=%s banded=%s coalesce=%s simd=%s\n",
+            toggles.prefilter ? "on" : "OFF",
+            toggles.banded_verification ? "on" : "OFF",
+            toggles.coalesce_windows ? "on" : "OFF",
+            toggles.simd_verification ? "on" : "OFF");
     }
     return toggles;
 }

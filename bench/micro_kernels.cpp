@@ -15,6 +15,7 @@
 
 #include "align/edit_distance.hpp"
 #include "align/myers.hpp"
+#include "align/myers_simd.hpp"
 #include "align/prefilter.hpp"
 #include "filter/candidates.hpp"
 #include "filter/frequency_scanner.hpp"
@@ -146,6 +147,91 @@ void BM_Verify_MyersBanded(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Verify_MyersBanded);
+
+void BM_Verify_MyersBandedBatched(benchmark::State& state) {
+    // The same accept-case window in all MyersSimdEngine::kLanes lanes:
+    // identical per-lane work to BM_Verify_MyersBanded, so
+    //   speedup = scalar_time / (batched_time / kLanes)
+    // is the honest per-candidate gain of the lane-batched engine (the
+    // ci/check_bench.py ratio gate holds it at >= 2x).
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    const align::MyersSimdEngine engine(read.codes);
+    constexpr std::size_t kLanes = align::MyersSimdEngine::kLanes;
+    const auto window = w.reference.sequence().extract(
+        w.reads.origins[3].position, 110);
+    const std::uint8_t* texts[kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) texts[l] = window.data();
+    align::MyersMatcher::BoundedHit hits[kLanes];
+    for (auto _ : state) {
+        engine.best_in_bounded_multi(texts, kLanes, window.size(), 5,
+                                     hits);
+        benchmark::DoNotOptimize(hits[0].distance);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kLanes));
+    state.SetLabel(align::myers_simd_backend());
+}
+BENCHMARK(BM_Verify_MyersBandedBatched);
+
+void BM_Verify_MyersBatchedMixedLengths(benchmark::State& state) {
+    // The dispatch path under length fragmentation: a candidate mix
+    // whose clamped window lengths are deliberately varied (reference-
+    // edge clamps in miniature), run through bucket_by_length + full
+    // batches + scalar tail exactly as the kernel dispatches. Items are
+    // verified windows, so ns/item is comparable with the pure-batch
+    // and pure-scalar benches; the gap between them is the cost of
+    // partial-bucket tails at this occupancy.
+    const auto& w = workload();
+    const auto& read = w.reads.batch.reads[3];
+    const align::MyersSimdEngine engine(read.codes);
+    const align::MyersMatcher matcher(read.codes);
+    constexpr std::size_t kLanes = align::MyersSimdEngine::kLanes;
+    // 29 windows over 4 clamped lengths, interleaved: buckets of 13,
+    // 9, 5 and 2 jobs — three full batches, every bucket with a tail.
+    const std::uint32_t mix_lengths[] = {110, 107, 110, 103, 110, 97,
+                                         107, 110, 103, 110};
+    std::vector<std::vector<std::uint8_t>> windows;
+    std::vector<std::uint32_t> lengths;
+    util::Xoshiro256 rng(29);
+    for (int i = 0; i < 29; ++i) {
+        const std::uint32_t len = mix_lengths[i % 10];
+        windows.push_back(w.reference.sequence().extract(
+            w.reads.origins[3].position + rng.bounded(4), len));
+        lengths.push_back(len);
+    }
+    std::vector<std::uint32_t> order;
+    std::vector<align::LengthBucket> buckets;
+    const std::uint8_t* texts[kLanes];
+    align::MyersMatcher::BoundedHit hits[kLanes];
+    std::uint64_t accepted = 0;
+    for (auto _ : state) {
+        align::bucket_by_length(lengths, order, buckets);
+        for (const auto& bucket : buckets) {
+            std::uint32_t i = 0;
+            while (bucket.count - i >= kLanes) {
+                for (std::size_t l = 0; l < kLanes; ++l) {
+                    texts[l] = windows[order[bucket.first + i + l]].data();
+                }
+                engine.best_in_bounded_multi(texts, kLanes, bucket.length,
+                                             5, hits);
+                for (std::size_t l = 0; l < kLanes; ++l) {
+                    accepted += hits[l].distance <= 5 ? 1 : 0;
+                }
+                i += kLanes;
+            }
+            for (; i < bucket.count; ++i) {
+                const auto& win = windows[order[bucket.first + i]];
+                accepted +=
+                    matcher.best_in_bounded(win, 5).distance <= 5 ? 1 : 0;
+            }
+        }
+    }
+    benchmark::DoNotOptimize(accepted);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 29);
+}
+BENCHMARK(BM_Verify_MyersBatchedMixedLengths);
 
 void BM_Prefilter_RejectRandom(benchmark::State& state) {
     // The prefilter's money case: a false-positive candidate window,
@@ -316,6 +402,116 @@ void BM_VerifyFunnel_Full(benchmark::State& state) {
     state.SetItemsProcessed(verified);
 }
 BENCHMARK(BM_VerifyFunnel_Full);
+
+void BM_VerifyFunnel_FullSimd(benchmark::State& state) {
+    // BM_VerifyFunnel_Full with the kernel's deferred lane-batched
+    // verification on top: Myers survivors queue as jobs, are bucketed
+    // by clamped length, and run kLanes at a time with a scalar tail.
+    // On this real candidate mix most strands carry a single window
+    // (only multimapping repeat reads fill batches), so the value of
+    // this bench is pinning the dispatch overhead at realistic — low —
+    // occupancy; BM_Verify_MyersBandedBatched shows the full-lane gain.
+    const auto& w = workload();
+    const auto& mix = funnel_mix();
+    const auto text_len = static_cast<std::uint32_t>(w.fm->size());
+    constexpr std::size_t kLanes = align::MyersSimdEngine::kLanes;
+    align::MyersSimdEngine engine;
+    align::MyersMatcher matcher;
+    align::Prefilter filter;
+    std::vector<std::uint8_t> arena;
+    std::vector<std::uint64_t> words;
+    struct Job {
+        std::uint32_t arena_off, win_len;
+    };
+    std::vector<Job> jobs;
+    std::vector<std::uint32_t> lengths, order;
+    std::vector<align::LengthBucket> buckets;
+    std::size_t i = 0;
+    std::int64_t verified = 0;
+    std::uint64_t accepted = 0;
+    for (auto _ : state) {
+        const auto& pr = mix.jobs[i++ % mix.jobs.size()];
+        filter.set_pattern(pr.codes);
+        bool engine_set = false, matcher_set = false;
+        const auto n = static_cast<std::uint32_t>(pr.codes.size());
+        arena.clear();
+        jobs.clear();
+        for (const auto& group : pr.candidates.groups) {
+            bool have_words = false, have_bytes = false;
+            std::uint32_t group_off = 0;
+            for (std::uint32_t ci = 0; ci < group.count; ++ci) {
+                const std::uint32_t start =
+                    pr.candidates.positions[group.first + ci];
+                const std::uint32_t win_lo = start >= 5 ? start - 5 : 0;
+                const std::uint32_t win_len =
+                    std::min<std::uint32_t>(n + 10, text_len - win_lo);
+                if (win_len + 5 < n) continue;
+                ++verified;
+                if (!have_words) {
+                    words.resize(
+                        util::PackedDna::packed_word_count(group.len));
+                    w.reference.sequence().extract_words(
+                        group.lo, group.len, words.data());
+                    have_words = true;
+                }
+                if (!filter.admits(words.data(), win_lo - group.lo,
+                                   win_len, 5)) {
+                    continue;
+                }
+                if (filter.last_exact()) {
+                    ++accepted;
+                    continue;
+                }
+                if (!have_bytes) {
+                    group_off = static_cast<std::uint32_t>(arena.size());
+                    arena.resize(arena.size() + group.len);
+                    w.reference.sequence().extract(
+                        group.lo, group.len, arena.data() + group_off);
+                    have_bytes = true;
+                }
+                jobs.push_back({group_off + (win_lo - group.lo), win_len});
+            }
+        }
+        lengths.clear();
+        for (const auto& job : jobs) lengths.push_back(job.win_len);
+        align::bucket_by_length(lengths, order, buckets);
+        const std::uint8_t* texts[kLanes];
+        align::MyersMatcher::BoundedHit hits[kLanes];
+        for (const auto& bucket : buckets) {
+            std::uint32_t k = 0;
+            while (bucket.count - k >= kLanes) {
+                for (std::size_t l = 0; l < kLanes; ++l) {
+                    texts[l] = arena.data() +
+                               jobs[order[bucket.first + k + l]].arena_off;
+                }
+                if (!engine_set) {
+                    engine.set_pattern(pr.codes);
+                    engine_set = true;
+                }
+                engine.best_in_bounded_multi(texts, kLanes, bucket.length,
+                                             5, hits);
+                for (std::size_t l = 0; l < kLanes; ++l) {
+                    accepted += hits[l].distance <= 5 ? 1 : 0;
+                }
+                k += kLanes;
+            }
+            for (; k < bucket.count; ++k) {
+                const auto& job = jobs[order[bucket.first + k]];
+                if (!matcher_set) {
+                    matcher.set_pattern(pr.codes);
+                    matcher_set = true;
+                }
+                const std::span<const std::uint8_t> text{
+                    arena.data() + job.arena_off, job.win_len};
+                accepted +=
+                    matcher.best_in_bounded(text, 5).distance <= 5 ? 1 : 0;
+            }
+        }
+    }
+    benchmark::DoNotOptimize(accepted);
+    state.SetItemsProcessed(verified);
+}
+BENCHMARK(BM_VerifyFunnel_FullSimd);
 
 // ------------------------------------------------------ index primitives
 

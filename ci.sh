@@ -7,11 +7,14 @@
 #   tsan          ThreadSanitizer build of the queue/scheduler-heavy
 #                 tests plus the streaming pipeline
 #   asan          AddressSanitizer build of the index/filter hot paths
-#                 (rank-block and scratch-reuse pointer arithmetic) and
-#                 the verification funnel
+#                 (rank-block and scratch-reuse pointer arithmetic), the
+#                 verification funnel and the SIMD differential harness
 #   ubsan         UndefinedBehaviorSanitizer build of the alignment
-#                 kernels and funnel (shift/overflow-dense bit-vector
-#                 code)
+#                 kernels, funnel and SIMD differential harness
+#                 (shift/overflow-dense bit-vector code)
+#   simdoff       -DREPUTE_SIMD=OFF build: the portable scalar-fallback
+#                 lane engine must pass the same differential harness
+#                 and funnel equivalence as the vectorized build
 #   format        clang-format --dry-run --Werror over the tree
 #
 # Usage: ./ci.sh [--quick] [tier...] [jobs]
@@ -33,12 +36,12 @@ for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --format-check) TIERS+=(format) ;;
-        tier1|bench|tsan|asan|ubsan|format) TIERS+=("$arg") ;;
+        tier1|bench|tsan|asan|ubsan|simdoff|format) TIERS+=("$arg") ;;
         ''|*[!0-9]*) echo "unknown argument: $arg" >&2; exit 2 ;;
         *) JOBS="$arg" ;;
     esac
 done
-[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan format)
+[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan simdoff format)
 JOBS="${JOBS:-$(nproc)}"
 
 # ccache transparently accelerates the CI matrix (each job re-runs the
@@ -116,25 +119,44 @@ if has_tier asan; then
     cmake -B build-asan -S . -DREPUTE_SANITIZE=address \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
     cmake --build build-asan -j "$JOBS" \
-          --target test_index test_filter test_funnel
+          --target test_index test_filter test_funnel test_myers_simd
     ./build-asan/tests/test_index
     ./build-asan/tests/test_filter
     # Funnel equivalence (layer toggles byte-identical) under ASan: the
     # prefilter's packed-word sweep and the banded scan's segment
     # pointers are exactly the code most likely to read out of bounds.
     ./build-asan/tests/test_funnel
+    # Lane-batched Myers differential harness: the column-major staging
+    # transpose and per-lane arena pointers under ASan.
+    ./build-asan/tests/test_myers_simd
 fi
 
 if has_tier ubsan; then
     echo "== tier 2: UndefinedBehaviorSanitizer (alignment kernels, funnel) =="
     cmake -B build-ubsan -S . -DREPUTE_SANITIZE=undefined \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
-    cmake --build build-ubsan -j "$JOBS" --target test_align test_funnel
+    cmake --build build-ubsan -j "$JOBS" \
+          --target test_align test_funnel test_myers_simd
     # Myers bit-vector and banded DP are shift- and overflow-dense; UBSan
     # runs them standalone (the ASan tier already pairs ASan+UBSan, this
     # catches UB that only manifests without ASan's memory layout).
     ./build-ubsan/tests/test_align
     ./build-ubsan/tests/test_funnel
+    # The lane engine's vector shifts/carries under UBSan.
+    ./build-ubsan/tests/test_myers_simd
+fi
+
+if has_tier simdoff; then
+    echo "== scalar fallback: -DREPUTE_SIMD=OFF differential + funnel =="
+    cmake -B build-simdoff -S . -DREPUTE_SIMD=OFF \
+          -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
+    cmake --build build-simdoff -j "$JOBS" \
+          --target test_align test_funnel test_myers_simd
+    ./build-simdoff/tests/test_align
+    ./build-simdoff/tests/test_funnel
+    # The portable Lane8 engine must be byte-identical to the scalar
+    # scan too — same harness, no vector ISA.
+    ./build-simdoff/tests/test_myers_simd
 fi
 
 if has_tier format; then

@@ -40,6 +40,17 @@ import re
 import subprocess
 import sys
 
+# Cross-benchmark acceptance ratios, gated on the same (min-over-
+# repetitions) times as the regression check. Unlike the baseline
+# comparison these are absolute criteria — both sides run in the same
+# process on the same machine, so no normalization is needed. Each
+# entry: the scalar benchmark, its lane-batched counterpart, the items
+# the batched bench processes per iteration, and the minimum required
+# per-item speedup.
+RATIO_GATES = [
+    ("BM_Verify_MyersBanded", "BM_Verify_MyersBandedBatched", 8.0, 2.0),
+]
+
 
 def run_benchmarks(binary, min_time, repetitions, bench_filter):
     cmd = [
@@ -181,11 +192,31 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<40} (new — no baseline, not compared)")
 
-    if regressions:
+    ratio_failures = []
+    for scalar, batched, lanes, min_speedup in RATIO_GATES:
+        if scalar not in current or batched not in current:
+            continue
+        speedup = current[scalar] / (current[batched] / lanes)
+        ok = speedup >= min_speedup
         print(
-            f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
-            f"than {args.tolerance:.0f}% vs {args.baseline}"
+            f"ratio gate: {batched} vs {scalar}: {speedup:.2f}x "
+            f"per item (need >= {min_speedup:.1f}x)"
+            f"{'' if ok else '  << BELOW CRITERION'}"
         )
+        if not ok:
+            ratio_failures.append(batched)
+
+    if regressions or ratio_failures:
+        if regressions:
+            print(
+                f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+                f"than {args.tolerance:.0f}% vs {args.baseline}"
+            )
+        if ratio_failures:
+            print(
+                f"\nFAIL: {len(ratio_failures)} benchmark(s) below their "
+                f"cross-benchmark speedup criterion"
+            )
         return 1
     print(f"\nOK: no benchmark regressed more than {args.tolerance:.0f}%")
     return 0

@@ -52,6 +52,8 @@ options:
   --smin N              minimum seed k-mer length (default 14)
   --max-locations N     mappings reported per read (default 100)
   --cigar BOOL          host-side re-alignment + CIGAR (default true)
+  --no-simd             scalar Myers verification (lane-batched SIMD
+                        off; output-identical, debugging/timing only)
 pipeline:
   --batch-size N        reads per batch (default 4096)
   --queue-depth N       batches buffered between stages (default 4)
@@ -193,6 +195,7 @@ int run(const util::Args& args) {
     core::HeterogeneousMapperConfig config;
     config.kernel.s_min = s_min;
     config.kernel.max_locations_per_read = max_locations;
+    config.kernel.simd_verification = !args.get_bool("no-simd", false);
     const std::string schedule = args.get_string("schedule", "static");
     if (schedule == "dynamic") {
         config.schedule = core::ScheduleMode::Dynamic;

@@ -17,6 +17,9 @@ StageTotals& StageTotals::operator+=(const StageTotals& other) noexcept {
     prefilter_exacts += other.prefilter_exacts;
     myers_early_exits += other.myers_early_exits;
     windows_coalesced += other.windows_coalesced;
+    simd_batches += other.simd_batches;
+    simd_lanes += other.simd_lanes;
+    simd_tail += other.simd_tail;
     return *this;
 }
 
@@ -83,6 +86,26 @@ void map_strand(const index::FmIndex& fm,
     std::vector<std::uint8_t>& window = scratch.window;
     window.reserve(n + 2 * delta);
 
+    // Lane-batched verification: instead of scanning each surviving
+    // window inline, stage its bytes and queue a VerifyJob, then
+    // dispatch jobs bucketed by clamped window length so every lane of
+    // a batch shares one band schedule. Decisions are replayed in
+    // candidate order afterwards, so output (accept set, distances,
+    // first-n cap point) is byte-identical to the inline loop. Only
+    // meaningful on top of the banded scan — the engine replicates
+    // best_in_bounded, not the unbounded best_in.
+    const bool use_simd =
+        config.simd_verification && config.banded_verification;
+    std::vector<std::uint8_t>& arena = scratch.simd_arena;
+    std::vector<VerifyJob>& jobs = scratch.simd_jobs;
+    std::vector<VerifyDecision>& decisions = scratch.simd_decisions;
+    if (use_simd) {
+        arena.clear();
+        jobs.clear();
+        decisions.clear();
+    }
+    bool engine_set = false;
+
     const bool grouped =
         config.coalesce_windows && !candidates.groups.empty();
     if (grouped) {
@@ -111,9 +134,12 @@ void map_strand(const index::FmIndex& fm,
 
         // Both extractions are lazy: the packed words only when the
         // prefilter runs, the byte window only once a candidate
-        // survives to Myers.
+        // survives to Myers. In batched mode the byte fetch goes
+        // straight into the arena (still one fetch per group) because
+        // `window` is recycled before the deferred scans run.
         bool have_words = false;
         bool have_bytes = false;
+        std::uint32_t group_arena_off = 0;
 
         for (std::uint32_t ci = 0; ci < group.count; ++ci) {
             if (out.size() >= config.max_locations_per_read) break;
@@ -154,6 +180,28 @@ void map_strand(const index::FmIndex& fm,
                 // the Myers scan entirely.
                 distance = 0;
                 ++stages.prefilter_exacts;
+                if (use_simd) {
+                    // Defer even the certain accept: decisions replay
+                    // in candidate order, and an inline push here would
+                    // jump the queue ahead of earlier pending jobs.
+                    decisions.push_back({start, -1});
+                    continue;
+                }
+            } else if (use_simd) {
+                if (!have_bytes) {
+                    group_arena_off =
+                        static_cast<std::uint32_t>(arena.size());
+                    arena.resize(arena.size() + group.len);
+                    reference.sequence().extract(
+                        group.lo, group.len,
+                        arena.data() + group_arena_off);
+                    have_bytes = true;
+                }
+                jobs.push_back(
+                    {start, group_arena_off + off, win_len, 0, false});
+                decisions.push_back(
+                    {start, static_cast<std::int32_t>(jobs.size()) - 1});
+                continue;
             } else {
                 if (!have_bytes) {
                     window.resize(group.len);
@@ -184,6 +232,84 @@ void map_strand(const index::FmIndex& fm,
                 // mapper in the comparison uses the same convention, so
                 // the accuracy protocols compare like with like.
                 m.position = start;
+                m.edit_distance = static_cast<std::uint16_t>(distance);
+                m.strand = strand;
+                out.push_back(m);
+                ++stages.accepted;
+            }
+        }
+    }
+
+    if (use_simd && !jobs.empty()) {
+        // --- Batched dispatch: bucket jobs by clamped window length
+        // (m and δ are fixed within a strand call, so equal-length
+        // windows share the whole band schedule — zero lane
+        // divergence), run full batches through the engine, and hand
+        // partial-bucket tails to the scalar banded scan.
+        constexpr std::size_t kLanes = align::MyersSimdEngine::kLanes;
+        std::vector<std::uint32_t>& lengths = scratch.simd_job_lengths;
+        lengths.clear();
+        for (const VerifyJob& job : jobs) lengths.push_back(job.win_len);
+        align::bucket_by_length(lengths, scratch.simd_order,
+                                scratch.simd_buckets);
+        const std::uint8_t* texts[kLanes];
+        align::MyersMatcher::BoundedHit hits[kLanes];
+        for (const align::LengthBucket& bucket : scratch.simd_buckets) {
+            std::uint32_t i = 0;
+            while (bucket.count - i >= kLanes) {
+                for (std::size_t k = 0; k < kLanes; ++k) {
+                    const VerifyJob& job =
+                        jobs[scratch.simd_order[bucket.first + i + k]];
+                    texts[k] = arena.data() + job.arena_off;
+                }
+                if (!engine_set) {
+                    scratch.simd_engine.set_pattern(codes);
+                    engine_set = true;
+                }
+                scratch.simd_engine.best_in_bounded_multi(
+                    texts, kLanes, bucket.length, delta, hits);
+                stages.verify_ops +=
+                    scratch.simd_engine.last_word_ops() * w.simd_word;
+                ++stages.simd_batches;
+                stages.simd_lanes += kLanes;
+                for (std::size_t k = 0; k < kLanes; ++k) {
+                    VerifyJob& job =
+                        jobs[scratch.simd_order[bucket.first + i + k]];
+                    job.distance = hits[k].distance;
+                    job.early_exit = hits[k].early_exit;
+                    if (job.early_exit) ++stages.myers_early_exits;
+                }
+                i += kLanes;
+            }
+            for (; i < bucket.count; ++i) {
+                VerifyJob& job = jobs[scratch.simd_order[bucket.first + i]];
+                const std::span<const std::uint8_t> text{
+                    arena.data() + job.arena_off, job.win_len};
+                if (!matcher_set) {
+                    matcher.set_pattern(codes);
+                    matcher_set = true;
+                }
+                const auto hit = matcher.best_in_bounded(text, delta);
+                job.distance = hit.distance;
+                job.early_exit = hit.early_exit;
+                if (job.early_exit) ++stages.myers_early_exits;
+                stages.verify_ops += matcher.last_word_ops() * w.myers_word;
+                ++stages.simd_tail;
+            }
+        }
+    }
+    if (use_simd) {
+        // --- Replay decisions in candidate order: identical pushes,
+        // identical first-n cap point, as if each scan had run inline.
+        for (const VerifyDecision& decision : decisions) {
+            if (out.size() >= config.max_locations_per_read) break;
+            const std::uint32_t distance =
+                decision.job < 0
+                    ? 0
+                    : jobs[static_cast<std::size_t>(decision.job)].distance;
+            if (distance <= delta) {
+                ReadMapping m;
+                m.position = decision.position;
                 m.edit_distance = static_cast<std::uint16_t>(distance);
                 m.strand = strand;
                 out.push_back(m);
@@ -240,6 +366,17 @@ std::uint64_t map_read_workitem(const index::FmIndex& fm,
         m->counter("kernel.prefilter_exacts").add(local.prefilter_exacts);
         m->counter("kernel.myers_early_exits").add(local.myers_early_exits);
         m->counter("kernel.windows_coalesced").add(local.windows_coalesced);
+        m->counter("kernel.simd_batches").add(local.simd_batches);
+        if (local.simd_lanes + local.simd_tail > 0) {
+            // Fraction of this read's Myers-verified windows that ran
+            // inside full lane batches (the rest were partial-bucket
+            // tails verified scalar). Low values mean the candidate
+            // windows fragmented across many distinct clamped lengths.
+            m->histogram("kernel.simd_lane_occupancy")
+                .observe(static_cast<double>(local.simd_lanes) /
+                         static_cast<double>(local.simd_lanes +
+                                             local.simd_tail));
+        }
         m->counter("index.occ_words_scanned")
             .add(index::FmIndex::thread_occ_words() - occ_words_before);
         if (scratch.warm) m->counter("kernel.scratch_reuses").add(1);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "align/myers.hpp"
+#include "align/myers_simd.hpp"
 #include "align/prefilter.hpp"
 #include "core/mapping.hpp"
 #include "filter/candidates.hpp"
@@ -40,6 +41,12 @@ struct OpWeights {
     std::uint64_t locate_base = 19;
     std::uint64_t locate_step = 14;
     std::uint64_t myers_word = 4;     ///< one 64-bit Myers column word
+    /// One lane-batched Myers column word advanced across all
+    /// MyersSimdEngine::kLanes candidates at once. Costlier than a
+    /// scalar word (wider ALU op plus blend-based Eq lookup and
+    /// bottom-row bookkeeping, ~3x measured) but amortized over 8
+    /// lanes, so a full batch models ~2.5x cheaper per candidate.
+    std::uint64_t simd_word = 13;
     std::uint64_t prefilter_word = 1; ///< one packed XOR/AND/popcount word
     std::uint64_t per_candidate = 48; ///< window fetch + dedup
 };
@@ -62,6 +69,14 @@ struct KernelConfig {
     bool prefilter = true;           ///< bit-parallel pre-alignment reject
     bool banded_verification = true; ///< δ-banded early-exit Myers
     bool coalesce_windows = true;    ///< shared fetch of overlapping windows
+    /// Lane-batched Myers verification: windows surviving the prefilter
+    /// are queued, bucketed by clamped window length (so vector lanes
+    /// never diverge), and verified MyersSimdEngine::kLanes at a time;
+    /// partial buckets fall back to the scalar banded scan. Requires
+    /// banded_verification (the engine replicates best_in_bounded);
+    /// with it off this toggle is inert. Output-neutral like the other
+    /// funnel layers.
+    bool simd_verification = true;
     OpWeights weights;
 };
 
@@ -77,8 +92,33 @@ struct StageTotals : obs::StageCounters {
     std::uint64_t prefilter_exacts = 0;   ///< exact certificates, Myers skipped
     std::uint64_t myers_early_exits = 0;  ///< banded scans abandoned early
     std::uint64_t windows_coalesced = 0;  ///< windows sharing a fetch
+    // Lane-batched verification effectiveness.
+    std::uint64_t simd_batches = 0; ///< full-lane engine dispatches
+    std::uint64_t simd_lanes = 0;   ///< windows verified inside batches
+    std::uint64_t simd_tail = 0;    ///< partial-bucket windows gone scalar
 
     StageTotals& operator+=(const StageTotals& other) noexcept;
+};
+
+/// A Myers verification deferred for lane-batching: the candidate's
+/// window bytes are staged in KernelScratch::simd_arena and the scan
+/// result is filled in by the batched dispatch.
+struct VerifyJob {
+    std::uint32_t position = 0;  ///< candidate diagonal (mapping position)
+    std::uint32_t arena_off = 0; ///< window start in simd_arena
+    std::uint32_t win_len = 0;   ///< clamped window length (bucket key)
+    std::uint32_t distance = 0;  ///< filled by dispatch
+    bool early_exit = false;     ///< filled by dispatch
+};
+
+/// One would-be acceptance decision, recorded in candidate order so the
+/// deferred batch results can be replayed into the output exactly where
+/// the inline scalar loop would have pushed them (first-n cap
+/// semantics included). job < 0 marks a prefilter exact certificate
+/// (distance 0, no Myers scan).
+struct VerifyDecision {
+    std::uint32_t position = 0;
+    std::int32_t job = -1;
 };
 
 /// Per-work-item reusable buffers: every transient the kernel needs —
@@ -97,6 +137,18 @@ struct KernelScratch {
     std::vector<std::uint8_t> rc_codes;///< reverse-complemented read
     align::MyersMatcher matcher;
     align::Prefilter prefilter;
+    // Lane-batched verification staging (simd_verification): group
+    // windows land in the arena (still one fetch per coalesced group),
+    // jobs/decisions record the deferred scans, and the bucket tables
+    // drive the length-homogeneous dispatch. All reuse capacity — the
+    // zero-allocation steady state holds with the batched path on.
+    align::MyersSimdEngine simd_engine;
+    std::vector<std::uint8_t> simd_arena;
+    std::vector<VerifyJob> simd_jobs;
+    std::vector<VerifyDecision> simd_decisions;
+    std::vector<std::uint32_t> simd_job_lengths;
+    std::vector<std::uint32_t> simd_order;
+    std::vector<align::LengthBucket> simd_buckets;
     bool warm = false; ///< true once one read has sized the buffers
 };
 
@@ -129,6 +181,9 @@ std::uint64_t map_read_workitem(const index::FmIndex& fm,
 /// Static private-memory requirement per work-item for a launch with
 /// these parameters (seeder scratch + verification window + Myers state
 /// + dedup cache). Drives GPU occupancy and out-of-resource behavior.
+/// The lane-batch staging buffers (simd_arena, jobs, decisions) are
+/// host-side re-ordering scratch, not part of the modeled per-work-item
+/// OpenCL private memory, so they are deliberately excluded.
 std::uint64_t kernel_scratch_bytes(const filter::Seeder& seeder,
                                    std::size_t read_length,
                                    std::uint32_t delta);

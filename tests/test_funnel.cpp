@@ -211,16 +211,22 @@ TEST_F(FunnelEquivalence, EachLayerOffMatchesFullFunnel) {
     EXPECT_GT(stages.windows_coalesced, 0u);
 
     const char* names[] = {"no-prefilter", "no-band", "no-coalesce",
-                           "all-off"};
-    KernelConfig configs[4];
+                           "no-simd",      "all-off", "all-off+simd"};
+    KernelConfig configs[6];
     configs[0].prefilter = false;
     configs[1].banded_verification = false;
     configs[2].coalesce_windows = false;
-    configs[3].prefilter = false;
-    configs[3].banded_verification = false;
-    configs[3].coalesce_windows = false;
+    configs[3].simd_verification = false;
+    configs[4].prefilter = false;
+    configs[4].banded_verification = false;
+    configs[4].coalesce_windows = false;
+    configs[4].simd_verification = false;
+    // simd left on without the band it batches: must be inert.
+    configs[5].prefilter = false;
+    configs[5].banded_verification = false;
+    configs[5].coalesce_windows = false;
 
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < 6; ++i) {
         std::vector<std::vector<ReadMapping>> toggled;
         map_all(configs[i], toggled);
         ASSERT_EQ(toggled.size(), full.size());
@@ -266,6 +272,11 @@ TEST_F(FunnelEquivalence, FunnelCountersExportThroughObs) {
     // Early exits: present on this workload because rejected-by-Myers
     // windows abandon once the score bound proves the outcome.
     EXPECT_GE(reg.counter("kernel.myers_early_exits").value(), 0u);
+    // The lane-batched path engages (full batches happen on this
+    // workload) and its occupancy histogram carries per-read samples.
+    EXPECT_GT(reg.counter("kernel.simd_batches").value(), 0u);
+    EXPECT_GT(reg.histogram("kernel.simd_lane_occupancy").snapshot().count,
+              0u);
 }
 
 TEST_F(FunnelEquivalence, EarlyExitAndCostAccountingEngage) {

@@ -55,13 +55,13 @@ int main(int argc, char** argv) {
         for (const auto& seeder : seeders) {
             std::uint64_t extends = 0, cells = 0, cands = 0, dedup = 0;
             for (const auto& read : reads) {
-                const auto plan = seeder->select(*workload.fm,
+                const auto plan = seeder->select(workload.fm(),
                                                  read.codes, delta);
                 extends += plan.fm_extends;
                 cells += plan.dp_cells;
                 cands += plan.total_candidates;
                 const auto set = filter::gather_candidates(
-                    *workload.fm, plan, static_cast<std::uint32_t>(n),
+                    workload.fm(), plan, static_cast<std::uint32_t>(n),
                     delta, {});
                 dedup += set.positions.size();
             }

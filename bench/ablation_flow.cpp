@@ -57,15 +57,15 @@ int main(int argc, char** argv) {
             mapper_config.kernel.collapse_candidates = v.collapse;
             std::unique_ptr<core::Mapper> mapper;
             if (v.dp) {
-                mapper = core::make_repute(workload.reference,
-                                           *workload.fm,
+                mapper = core::make_repute(workload.reference(),
+                                           workload.fm(),
                                            {{&device, 1.0}},
                                            mapper_config);
             } else {
                 // make_coral forces streaming (v.collapse is false here
                 // anyway).
-                mapper = core::make_coral(workload.reference,
-                                          *workload.fm,
+                mapper = core::make_coral(workload.reference(),
+                                          workload.fm(),
                                           {{&device, 1.0}},
                                           mapper_config);
             }

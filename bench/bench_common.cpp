@@ -58,27 +58,29 @@ Workload make_workload(const WorkloadConfig& config) {
     gconfig.interspersed_fraction = config.repeat_fraction;
     gconfig.repeat_divergence = config.repeat_divergence;
     gconfig.n_repeat_families = 16;
-    Workload w{genomics::simulate_genome(gconfig), nullptr, {}, {}};
+    genomics::Reference reference = genomics::simulate_genome(gconfig);
     std::printf("# genome simulated in %.1fs\n", timer.seconds());
 
-    timer.reset();
-    w.fm = std::make_unique<index::FmIndex>(w.reference, 4);
-    std::printf("# FM-index built in %.1fs (%.1f MB)\n", timer.seconds(),
-                static_cast<double>(w.fm->memory_bytes()) / 1e6);
+    Workload w;
+    w.session = pipeline::MappingSession::from_multi(
+        genomics::MultiReference(std::move(reference)));
+    std::printf("# FM-index built in %.1fs (%.1f MB)\n",
+                w.session->index_seconds(),
+                static_cast<double>(w.fm().memory_bytes()) / 1e6);
 
     genomics::ReadSimConfig r100;
     r100.n_reads = config.n_reads;
     r100.read_length = 100;
     r100.max_errors = 5;
     r100.seed = config.seed * 1000 + 100;
-    w.reads100 = genomics::simulate_reads(w.reference, r100);
+    w.reads100 = genomics::simulate_reads(w.reference(), r100);
 
     genomics::ReadSimConfig r150;
     r150.n_reads = config.n_reads;
     r150.read_length = 150;
     r150.max_errors = 7;
     r150.seed = config.seed * 1000 + 150;
-    w.reads150 = genomics::simulate_reads(w.reference, r150);
+    w.reads150 = genomics::simulate_reads(w.reference(), r150);
     return w;
 }
 

@@ -23,6 +23,7 @@
 #include "genomics/read_sim.hpp"
 #include "index/fm_index.hpp"
 #include "ocl/platform.hpp"
+#include "pipeline/mapping_api.hpp"
 #include "util/args.hpp"
 
 namespace repute::obs {
@@ -32,12 +33,20 @@ class TraceSession;
 namespace repute::bench {
 
 struct Workload {
-    genomics::Reference reference;
-    std::unique_ptr<index::FmIndex> fm;
+    /// The reference + index fixture is built through the public
+    /// MappingSession API (the same construction path the CLI and the
+    /// daemon use); benches that drive mappers by hand borrow the
+    /// session's reference and index via the accessors below.
+    std::unique_ptr<pipeline::MappingSession> session;
     /// ERR012100_1 stand-in: n=100, errors up to 5 (mapped at delta 3-5).
     genomics::SimulatedReads reads100;
     /// SRR826460_1 stand-in: n=150, errors up to 7 (mapped at delta 5-7).
     genomics::SimulatedReads reads150;
+
+    const genomics::Reference& reference() const {
+        return session->multi().concatenated();
+    }
+    const index::FmIndex& fm() const { return session->fm(); }
 
     const genomics::SimulatedReads& reads(std::size_t n) const {
         return n == 100 ? reads100 : reads150;

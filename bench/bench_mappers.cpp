@@ -16,8 +16,8 @@ std::unique_ptr<baselines::RazerS3Like> make_gold_standard(
     const Workload& w, ocl::Device& device) {
     // chr21 at q=12 gives ~2.8 random hits per q-gram.
     return std::make_unique<baselines::RazerS3Like>(
-        w.reference, device, /*max_locations=*/100,
-        scaled_q(w.reference.size(), 2.8));
+        w.reference(), device, /*max_locations=*/100,
+        scaled_q(w.reference().size(), 2.8));
 }
 
 std::vector<MapperSpec> baseline_specs(const Workload& w,
@@ -31,20 +31,20 @@ std::vector<MapperSpec> baseline_specs(const Workload& w,
         {"Hobbes3", [&w, &cpu](std::size_t, std::uint32_t) {
              // chr21 at q=11 gives ~11 random hits per signature.
              return std::make_unique<baselines::Hobbes3Like>(
-                 w.reference, cpu, /*max_locations=*/1000,
-                 scaled_q(w.reference.size(), 11.0));
+                 w.reference(), cpu, /*max_locations=*/1000,
+                 scaled_q(w.reference().size(), 11.0));
          }});
     specs.push_back({"Yara", [&w, &cpu](std::size_t, std::uint32_t) {
                          return std::make_unique<baselines::YaraLike>(
-                             w.reference, *w.fm, cpu);
+                             w.reference(), w.fm(), cpu);
                      }});
     specs.push_back({"BWA-MEM", [&w, &cpu](std::size_t, std::uint32_t) {
                          return std::make_unique<baselines::BwaMemLike>(
-                             w.reference, *w.fm, cpu);
+                             w.reference(), w.fm(), cpu);
                      }});
     specs.push_back({"GEM", [&w, &cpu](std::size_t, std::uint32_t) {
                          return std::make_unique<baselines::GemLike>(
-                             w.reference, *w.fm, cpu);
+                             w.reference(), w.fm(), cpu);
                      }});
     return specs;
 }
@@ -59,7 +59,7 @@ MapperSpec repute_spec(const Workload& w,
                 config.kernel.s_min = best_s_min(n, delta);
                 config.kernel.max_locations_per_read = 1000;
                 toggles.apply(config.kernel);
-                auto mapper = core::make_repute(w.reference, *w.fm,
+                auto mapper = core::make_repute(w.reference(), w.fm(),
                                                 shares, config);
                 return mapper;
             }};
@@ -75,7 +75,7 @@ MapperSpec coral_spec(const Workload& w,
                 config.kernel.s_min = best_s_min(n, delta);
                 config.kernel.max_locations_per_read = 1000;
                 toggles.apply(config.kernel);
-                auto mapper = core::make_coral(w.reference, *w.fm,
+                auto mapper = core::make_coral(w.reference(), w.fm(),
                                                shares, config);
                 return mapper;
             }};

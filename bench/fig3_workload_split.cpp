@@ -67,7 +67,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     core::HeterogeneousMapperConfig config;
     config.kernel.s_min = s_min;
     const auto expected =
-        core::make_repute(workload.reference, *workload.fm,
+        core::make_repute(workload.reference(), workload.fm(),
                           {{&oracle, 1.0}}, config)
             ->map(batch, delta);
 
@@ -82,7 +82,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
 
     // 1. Naive static: equal thirds, committed up front.
     const auto naive =
-        core::make_repute(workload.reference, *workload.fm,
+        core::make_repute(workload.reference(), workload.fm(),
                           {{&fast_gpu, 1.0}, {&cpu_a, 1.0}, {&cpu_b, 1.0}},
                           config)
             ->map(batch, delta);
@@ -95,10 +95,10 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     core::TuneConfig probe;
     probe.probe_reads = 16;
     const auto tuned =
-        core::tune_shares(workload.reference, *workload.fm, batch, delta,
+        core::tune_shares(workload.reference(), workload.fm(), batch, delta,
                           s_min, fleet, probe);
     const auto tuned_static =
-        core::make_repute(workload.reference, *workload.fm, tuned.shares,
+        core::make_repute(workload.reference(), workload.fm(), tuned.shares,
                           config)
             ->map(batch, delta);
     report("tuned-static", tuned_static);
@@ -107,7 +107,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     core::HeterogeneousMapperConfig dyn = config;
     dyn.schedule = core::ScheduleMode::Dynamic;
     const auto dynamic =
-        core::make_repute(workload.reference, *workload.fm, tuned.shares,
+        core::make_repute(workload.reference(), workload.fm(), tuned.shares,
                           dyn)
             ->map(batch, delta);
     report("dynamic (tuned warm)", dynamic);
@@ -129,7 +129,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     plan.fail_forever = true;
     cpu_b.inject_faults(plan);
     const auto faulted =
-        core::make_repute(workload.reference, *workload.fm, tuned.shares,
+        core::make_repute(workload.reference(), workload.fm(), tuned.shares,
                           dyn)
             ->map(batch, delta);
     cpu_b.clear_faults();
@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
             shares.push_back({&gpu0, static_cast<double>(per_gpu)});
             shares.push_back({&gpu1, static_cast<double>(per_gpu)});
         }
-        auto mapper = core::make_repute(workload.reference, *workload.fm,
+        auto mapper = core::make_repute(workload.reference(), workload.fm(),
                                         std::move(shares), config);
         const auto result = mapper->map(batch, delta);
         x.push_back(static_cast<double>(per_gpu));

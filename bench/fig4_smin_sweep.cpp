@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         core::HeterogeneousMapperConfig config;
         config.kernel.s_min = s_min;
         config.kernel.max_locations_per_read = 1000;
-        auto mapper = core::make_repute(workload.reference, *workload.fm,
+        auto mapper = core::make_repute(workload.reference(), workload.fm(),
                                         shares, config);
         const auto result = mapper->map(batch, delta);
         x.push_back(s_min);

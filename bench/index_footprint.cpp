@@ -38,11 +38,11 @@ int main(int argc, char** argv) {
 
     for (const std::uint32_t sa_sample : {1u, 4u, 16u, 64u}) {
         for (const std::uint32_t checkpoint : {64u, 128u, 512u}) {
-            const index::FmIndex fm(workload.reference, sa_sample,
+            const index::FmIndex fm(workload.reference(), sa_sample,
                                     checkpoint);
             core::HeterogeneousMapperConfig mapper_config;
             mapper_config.kernel.s_min = 14;
-            auto mapper = core::make_repute(workload.reference, fm,
+            auto mapper = core::make_repute(workload.reference(), fm,
                                             {{&cpu, 1.0}}, mapper_config);
             const auto result = mapper->map(batch, delta);
             const double mb =
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
             std::printf("%10u %12u | %12.1f %10.2f | %10.4f\n",
                         sa_sample, checkpoint, mb,
                         static_cast<double>(fm.memory_bytes()) /
-                            static_cast<double>(workload.reference.size()),
+                            static_cast<double>(workload.reference().size()),
                         result.mapping_seconds);
             std::fflush(stdout);
         }

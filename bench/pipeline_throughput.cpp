@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
 
     const auto workload = bench::make_workload(workload_config);
     const genomics::MultiReference multi(
-        {{workload.reference.name(),
-          workload.reference.sequence().to_string()}});
+        {{workload.reference().name(),
+          workload.reference().sequence().to_string()}});
     const std::string fastq = to_fastq_text(workload.reads(n));
     std::printf("workload: n=%zu delta=%u, %zu reads, FASTQ %.1f MB, "
                 "batch %zu, %zu worker(s), queue depth %zu\n",
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
     core::HeterogeneousMapperConfig mapper_config;
     mapper_config.kernel.s_min = 14;
     const auto make_mapper = [&](ocl::Device& device) {
-        return core::make_repute(workload.reference, *workload.fm,
+        return core::make_repute(workload.reference(), workload.fm(),
                                  {{&device, 1.0}}, mapper_config);
     };
     pipeline::SamEmitterConfig emit_config;

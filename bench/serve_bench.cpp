@@ -1,0 +1,150 @@
+// Persistent-service load bench: in-process index construction vs
+// zero-copy .rix mmap load (DESIGN.md "Serving mode").
+//
+//   serve_bench [--quick] [--genome N] [--reads N] [--seed S]
+//               [--delta D] [--repeats N] [--min-speedup X]
+//               [--out BENCH_serve.json] [--trace out.json]
+//
+// Builds the bench workload through MappingSession::from_multi (timing
+// the index construction), serializes the session's index to a .rix
+// container, then opens it with MappingSession::from_rix `--repeats`
+// times (timing mmap + checksum validation, best-of). Both sessions map
+// the same FASTQ payload and the SAM outputs are byte-compared — the
+// run fails on any divergence. Results land in --out as flat JSON; with
+// --min-speedup the run additionally fails when load is not at least
+// that many times faster than construction (the CI serve tier passes
+// 10, the acceptance floor).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "genomics/read_sim.hpp"
+#include "index/rix.hpp"
+#include "pipeline/mapping_api.hpp"
+#include "util/timer.hpp"
+
+using namespace repute;
+
+namespace {
+
+std::string to_fastq_text(const genomics::SimulatedReads& sim) {
+    std::ostringstream out;
+    genomics::write_fastq(out, genomics::to_fastq_records(sim));
+    return out.str();
+}
+
+std::string map_all(pipeline::MappingSession& session,
+                    const std::string& fastq, std::uint32_t delta) {
+    std::istringstream in(fastq);
+    pipeline::MapRequest request;
+    request.reads = &in;
+    request.delta = delta;
+    std::ostringstream sam;
+    session.map(request, sam);
+    return sam.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const bench::ScopedTrace trace(args);
+    bench::WorkloadConfig config = bench::parse_workload_config(args);
+    config.n_reads = std::min<std::size_t>(config.n_reads, 2000);
+    const auto delta =
+        static_cast<std::uint32_t>(args.get_int("delta", 5));
+    const auto repeats =
+        static_cast<std::size_t>(args.get_int("repeats", 5));
+    const double min_speedup = args.get_double("min-speedup", 0.0);
+    const std::string out_path =
+        args.get_string("out", "BENCH_serve.json");
+
+    // Construction path: MappingSession::from_multi builds the FM-index
+    // in-process and reports the build time.
+    const auto workload = bench::make_workload(config);
+    const double build_seconds = workload.session->index_seconds();
+
+    const std::string rix_path = out_path + ".rix";
+    util::Stopwatch timer;
+    index::write_rix(rix_path, workload.session->multi(),
+                     workload.fm());
+    const double write_seconds = timer.seconds();
+
+    // Serving path: mmap + checksum the container, best-of `repeats`.
+    double load_seconds = 1e300;
+    std::unique_ptr<pipeline::MappingSession> served;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        served = pipeline::MappingSession::from_rix(rix_path);
+        load_seconds = std::min(load_seconds, served->index_seconds());
+    }
+
+    const std::string fastq = to_fastq_text(workload.reads100);
+    const std::string built_sam =
+        map_all(*workload.session, fastq, delta);
+    const std::string served_sam = map_all(*served, fastq, delta);
+    const bool byte_identical = built_sam == served_sam;
+
+    const double speedup =
+        load_seconds > 0.0 ? build_seconds / load_seconds : 0.0;
+    std::printf("\n== serve_bench: .rix load vs in-process build ==\n");
+    std::printf("genome          %12zu bp\n",
+                workload.reference().size());
+    std::printf("index build     %12.4f s\n", build_seconds);
+    std::printf(".rix write      %12.4f s\n", write_seconds);
+    std::printf(".rix mmap load  %12.4f s   (best of %zu)\n",
+                load_seconds, repeats);
+    std::printf("load speedup    %12.1fx\n", speedup);
+    std::printf("mapped bytes    %12zu\n", served->mapped_bytes());
+    std::printf("resident bytes  %12zu\n", served->resident_bytes());
+    std::printf("SAM identical   %12s   (%zu bytes, %zu reads)\n",
+                byte_identical ? "yes" : "NO",
+                built_sam.size(), workload.reads100.batch.size());
+
+    if (std::FILE* f = std::fopen(out_path.c_str(), "wb")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"genome_bp\": %zu,\n"
+            "  \"reads\": %zu,\n"
+            "  \"delta\": %u,\n"
+            "  \"build_seconds\": %.6f,\n"
+            "  \"rix_write_seconds\": %.6f,\n"
+            "  \"load_seconds\": %.6f,\n"
+            "  \"load_speedup\": %.2f,\n"
+            "  \"mapped_bytes\": %zu,\n"
+            "  \"resident_bytes\": %zu,\n"
+            "  \"sam_byte_identical\": %s\n"
+            "}\n",
+            workload.reference().size(),
+            workload.reads100.batch.size(), delta, build_seconds,
+            write_seconds, load_seconds, speedup,
+            served->mapped_bytes(), served->resident_bytes(),
+            byte_identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("# wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "serve_bench: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::remove(rix_path.c_str());
+
+    if (!byte_identical) {
+        std::fprintf(stderr,
+                     "serve_bench: FAIL — served SAM diverges from "
+                     "in-process SAM\n");
+        return 1;
+    }
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "serve_bench: FAIL — load speedup %.1fx below "
+                     "required %.1fx\n",
+                     speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -55,11 +55,11 @@ int main(int argc, char** argv) {
                 config.kernel.max_locations_per_read = 1000;
                 toggles.apply(config.kernel);
                 if (dp) {
-                    return core::make_repute(workload.reference,
-                                             *workload.fm,
+                    return core::make_repute(workload.reference(),
+                                             workload.fm(),
                                              std::move(shares), config);
                 }
-                return core::make_coral(workload.reference, *workload.fm,
+                return core::make_coral(workload.reference(), workload.fm(),
                                         std::move(shares), config);
             }};
     };

@@ -48,8 +48,8 @@ int main(int argc, char** argv) {
     specs.push_back(
         {"Hobbes3", [&workload, &a73](std::size_t, std::uint32_t) {
              return std::make_unique<baselines::Hobbes3Like>(
-                 workload.reference, a73, 1000,
-                 scaled_q(workload.reference.size(), 11.0));
+                 workload.reference(), a73, 1000,
+                 scaled_q(workload.reference().size(), 11.0));
          }});
     const FunnelToggles toggles = parse_funnel_toggles(args);
     auto hetero_spec = [&](const std::string& name, bool dp) {
@@ -67,10 +67,10 @@ int main(int argc, char** argv) {
                 toggles.apply(config.kernel);
                 if (dp) {
                     return core::make_repute(
-                        workload.reference, *workload.fm,
+                        workload.reference(), workload.fm(),
                         cluster_shares(scratch), config);
                 }
-                return core::make_coral(workload.reference, *workload.fm,
+                return core::make_coral(workload.reference(), workload.fm(),
                                         cluster_shares(scratch), config);
             }};
     };

@@ -68,8 +68,8 @@ int main(int argc, char** argv) {
                                [&](std::size_t, std::uint32_t) {
                                    return std::make_unique<
                                        baselines::Hobbes3Like>(
-                                       workload.reference, cpu, 1000,
-                                       scaled_q(workload.reference.size(),
+                                       workload.reference(), cpu, 1000,
+                                       scaled_q(workload.reference().size(),
                                                 11.0));
                                }});
             auto cpu_only = [&](bool dp) {
@@ -79,12 +79,12 @@ int main(int argc, char** argv) {
                     config.kernel.s_min = best_s_min(n, delta);
                     config.kernel.max_locations_per_read = 1000;
                     if (dp) {
-                        return core::make_repute(workload.reference,
-                                                 *workload.fm,
+                        return core::make_repute(workload.reference(),
+                                                 workload.fm(),
                                                  {{&cpu, 1.0}}, config);
                     }
-                    return core::make_coral(workload.reference,
-                                            *workload.fm, {{&cpu, 1.0}},
+                    return core::make_coral(workload.reference(),
+                                            workload.fm(), {{&cpu, 1.0}},
                                             config);
                 };
             };
@@ -102,11 +102,11 @@ int main(int argc, char** argv) {
                         {&cpu, &gpu0, &gpu1}, scratch);
                     if (dp) {
                         return core::make_repute(
-                            workload.reference, *workload.fm,
+                            workload.reference(), workload.fm(),
                             std::move(shares), config);
                     }
-                    return core::make_coral(workload.reference,
-                                            *workload.fm,
+                    return core::make_coral(workload.reference(),
+                                            workload.fm(),
                                             std::move(shares), config);
                 };
             };
@@ -126,8 +126,8 @@ int main(int argc, char** argv) {
                                [&](std::size_t, std::uint32_t) {
                                    return std::make_unique<
                                        baselines::Hobbes3Like>(
-                                       workload.reference, a73, 1000,
-                                       scaled_q(workload.reference.size(),
+                                       workload.reference(), a73, 1000,
+                                       scaled_q(workload.reference().size(),
                                                 11.0));
                                }});
             auto hetero = [&](bool dp) {
@@ -144,11 +144,11 @@ int main(int argc, char** argv) {
                         core::balanced_shares({&a73, &a53}, scratch);
                     if (dp) {
                         return core::make_repute(
-                            workload.reference, *workload.fm,
+                            workload.reference(), workload.fm(),
                             std::move(shares), config);
                     }
-                    return core::make_coral(workload.reference,
-                                            *workload.fm,
+                    return core::make_coral(workload.reference(),
+                                            workload.fm(),
                                             std::move(shares), config);
                 };
             };

@@ -15,6 +15,11 @@
 #   simdoff       -DREPUTE_SIMD=OFF build: the portable scalar-fallback
 #                 lane engine must pass the same differential harness
 #                 and funnel equivalence as the vectorized build
+#   serve         persistent-service smoke: `repute index build` ->
+#                 `repute map --index` byte-compare, daemon round trip
+#                 over the Unix socket + SIGTERM drain, and the .rix
+#                 load-speedup gate (serve_bench --min-speedup 10,
+#                 recorded in BENCH_serve.json)
 #   format        clang-format --dry-run --Werror over the tree
 #
 # Usage: ./ci.sh [--quick] [tier...] [jobs]
@@ -36,12 +41,12 @@ for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --format-check) TIERS+=(format) ;;
-        tier1|bench|tsan|asan|ubsan|simdoff|format) TIERS+=("$arg") ;;
+        tier1|bench|tsan|asan|ubsan|simdoff|serve|format) TIERS+=("$arg") ;;
         ''|*[!0-9]*) echo "unknown argument: $arg" >&2; exit 2 ;;
         *) JOBS="$arg" ;;
     esac
 done
-[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan simdoff format)
+[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan simdoff serve format)
 JOBS="${JOBS:-$(nproc)}"
 
 # ccache transparently accelerates the CI matrix (each job re-runs the
@@ -119,9 +124,14 @@ if has_tier asan; then
     cmake -B build-asan -S . -DREPUTE_SANITIZE=address \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
     cmake --build build-asan -j "$JOBS" \
-          --target test_index test_filter test_funnel test_myers_simd
+          --target test_index test_filter test_funnel test_myers_simd \
+          test_rix
     ./build-asan/tests/test_index
     ./build-asan/tests/test_filter
+    # .rix round trip + corrupt-container rejection under ASan: the
+    # mmap'd spans and the bounds-checked name-table cursor are pointer
+    # arithmetic over foreign bytes.
+    ./build-asan/tests/test_rix
     # Funnel equivalence (layer toggles byte-identical) under ASan: the
     # prefilter's packed-word sweep and the banded scan's segment
     # pointers are exactly the code most likely to read out of bounds.
@@ -157,6 +167,74 @@ if has_tier simdoff; then
     # The portable Lane8 engine must be byte-identical to the scalar
     # scan too — same harness, no vector ISA.
     ./build-simdoff/tests/test_myers_simd
+fi
+
+if has_tier serve; then
+    echo "== serve smoke: index build -> map --index -> daemon round trip =="
+    if [[ ! -x build/src/cli/repute || ! -x build/bench/serve_bench ]]; then
+        cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
+        cmake --build build -j "$JOBS" --target repute_cli serve_bench
+    fi
+    SMOKE="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand $SMOKE now, not at exit
+    trap "rm -rf '$SMOKE'" EXIT
+    # Deterministic two-sequence FASTA + reads sampled from it (with a
+    # sprinkle of substitutions so verification has work to do).
+    python3 - "$SMOKE" <<'PY'
+import random, sys
+out = sys.argv[1]
+rng = random.Random(20260808)
+seqs = {"chrA": "".join(rng.choice("ACGT") for _ in range(24000)),
+        "chrB": "".join(rng.choice("ACGT") for _ in range(16000))}
+with open(out + "/ref.fa", "w") as f:
+    for name, seq in seqs.items():
+        f.write(">%s\n" % name)
+        for i in range(0, len(seq), 70):
+            f.write(seq[i:i + 70] + "\n")
+with open(out + "/reads.fq", "w") as f:
+    for i in range(400):
+        name, seq = rng.choice(list(seqs.items()))
+        start = rng.randrange(len(seq) - 100)
+        read = list(seq[start:start + 100])
+        for _ in range(rng.randrange(3)):
+            p = rng.randrange(100)
+            read[p] = rng.choice("ACGT")
+        f.write("@r%d\n%s\n+\n%s\n" % (i, "".join(read), "I" * 100))
+PY
+    R=./build/src/cli/repute
+    "$R" index build --ref "$SMOKE/ref.fa" --out "$SMOKE/ref.rix"
+    "$R" map --ref "$SMOKE/ref.fa" --reads "$SMOKE/reads.fq" \
+         --out "$SMOKE/direct.sam"
+    "$R" map --index "$SMOKE/ref.rix" --reads "$SMOKE/reads.fq" \
+         --out "$SMOKE/mapped.sam"
+    cmp "$SMOKE/direct.sam" "$SMOKE/mapped.sam"
+    echo "map --index output byte-identical to map --ref"
+
+    "$R" serve --index "$SMOKE/ref.rix" --socket "$SMOKE/repute.sock" \
+         >"$SMOKE/serve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -S "$SMOKE/repute.sock" ]] && break
+        sleep 0.1
+    done
+    "$R" client --socket "$SMOKE/repute.sock" --reads "$SMOKE/reads.fq" \
+         --out "$SMOKE/served.sam" --tenant ci
+    cmp "$SMOKE/direct.sam" "$SMOKE/served.sam"
+    echo "daemon round trip byte-identical"
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    grep -q "drained" "$SMOKE/serve.log"
+    echo "SIGTERM drain clean"
+
+    # The acceptance gate: a prebuilt container must mmap-load at least
+    # 10x faster than in-process construction, byte-identically.
+    if [[ "$QUICK" == "1" ]]; then
+        ./build/bench/serve_bench --quick --repeats 3 --min-speedup 10 \
+            --out "$SMOKE/BENCH_serve.json"
+    else
+        ./build/bench/serve_bench --min-speedup 10 \
+            --out "$SMOKE/BENCH_serve.json"
+    fi
 fi
 
 if has_tier format; then

@@ -1,38 +1,37 @@
-// repute — streaming read-mapping CLI over the batch pipeline.
+// repute — read-mapping toolkit CLI.
 //
-//   repute --reference ref.fa --reads reads.fastq [--reads2 mates.fastq]
-//          [--out out.sam] [--delta 5] [--smin 14] [--max-locations 100]
-//          [--cigar true] [--batch-size 4096] [--queue-depth 4]
-//          [--threads 1] [--on-malformed drop|fail] [--read-length 0]
-//          [--devices i7-2600[,gtx590-0,...]] [--platform system1]
-//          [--schedule static|dynamic] [--monolithic] [--trace out.json]
+//   repute index build --ref ref.fa --out ref.rix   build a .rix container
+//   repute map --ref ref.fa | --index ref.rix ...   one-shot mapping
+//   repute serve --index ref.rix --socket PATH      persistent daemon
+//   repute client --socket PATH --reads r.fq ...    submit to a daemon
 //
-// Reads stream through a bounded three-stage pipeline (parse -> map ->
-// SAM write) so peak memory is O(queue-depth x batch-size) regardless
-// of file size and parsing/output overlap the mapping; --monolithic
-// runs the load-everything-then-map reference path instead (same SAM
-// bytes, see tests/test_pipeline.cpp). --reads2 switches to paired-end
-// mapping with mate rescue. --trace writes a Chrome trace plus a
-// per-stage summary including the pipeline queue/stall metrics.
+// Every mapping path (map / serve / client-via-serve) goes through one
+// pipeline::MappingSession, so the SAM bytes are identical whether the
+// index was built in-process, mmap'd from a .rix container, or queried
+// over the daemon socket — the serve CI tier diffs exactly that.
+//
+// The pre-subcommand flat form (`repute --reference ... --reads ...`)
+// still works as a deprecated alias for `repute map`.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/paired.hpp"
-#include "core/repute_mapper.hpp"
 #include "genomics/fastx.hpp"
 #include "genomics/multi_reference.hpp"
 #include "index/fm_index.hpp"
+#include "index/rix.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
-#include "ocl/platform.hpp"
-#include "pipeline/mapping_pipeline.hpp"
-#include "pipeline/sam_emitter.hpp"
-#include "pipeline/streaming_fastx.hpp"
+#include "pipeline/mapping_api.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -40,10 +39,39 @@ using namespace repute;
 
 namespace {
 
-constexpr const char* kUsage = R"(repute — OpenCL-style heterogeneous read mapper (streaming CLI)
+constexpr const char* kUsage = R"(repute — OpenCL-style heterogeneous read mapper
+
+usage: repute <command> [options]
+
+commands:
+  index build   build a mmap-able .rix index container from FASTA
+  map           map reads one-shot (build index in-process or mmap one)
+  serve         run the persistent mapping daemon on a Unix socket
+  client        submit reads to a running daemon
+
+run `repute <command> --help` for the command's options.
+
+deprecated: the flat form `repute --reference ref.fa --reads r.fq ...`
+still runs `repute map` (with --reference meaning --ref).
+)";
+
+constexpr const char* kIndexUsage = R"(repute index build — precompute a mmap-able index container
 
 required:
-  --reference FILE      multi-sequence FASTA reference
+  --ref FILE            multi-sequence FASTA reference
+  --out FILE            output .rix path
+options:
+  --sa-sample N         suffix-array sampling interval (default 4)
+  --checkpoint N        occ checkpoint spacing, pow2 >= 32 (default 128)
+  --qgram N             q-gram jump table depth, 0 = none (default 8)
+)";
+
+constexpr const char* kMapUsage = R"(repute map — one-shot streaming read mapping
+
+index source (exactly one):
+  --ref FILE            FASTA reference: build the index in-process
+  --index FILE          prebuilt .rix container: mmap zero-copy
+required:
   --reads FILE          FASTA/FASTQ reads (format auto-detected)
 options:
   --reads2 FILE         second-mate file: paired-end mapping + rescue
@@ -52,21 +80,59 @@ options:
   --smin N              minimum seed k-mer length (default 14)
   --max-locations N     mappings reported per read (default 100)
   --cigar BOOL          host-side re-alignment + CIGAR (default true)
-  --no-simd             scalar Myers verification (lane-batched SIMD
-                        off; output-identical, debugging/timing only)
+  --no-simd             scalar Myers verification (debugging/timing)
 pipeline:
   --batch-size N        reads per batch (default 4096)
   --queue-depth N       batches buffered between stages (default 4)
   --threads N           concurrent map workers (default 1)
   --on-malformed MODE   drop (count and continue) | fail (default drop)
   --read-length N       fixed read length; 0 = lock to first record
-  --monolithic          load whole file, map once, then write (no overlap)
+  --monolithic          load whole file, map once, then write
 devices:
   --platform NAME       system1 (i7 + 2x GTX590) | system2 (HiKey970)
   --devices LIST        comma-separated device names (default i7-2600)
   --schedule MODE       static | dynamic work-stealing (default static)
 observability:
   --trace FILE          write Chrome trace JSON + per-stage summary
+)";
+
+constexpr const char* kServeUsage = R"(repute serve — persistent mapping daemon (Unix-domain socket)
+
+index source (exactly one):
+  --index FILE          prebuilt .rix container: mmap zero-copy
+  --ref FILE            FASTA reference: build the index in-process
+required:
+  --socket PATH         Unix socket path to listen on
+options:
+  --handlers N          concurrent request handlers (default 2)
+  --pending N           admission queue depth beyond handlers (default 8)
+  --mappers N           mapper pool = max total map workers (default =
+                        handlers)
+  --smin/--max-locations/--no-simd/--platform/--devices/--schedule
+                        session-level mapping knobs, as in `repute map`
+
+SIGTERM/SIGINT drain in-flight requests, print the metrics summary
+(request latency p50/p99 included) to stderr, and exit 0.
+)";
+
+constexpr const char* kClientUsage = R"(repute client — submit reads to a running daemon
+
+required:
+  --socket PATH         daemon socket path
+  --reads FILE          FASTA/FASTQ reads
+options:
+  --reads2 FILE         second-mate file (paired-end)
+  --out FILE            SAM output path, '-' for stdout (default -)
+  --delta N             edit-distance budget (default 5)
+  --cigar BOOL          request CIGAR annotation (default true)
+  --map-workers N       mappers requested (fair-share granted, default 1)
+  --batch-size N        reads per batch (default 4096)
+  --queue-depth N       pipeline queue depth (default 4)
+  --read-length N       fixed read length; 0 = lock to first record
+  --on-malformed MODE   drop | fail (default drop)
+  --insert-min/--insert-max
+                        paired-end insert bounds (default 200/600)
+  --tenant NAME         metrics label for per-tenant accounting
 )";
 
 struct CliError : std::runtime_error {
@@ -93,11 +159,59 @@ pipeline::OnMalformed parse_on_malformed(const std::string& mode) {
                    mode);
 }
 
-ocl::Platform make_platform(const std::string& name) {
-    if (name == "system1") return ocl::Platform::system1();
-    if (name == "system2") return ocl::Platform::system2();
-    throw CliError("--platform must be 'system1' or 'system2', got: " +
-                   name);
+/// Session-level knobs shared by `map` and `serve`.
+pipeline::SessionConfig session_config_from(const util::Args& args) {
+    pipeline::SessionConfig config;
+    config.s_min = static_cast<std::uint32_t>(args.get_int("smin", 14));
+    config.max_locations =
+        static_cast<std::uint32_t>(args.get_int("max-locations", 100));
+    config.simd_verification = !args.get_bool("no-simd", false);
+    config.platform = args.get_string("platform", "system1");
+    config.devices = split_csv(args.get_string("devices", "i7-2600"));
+    const std::string schedule = args.get_string("schedule", "static");
+    if (schedule == "dynamic") {
+        config.schedule = core::ScheduleMode::Dynamic;
+    } else if (schedule != "static") {
+        throw CliError("--schedule must be 'static' or 'dynamic', got: " +
+                       schedule);
+    }
+    return config;
+}
+
+/// Builds the session from --index (mmap) or --ref/--reference
+/// (in-process), reporting source + load time to stderr.
+std::unique_ptr<pipeline::MappingSession> open_session(
+    const util::Args& args, pipeline::SessionConfig config) {
+    const std::string rix = args.get_string("index", "");
+    std::string fasta = args.get_string("ref", "");
+    if (fasta.empty()) fasta = args.get_string("reference", "");
+    if (rix.empty() == fasta.empty()) {
+        throw CliError("exactly one of --ref or --index is required");
+    }
+    std::unique_ptr<pipeline::MappingSession> session;
+    if (!rix.empty()) {
+        session = pipeline::MappingSession::from_rix(rix,
+                                                     std::move(config));
+        std::fprintf(stderr,
+                     "index mapped from %s in %.3f s "
+                     "(%.1f MB mapped, %.1f MB resident)\n",
+                     rix.c_str(), session->index_seconds(),
+                     static_cast<double>(session->mapped_bytes()) / 1e6,
+                     static_cast<double>(session->resident_bytes()) /
+                         1e6);
+    } else {
+        session = pipeline::MappingSession::from_fasta(fasta,
+                                                       std::move(config));
+        std::fprintf(stderr,
+                     "reference: %zu sequence(s), %zu bp; index built "
+                     "in %.1f s (%.1f MB)\n",
+                     session->multi().sequence_count(),
+                     session->multi().concatenated().size(),
+                     session->index_seconds(),
+                     static_cast<double>(session->resident_bytes()) /
+                         1e6);
+    }
+    return session;
 }
 
 /// RAII --trace support (the CLI twin of bench::ScopedTrace).
@@ -134,87 +248,97 @@ private:
     std::unique_ptr<obs::TraceSession> session_;
 };
 
-int run(const util::Args& args) {
-    const std::string fasta = args.get_string("reference", "");
-    const std::string reads_path = args.get_string("reads", "");
-    if (args.has("help") || fasta.empty() || reads_path.empty()) {
-        std::fputs(kUsage, fasta.empty() || reads_path.empty() ? stderr
-                                                               : stdout);
-        return fasta.empty() || reads_path.empty() ? 2 : 0;
+// ------------------------------------------------------- index build
+
+int run_index_build(const util::Args& args) {
+    const std::string fasta = args.get_string("ref", "");
+    const std::string out_path = args.get_string("out", "");
+    if (args.has("help") || fasta.empty() || out_path.empty()) {
+        std::fputs(kIndexUsage, args.has("help") ? stdout : stderr);
+        return args.has("help") ? 0 : 2;
     }
-    const std::string reads2_path = args.get_string("reads2", "");
-    const std::string out_path = args.get_string("out", "out.sam");
-    const auto delta =
-        static_cast<std::uint32_t>(args.get_int("delta", 5));
-    const auto s_min =
-        static_cast<std::uint32_t>(args.get_int("smin", 14));
-    const auto max_locations =
-        static_cast<std::uint32_t>(args.get_int("max-locations", 100));
+    const auto sa_sample =
+        static_cast<std::uint32_t>(args.get_int("sa-sample", 4));
+    const auto checkpoint =
+        static_cast<std::uint32_t>(args.get_int("checkpoint", 128));
+    const auto qgram = static_cast<std::uint32_t>(
+        args.get_int("qgram", index::FmIndex::kDefaultQgramLength));
 
-    pipeline::StreamingReaderConfig reader_config;
-    reader_config.batch_size =
-        static_cast<std::size_t>(args.get_int("batch-size", 4096));
-    reader_config.read_length =
-        static_cast<std::size_t>(args.get_int("read-length", 0));
-    reader_config.on_malformed =
-        parse_on_malformed(args.get_string("on-malformed", "drop"));
+    util::Stopwatch timer;
+    const auto records = genomics::read_fasta_file(fasta);
+    if (records.empty()) throw CliError("no sequences in " + fasta);
+    const genomics::MultiReference multi(records);
+    std::fprintf(stderr, "reference: %zu sequence(s), %zu bp (%.1f s)\n",
+                 multi.sequence_count(), multi.concatenated().size(),
+                 timer.seconds());
 
-    pipeline::PipelineConfig pipe_config;
-    pipe_config.queue_depth =
-        static_cast<std::size_t>(args.get_int("queue-depth", 4));
-    const auto threads =
-        static_cast<std::size_t>(args.get_int("threads", 1));
+    timer.reset();
+    const index::FmIndex fm(multi.concatenated(), sa_sample, checkpoint,
+                            qgram);
+    const double build_seconds = timer.seconds();
+    timer.reset();
+    index::write_rix(out_path, multi, fm);
+    std::fprintf(stderr,
+                 "index built in %.2f s, %s written in %.2f s "
+                 "(%.1f MB in memory)\n",
+                 build_seconds, out_path.c_str(), timer.seconds(),
+                 static_cast<double>(fm.memory_bytes()) / 1e6);
+    return 0;
+}
 
+// ----------------------------------------------------------------- map
+
+int run_map(const util::Args& args, bool deprecated_form) {
+    const bool has_source = args.has("ref") || args.has("reference") ||
+                            args.has("index");
+    const std::string reads_path = args.get_string("reads", "");
+    if (args.has("help") || !has_source || reads_path.empty()) {
+        std::fputs(kMapUsage, args.has("help") ? stdout : stderr);
+        return args.has("help") ? 0 : 2;
+    }
+    if (deprecated_form) {
+        std::fprintf(stderr,
+                     "repute: the flat invocation is deprecated; use "
+                     "`repute map --ref ...` (see `repute --help`)\n");
+    }
     const TraceScope trace(args.get_string("trace", ""));
 
-    // Reference + index.
-    util::Stopwatch timer;
-    const auto fasta_records = genomics::read_fasta_file(fasta);
-    if (fasta_records.empty()) {
-        throw CliError("no sequences in " + fasta);
-    }
-    const genomics::MultiReference multi(fasta_records);
-    const auto& reference = multi.concatenated();
-    std::fprintf(stderr,
-                 "reference: %zu sequence(s), %zu bp (%.1f s)\n",
-                 multi.sequence_count(), reference.size(),
-                 timer.seconds());
-    timer.reset();
-    const index::FmIndex fm(reference, 4);
-    std::fprintf(stderr, "index built in %.1f s (%.1f MB)\n",
-                 timer.seconds(),
-                 static_cast<double>(fm.memory_bytes()) / 1e6);
+    auto config = session_config_from(args);
+    config.mapper_pool = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("threads", 1), 1));
+    const auto session = open_session(args, std::move(config));
 
-    // Device fleet.
-    auto platform = make_platform(args.get_string("platform", "system1"));
-    std::vector<core::DeviceShare> shares;
-    for (const auto& name :
-         split_csv(args.get_string("devices", "i7-2600"))) {
-        shares.push_back({&platform.device(name), 1.0});
-    }
-    core::HeterogeneousMapperConfig config;
-    config.kernel.s_min = s_min;
-    config.kernel.max_locations_per_read = max_locations;
-    config.kernel.simd_verification = !args.get_bool("no-simd", false);
-    const std::string schedule = args.get_string("schedule", "static");
-    if (schedule == "dynamic") {
-        config.schedule = core::ScheduleMode::Dynamic;
-    } else if (schedule != "static") {
-        throw CliError("--schedule must be 'static' or 'dynamic', got: " +
-                       schedule);
+    pipeline::MapRequest request;
+    request.delta =
+        static_cast<std::uint32_t>(args.get_int("delta", 5));
+    request.cigar = args.get_bool("cigar", true);
+    request.monolithic = args.has("monolithic");
+    request.map_workers = session->config().mapper_pool;
+    request.queue_depth =
+        static_cast<std::size_t>(args.get_int("queue-depth", 4));
+    request.reader.batch_size =
+        static_cast<std::size_t>(args.get_int("batch-size", 4096));
+    request.reader.read_length =
+        static_cast<std::size_t>(args.get_int("read-length", 0));
+    request.reader.on_malformed =
+        parse_on_malformed(args.get_string("on-malformed", "drop"));
+    request.pair.min_insert = static_cast<std::uint32_t>(
+        args.get_int("insert-min", request.pair.min_insert));
+    request.pair.max_insert = static_cast<std::uint32_t>(
+        args.get_int("insert-max", request.pair.max_insert));
+
+    std::ifstream reads_file(reads_path, std::ios::binary);
+    if (!reads_file) throw CliError("cannot read " + reads_path);
+    request.reads = &reads_file;
+    std::ifstream reads2_file;
+    const std::string reads2_path = args.get_string("reads2", "");
+    if (!reads2_path.empty()) {
+        reads2_file.open(reads2_path, std::ios::binary);
+        if (!reads2_file) throw CliError("cannot read " + reads2_path);
+        request.reads2 = &reads2_file;
     }
 
-    // One mapper per map worker: Mapper::map is stateful per instance,
-    // and the simulated devices already serialize concurrent launches
-    // like shared hardware queues.
-    std::vector<std::unique_ptr<core::HeterogeneousMapper>> owned;
-    std::vector<core::Mapper*> mappers;
-    for (std::size_t w = 0; w < std::max<std::size_t>(threads, 1); ++w) {
-        owned.push_back(core::make_repute(reference, fm, shares, config));
-        mappers.push_back(owned.back().get());
-    }
-
-    // Output.
+    const std::string out_path = args.get_string("out", "out.sam");
     std::ofstream out_file;
     const bool to_stdout = out_path == "-";
     if (!to_stdout) {
@@ -222,86 +346,138 @@ int run(const util::Args& args) {
         if (!out_file) throw CliError("cannot write " + out_path);
     }
     std::ostream& out = to_stdout ? std::cout : out_file;
-    pipeline::SamEmitterConfig emit_config;
-    emit_config.cigar = args.get_bool("cigar", true);
-    emit_config.delta = delta;
-    pipeline::SamEmitter emitter(out, multi, emit_config);
-    emitter.write_header();
 
-    timer.reset();
-    pipeline::PipelineStats stats;
-    std::size_t reads_in = 0, dropped = 0;
+    const auto response = session->map(request, out);
 
-    if (!reads2_path.empty()) { // paired-end
-        std::vector<std::unique_ptr<core::PairedMapper>> paired_owned;
-        std::vector<core::PairedMapper*> paired;
-        core::PairedConfig pair_config;
-        pair_config.min_insert = static_cast<std::uint32_t>(
-            args.get_int("insert-min", pair_config.min_insert));
-        pair_config.max_insert = static_cast<std::uint32_t>(
-            args.get_int("insert-max", pair_config.max_insert));
-        for (auto& mapper : owned) {
-            paired_owned.push_back(std::make_unique<core::PairedMapper>(
-                *mapper, reference, pair_config));
-            paired.push_back(paired_owned.back().get());
-        }
-        pipeline::StreamingFastxReader r1(reads_path, reader_config);
-        pipeline::StreamingFastxReader r2(reads2_path, reader_config);
-        stats = pipeline::run_paired_pipeline(
-            r1, r2, paired, delta,
-            [&](std::size_t, const pipeline::PairedUnit& unit,
-                const core::PairedResult& result) {
-                emitter.emit_paired(unit.first, unit.second, result);
-            },
-            pipe_config);
-        reads_in = r1.stats().records + r2.stats().records;
-        dropped = r1.stats().dropped() + r2.stats().dropped();
-    } else if (args.has("monolithic")) {
-        // Reference path: parse everything, map once, write everything.
-        std::size_t length_dropped = 0;
-        const auto batch = genomics::to_read_batch(
-            genomics::read_fastq_file(reads_path), &length_dropped);
-        if (batch.empty()) throw CliError("no reads in " + reads_path);
-        const auto result = mappers.front()->map(batch, delta);
-        emitter.emit(batch, result);
-        reads_in = batch.size() + length_dropped;
-        dropped = length_dropped;
-    } else { // single-end streaming
-        pipeline::StreamingFastxReader reader(reads_path, reader_config);
-        stats = pipeline::run_mapping_pipeline(
-            reader, mappers, delta,
-            [&](std::size_t, const genomics::ReadBatch& batch,
-                const core::MapResult& result) {
-                emitter.emit(batch, result);
-            },
-            pipe_config);
-        reads_in = reader.stats().records + reader.stats().dropped();
-        dropped = reader.stats().dropped();
-        if (dropped > 0) {
-            std::fprintf(stderr,
-                         "dropped %zu record(s): %zu malformed, %zu "
-                         "wrong length (last: %s)\n",
-                         dropped, reader.stats().dropped_malformed,
-                         reader.stats().dropped_length,
-                         reader.stats().last_error.empty()
-                             ? "length mismatch"
-                             : reader.stats().last_error.c_str());
-        }
-    }
-
-    const double wall = timer.seconds();
-    const auto& emitted = emitter.stats();
     std::fprintf(stderr,
                  "%zu reads in (%zu dropped) -> %zu SAM records "
                  "(%zu boundary-dropped, %zu cigar-dropped) in %.2f s "
                  "(%.0f reads/s)\n",
-                 reads_in, dropped, emitted.records,
-                 emitted.dropped_boundary, emitted.dropped_cigar, wall,
-                 wall > 0 ? static_cast<double>(emitted.reads) / wall
-                          : 0.0);
-    if (stats.units > 0) {
-        std::fprintf(stderr, "%s", stats.format().c_str());
+                 response.reads_in, response.dropped,
+                 response.emitted.records,
+                 response.emitted.dropped_boundary,
+                 response.emitted.dropped_cigar, response.wall_seconds,
+                 response.wall_seconds > 0
+                     ? static_cast<double>(response.emitted.reads) /
+                           response.wall_seconds
+                     : 0.0);
+    if (response.pipeline.units > 0) {
+        std::fprintf(stderr, "%s", response.pipeline.format().c_str());
     }
+    return 0;
+}
+
+// --------------------------------------------------------------- serve
+
+std::atomic<serve::Server*> g_server{nullptr};
+
+void handle_shutdown_signal(int) {
+    if (auto* server = g_server.load()) server->stop();
+}
+
+int run_serve(const util::Args& args) {
+    const std::string socket_path = args.get_string("socket", "");
+    const bool has_source = args.has("ref") || args.has("index");
+    if (args.has("help") || socket_path.empty() || !has_source) {
+        std::fputs(kServeUsage, args.has("help") ? stdout : stderr);
+        return args.has("help") ? 0 : 2;
+    }
+
+    serve::ServerConfig server_config;
+    server_config.socket_path = socket_path;
+    server_config.handlers =
+        static_cast<std::size_t>(args.get_int("handlers", 2));
+    server_config.pending =
+        static_cast<std::size_t>(args.get_int("pending", 8));
+
+    auto config = session_config_from(args);
+    config.mapper_pool = static_cast<std::size_t>(args.get_int(
+        "mappers",
+        static_cast<std::int64_t>(server_config.handlers)));
+
+    // Metrics live for the daemon's lifetime; the shutdown summary
+    // includes per-request latency quantiles.
+    obs::TraceSession metrics_session;
+    const auto session = open_session(args, std::move(config));
+
+    serve::Server server(*session, server_config);
+    g_server.store(&server);
+    std::signal(SIGTERM, handle_shutdown_signal);
+    std::signal(SIGINT, handle_shutdown_signal);
+    std::fprintf(stderr,
+                 "serving on %s (%zu handlers, %zu pending, %zu "
+                 "mappers)\n",
+                 socket_path.c_str(), server_config.handlers,
+                 server_config.pending, session->config().mapper_pool);
+
+    const std::size_t handled = server.run();
+    g_server.store(nullptr);
+
+    const auto latency = metrics_session.registry()
+                             .histogram("session.request_seconds")
+                             .snapshot();
+    std::fprintf(stderr,
+                 "drained: %zu request(s) served; latency p50=%.3gs "
+                 "p99=%.3gs\n",
+                 handled, latency.quantile(0.5), latency.quantile(0.99));
+    std::fprintf(stderr, "%s",
+                 metrics_session.registry().format().c_str());
+    return 0;
+}
+
+// -------------------------------------------------------------- client
+
+int run_client_cmd(const util::Args& args) {
+    const std::string socket_path = args.get_string("socket", "");
+    const std::string reads_path = args.get_string("reads", "");
+    if (args.has("help") || socket_path.empty() || reads_path.empty()) {
+        std::fputs(kClientUsage, args.has("help") ? stdout : stderr);
+        return args.has("help") ? 0 : 2;
+    }
+
+    const auto slurp = [](const std::string& path) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) throw CliError("cannot read " + path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    };
+
+    serve::WireRequest request;
+    request.delta =
+        static_cast<std::uint32_t>(args.get_int("delta", 5));
+    request.cigar = args.get_bool("cigar", true) ? 1 : 0;
+    request.fail_on_malformed =
+        args.get_string("on-malformed", "drop") == "fail" ? 1 : 0;
+    request.map_workers =
+        static_cast<std::uint32_t>(args.get_int("map-workers", 1));
+    request.batch_size =
+        static_cast<std::uint32_t>(args.get_int("batch-size", 4096));
+    request.queue_depth =
+        static_cast<std::uint32_t>(args.get_int("queue-depth", 4));
+    request.read_length =
+        static_cast<std::uint32_t>(args.get_int("read-length", 0));
+    request.min_insert =
+        static_cast<std::uint32_t>(args.get_int("insert-min", 200));
+    request.max_insert =
+        static_cast<std::uint32_t>(args.get_int("insert-max", 600));
+    request.tenant = args.get_string("tenant", "");
+    request.reads = slurp(reads_path);
+    const std::string reads2_path = args.get_string("reads2", "");
+    if (!reads2_path.empty()) request.reads2 = slurp(reads2_path);
+
+    const std::string out_path = args.get_string("out", "-");
+    std::ofstream out_file;
+    const bool to_stdout = out_path == "-";
+    if (!to_stdout) {
+        out_file.open(out_path, std::ios::binary);
+        if (!out_file) throw CliError("cannot write " + out_path);
+    }
+    std::ostream& out = to_stdout ? std::cout : out_file;
+
+    const auto result =
+        serve::run_client(socket_path, request, out);
+    std::fprintf(stderr, "%s\n", result.summary.c_str());
     return 0;
 }
 
@@ -309,7 +485,30 @@ int run(const util::Args& args) {
 
 int main(int argc, char** argv) {
     try {
-        return run(util::Args(argc, argv));
+        if (argc >= 2 && argv[1][0] != '-') {
+            const std::string command = argv[1];
+            const util::Args args(argc - 1, argv + 1);
+            if (command == "index") {
+                if (args.positional().empty() ||
+                    args.positional().front() != "build") {
+                    std::fputs(kIndexUsage, stderr);
+                    return 2;
+                }
+                return run_index_build(args);
+            }
+            if (command == "map") return run_map(args, false);
+            if (command == "serve") return run_serve(args);
+            if (command == "client") return run_client_cmd(args);
+            std::fprintf(stderr, "repute: unknown command '%s'\n\n%s",
+                         command.c_str(), kUsage);
+            return 2;
+        }
+        const util::Args args(argc, argv);
+        if (args.has("help") || argc < 2) {
+            std::fputs(kUsage, argc < 2 ? stderr : stdout);
+            return argc < 2 ? 2 : 0;
+        }
+        return run_map(args, true); // deprecated flat form
     } catch (const std::exception& e) {
         std::fprintf(stderr, "repute: %s\n", e.what());
         return 1;

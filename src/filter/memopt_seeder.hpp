@@ -53,7 +53,12 @@ public:
                                            std::uint32_t s_min) noexcept {
         const auto needed =
             static_cast<std::uint32_t>((delta + 1) * s_min);
-        return static_cast<std::uint32_t>(read_length) - needed;
+        const auto n = static_cast<std::uint32_t>(read_length);
+        // Saturate: a read shorter than its seed budget is rejected by
+        // validate_read_parameters at select() time; the scratch bound
+        // must not underflow into a bogus huge allocation before that
+        // clear error can surface.
+        return n > needed ? n - needed : 0;
     }
 
 private:

@@ -34,7 +34,11 @@ public:
     std::uint64_t scratch_bound(std::size_t read_length,
                                 std::uint32_t delta) const override {
         const auto n = static_cast<std::uint64_t>(read_length);
-        const std::uint64_t l_max = n - delta * s_min_;
+        const std::uint64_t minimal = std::uint64_t{delta} * s_min_;
+        // Saturated like MemoryOptimizedSeeder::exploration_space: a
+        // too-short read fails validate_read_parameters at select()
+        // time, and the bound must not underflow before then.
+        const std::uint64_t l_max = n > minimal ? n - minimal : 0;
         return n * l_max * 4 + 2 * (n + 1) * 4 + (delta + 2) * (n + 1) * 2;
     }
 

@@ -29,6 +29,29 @@ MultiReference::MultiReference(const std::vector<FastaRecord>& records,
     reference_ = Reference::from_ascii(std::move(name), concatenated);
 }
 
+MultiReference::MultiReference(Reference reference) {
+    if (reference.size() == 0) {
+        throw std::invalid_argument("MultiReference: empty reference");
+    }
+    names_.push_back(reference.name());
+    starts_ = {0, static_cast<std::uint32_t>(reference.size())};
+    reference_ = std::move(reference);
+}
+
+MultiReference::MultiReference(Reference reference,
+                               std::vector<std::string> names,
+                               std::vector<std::uint32_t> starts)
+    : reference_(std::move(reference)), names_(std::move(names)),
+      starts_(std::move(starts)) {
+    if (names_.empty() || starts_.size() != names_.size() + 1 ||
+        starts_.front() != 0 ||
+        starts_.back() != reference_.size() ||
+        !std::is_sorted(starts_.begin(), starts_.end())) {
+        throw std::invalid_argument(
+            "MultiReference: inconsistent sequence table");
+    }
+}
+
 MultiReference::Location MultiReference::resolve(
     std::uint32_t global_position) const {
     if (global_position >= starts_.back()) {

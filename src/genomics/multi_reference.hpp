@@ -25,6 +25,18 @@ public:
     explicit MultiReference(const std::vector<FastaRecord>& records,
                             std::string name = "multi");
 
+    /// Wraps an already-built single-sequence reference (no re-packing,
+    /// no N re-randomization) — the in-process MappingSession path.
+    explicit MultiReference(Reference reference);
+
+    /// Reassembles from pre-resolved parts — the .rix load path, where
+    /// the packed text comes straight from the mapping and the name /
+    /// start tables from their sections. `starts` must have
+    /// `names.size() + 1` entries, start at 0, be non-decreasing and end
+    /// at `reference.size()`. Throws std::invalid_argument otherwise.
+    MultiReference(Reference reference, std::vector<std::string> names,
+                   std::vector<std::uint32_t> starts);
+
     /// The concatenated reference (index this).
     const Reference& concatenated() const noexcept { return reference_; }
 
@@ -50,6 +62,14 @@ public:
     /// within one sequence — i.e. the mapping is reportable.
     bool within_one_sequence(std::uint32_t global_position,
                              std::uint32_t length) const;
+
+    /// Name / boundary tables — what the .rix writer serializes.
+    const std::vector<std::string>& names() const noexcept {
+        return names_;
+    }
+    const std::vector<std::uint32_t>& starts() const noexcept {
+        return starts_;
+    }
 
 private:
     Reference reference_;

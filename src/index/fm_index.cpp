@@ -97,17 +97,18 @@ FmIndex::FmIndex(const genomics::Reference& reference,
         }
     }
     sampled_rows_.build_rank();
-    samples_.reserve(sampled_rows_.count_ones());
+    owned_samples_.reserve(sampled_rows_.count_ones());
     for (std::uint32_t i = 0; i < n_rows; ++i) {
         if (sampled_rows_.get(i)) {
-            samples_.push_back(static_cast<std::uint32_t>(sa[i]));
+            owned_samples_.push_back(static_cast<std::uint32_t>(sa[i]));
         }
     }
+    samples_ = owned_samples_;
 
     build_qgrams();
 }
 
-void FmIndex::build_blocks(std::span<const std::uint64_t> flat_bwt) {
+void FmIndex::derive_geometry() {
     words_per_block_ = checkpoint_every_ / 32;
     log2_cpe_ = static_cast<std::uint32_t>(
         std::countr_zero(checkpoint_every_));
@@ -118,11 +119,77 @@ void FmIndex::build_blocks(std::span<const std::uint64_t> flat_bwt) {
     const std::uint32_t sub_words =
         has_sub_counts_ ? (words_per_block_ * 4 + 7) / 8 : 0;
     stride_words_ = (sub_base_ + sub_words + 7u) & ~7u;
+}
+
+std::size_t FmIndex::rank_words_for(std::uint64_t n,
+                                    std::uint32_t checkpoint_every) {
+    FmIndex probe;
+    probe.n_ = n;
+    probe.checkpoint_every_ = checkpoint_every;
+    probe.validate_geometry();
+    probe.derive_geometry();
+    const std::uint32_t n_blocks =
+        probe.rows() / checkpoint_every + 1;
+    return static_cast<std::size_t>(n_blocks) * probe.stride_words_;
+}
+
+FmIndex FmIndex::from_view(const ViewGeometry& geometry,
+                           std::span<const std::uint64_t> rank_words,
+                           std::span<const std::uint64_t> sa_mark_words,
+                           std::span<const std::uint32_t> sa_samples,
+                           std::span<const Range> qgram_ranges) {
+    FmIndex fm;
+    fm.n_ = geometry.n;
+    fm.c_ = geometry.c;
+    fm.sentinel_row_ = geometry.sentinel_row;
+    fm.sa_sample_ = geometry.sa_sample == 0 ? 1 : geometry.sa_sample;
+    fm.checkpoint_every_ = geometry.checkpoint_every;
+    fm.qgram_length_ = geometry.qgram_length;
+    fm.validate_geometry();
+    fm.derive_geometry();
+
+    if (rank_words.size() !=
+        rank_words_for(fm.n_, fm.checkpoint_every_)) {
+        throw std::runtime_error(
+            "FmIndex: view rank-block word count mismatch");
+    }
+    if (reinterpret_cast<std::uintptr_t>(rank_words.data()) %
+            alignof(Line) !=
+        0) {
+        throw std::runtime_error(
+            "FmIndex: view rank blocks not 64-byte aligned");
+    }
+    fm.lines_ = reinterpret_cast<const Line*>(rank_words.data());
+    fm.line_count_ = rank_words.size() / (sizeof(Line) / sizeof(std::uint64_t));
+
+    fm.sampled_rows_ =
+        util::BitVector::view_of(sa_mark_words, fm.rows());
+    if (sa_samples.size() != fm.sampled_rows_.count_ones()) {
+        throw std::runtime_error(
+            "FmIndex: view SA sample count mismatch");
+    }
+    fm.samples_ = sa_samples;
+
+    if (fm.qgram_length_ > 0) {
+        fm.qgrams_ = std::make_unique<QGramTable>(
+            QGramTable::view_of(fm.qgram_length_, qgram_ranges));
+    } else if (!qgram_ranges.empty()) {
+        throw std::runtime_error(
+            "FmIndex: view has q-gram ranges but qgram_length is 0");
+    }
+    fm.view_ = true;
+    return fm;
+}
+
+void FmIndex::build_blocks(std::span<const std::uint64_t> flat_bwt) {
+    derive_geometry();
 
     // One trailing block so occ(rows()) lands on a stored checkpoint.
     const std::uint32_t n_blocks = rows() / checkpoint_every_ + 1;
-    lines_.assign(
+    owned_lines_.assign(
         static_cast<std::size_t>(n_blocks) * (stride_words_ / 8), Line{});
+    lines_ = owned_lines_.data();
+    line_count_ = owned_lines_.size();
 
     // Counts are over the *raw* packed BWT — the sentinel slot counts as
     // its stored code 0 here and is compensated once in occ().
@@ -255,7 +322,7 @@ void FmIndex::save(std::ostream& out) const {
     util::write_pod<std::uint32_t>(out, checkpoint_every_);
     util::write_pod<std::uint32_t>(out, qgram_length_);
     sampled_rows_.save(out);
-    util::write_vector(out, samples_);
+    util::write_span(out, samples_);
 }
 
 FmIndex FmIndex::load(std::istream& in) {
@@ -282,7 +349,8 @@ FmIndex FmIndex::load(std::istream& in) {
     }
     fm.build_blocks(flat);
     fm.sampled_rows_ = util::BitVector::load(in);
-    fm.samples_ = util::read_vector<std::uint32_t>(in);
+    fm.owned_samples_ = util::read_vector<std::uint32_t>(in);
+    fm.samples_ = fm.owned_samples_;
     if (fm.samples_.size() != fm.sampled_rows_.count_ones()) {
         throw std::runtime_error("FmIndex: corrupt SA samples");
     }
@@ -291,10 +359,22 @@ FmIndex FmIndex::load(std::istream& in) {
 }
 
 std::size_t FmIndex::memory_bytes() const noexcept {
-    return lines_.size() * sizeof(Line) + sizeof(c_) +
+    return line_count_ * sizeof(Line) + sizeof(c_) +
            samples_.size() * sizeof(std::uint32_t) +
            sampled_rows_.memory_bytes() +
            (qgrams_ ? qgrams_->memory_bytes() : 0);
+}
+
+std::size_t FmIndex::mapped_bytes() const noexcept {
+    if (!view_) return 0;
+    // Everything borrowed from the .rix mapping: the rank-block image,
+    // the sampled-row bit words, the SA samples, and the q-gram range
+    // array. The rebuilt rank directories and level offsets stay heap.
+    return line_count_ * sizeof(Line) +
+           samples_.size() * sizeof(std::uint32_t) +
+           (sampled_rows_.memory_bytes() - sampled_rows_.heap_bytes()) +
+           (qgrams_ ? qgrams_->memory_bytes() - qgrams_->heap_bytes()
+                    : 0);
 }
 
 } // namespace repute::index

@@ -63,6 +63,43 @@ public:
                      std::uint32_t checkpoint_every = 128,
                      std::uint32_t qgram_length = kDefaultQgramLength);
 
+    /// Everything from_view() needs besides the four arrays — the
+    /// header fields of the .rix container.
+    struct ViewGeometry {
+        std::uint64_t n = 0;               ///< text length (no sentinel)
+        std::array<std::uint32_t, 5> c{};  ///< C array, c[4] = n + 1
+        std::uint32_t sentinel_row = 0;
+        std::uint32_t sa_sample = 1;
+        std::uint32_t checkpoint_every = 128;
+        /// Effective q of `qgram_ranges` (0 = no jump table).
+        std::uint32_t qgram_length = 0;
+    };
+
+    /// Zero-copy construction over externally owned arrays — the mmap
+    /// load path of the .rix container (index/rix.hpp). The spans must
+    /// outlive the index:
+    ///   * `rank_words`  — the interleaved rank-block image, exactly
+    ///     rank_words_for(n, checkpoint_every) u64 words, 64-byte
+    ///     aligned (page alignment in the container guarantees this),
+    ///   * `sa_mark_words` — the sampled-row bit words (rank
+    ///     directories are rebuilt, they are ~3% of the bits),
+    ///   * `sa_samples` — SA values at marked rows, in row order,
+    ///   * `qgram_ranges` — the jump-table range array (empty when
+    ///     geometry.qgram_length is 0).
+    /// Throws std::runtime_error on any size/alignment mismatch; the
+    /// caller (the .rix loader) has already checksummed the bytes.
+    static FmIndex from_view(const ViewGeometry& geometry,
+                             std::span<const std::uint64_t> rank_words,
+                             std::span<const std::uint64_t> sa_mark_words,
+                             std::span<const std::uint32_t> sa_samples,
+                             std::span<const Range> qgram_ranges);
+
+    /// u64 words the interleaved rank-block image occupies for a text
+    /// of length `n` at the given checkpoint spacing — the .rix
+    /// writer/loader sizing contract.
+    static std::size_t rank_words_for(std::uint64_t n,
+                                      std::uint32_t checkpoint_every);
+
     FmIndex(FmIndex&&) noexcept;
     FmIndex& operator=(FmIndex&&) noexcept;
     ~FmIndex();
@@ -112,10 +149,42 @@ public:
     const QGramTable* qgrams() const noexcept { return qgrams_.get(); }
     std::uint32_t qgram_length() const noexcept { return qgram_length_; }
 
-    /// Heap bytes used by the index (footprint accounting for the device
-    /// memory ceilings): rank blocks incl. alignment padding, C array,
-    /// SA samples with their rank directories, and the q-gram table.
+    /// Total bytes reachable through the index (footprint accounting
+    /// for the device memory ceilings): rank blocks incl. alignment
+    /// padding, C array, SA samples with their rank directories, and
+    /// the q-gram table — mapped or not. Always equals
+    /// mapped_bytes() + resident_bytes().
     std::size_t memory_bytes() const noexcept;
+
+    /// Bytes borrowed from an external mapping (the .rix file) — zero
+    /// for a built or stream-loaded index. These pages are shared,
+    /// demand-paged and evictable; they are NOT resident heap.
+    std::size_t mapped_bytes() const noexcept;
+
+    /// Bytes of process-private heap actually owned: everything for a
+    /// built index; just the rebuilt rank directories and offsets for a
+    /// mapped view.
+    std::size_t resident_bytes() const noexcept {
+        return memory_bytes() - mapped_bytes();
+    }
+
+    /// True when the big arrays are views over an external mapping.
+    bool is_view() const noexcept { return view_; }
+
+    /// The serialized-array accessors the .rix writer uses.
+    std::span<const std::uint64_t> rank_words() const noexcept {
+        return {reinterpret_cast<const std::uint64_t*>(lines_),
+                line_count_ * (sizeof(Line) / sizeof(std::uint64_t))};
+    }
+    const util::BitVector& sampled_rows() const noexcept {
+        return sampled_rows_;
+    }
+    std::span<const std::uint32_t> sa_samples() const noexcept {
+        return samples_;
+    }
+    const std::array<std::uint32_t, 5>& c_array() const noexcept {
+        return c_;
+    }
 
     /// BWT words examined by occ() on the calling thread since thread
     /// start — sampled around kernel executions to feed the
@@ -153,7 +222,12 @@ private:
     //                                     in words [0, w) of the block.
     // The stride is padded to a multiple of 8 words so blocks start on
     // cache-line boundaries (exactly one line at the default cpe = 128).
-    std::vector<Line> lines_;
+    // `lines_`/`line_count_` describe the active image: the owned
+    // vector for a built index, the mmap'd section for a .rix view.
+    std::vector<Line> owned_lines_;
+    const Line* lines_ = nullptr;
+    std::size_t line_count_ = 0;
+    bool view_ = false;
     std::uint32_t words_per_block_ = 0;
     std::uint32_t stride_words_ = 0;
     std::uint32_t sub_base_ = 0; ///< word offset of the u8 prefix counts
@@ -163,19 +237,20 @@ private:
     std::uint32_t sa_sample_ = 4;
     std::uint32_t checkpoint_every_ = 128;
     std::uint32_t qgram_length_ = kDefaultQgramLength;
-    util::BitVector sampled_rows_;       ///< rank-enabled marks
-    std::vector<std::uint32_t> samples_; ///< SA values at marked rows
+    util::BitVector sampled_rows_; ///< rank-enabled marks
+    std::vector<std::uint32_t> owned_samples_;
+    std::span<const std::uint32_t> samples_; ///< SA values at marked rows
     std::unique_ptr<QGramTable> qgrams_;
 
     std::uint32_t rows() const noexcept {
         return static_cast<std::uint32_t>(n_ + 1);
     }
     const std::uint64_t* block_words(std::uint32_t b) const noexcept {
-        return reinterpret_cast<const std::uint64_t*>(lines_.data()) +
+        return reinterpret_cast<const std::uint64_t*>(lines_) +
                static_cast<std::size_t>(b) * stride_words_;
     }
     std::uint64_t* mutable_block_words(std::uint32_t b) noexcept {
-        return reinterpret_cast<std::uint64_t*>(lines_.data()) +
+        return reinterpret_cast<std::uint64_t*>(owned_lines_.data()) +
                static_cast<std::size_t>(b) * stride_words_;
     }
     std::uint8_t bwt_code(std::uint32_t i) const noexcept {
@@ -186,6 +261,9 @@ private:
     }
 
     void validate_geometry() const;
+    /// Computes words_per_block_/stride_words_/sub_base_/... from
+    /// checkpoint_every_ — shared by the build and view paths.
+    void derive_geometry();
     void build_blocks(std::span<const std::uint64_t> flat_bwt);
     std::vector<std::uint64_t> flat_bwt() const;
     void build_qgrams();

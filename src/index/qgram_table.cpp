@@ -29,21 +29,43 @@ void fill_subtree(const FmIndex& fm, std::vector<FmIndex::Range>& ranges,
 
 } // namespace
 
+void QGramTable::build_level_offsets() {
+    level_offset_.assign(q_ + 1, 0);
+    std::size_t offset = 0;
+    std::size_t level_size = 4;
+    for (std::uint32_t level = 1; level <= q_; ++level) {
+        level_offset_[level] = offset;
+        offset += level_size;
+        level_size *= 4;
+    }
+}
+
 QGramTable::QGramTable(const FmIndex& fm, std::uint32_t q) : q_(q) {
     if (q == 0 || q > kMaxQ) {
         throw std::invalid_argument(
             "QGramTable: q must be in [1, " + std::to_string(kMaxQ) + "]");
     }
-    level_offset_.assign(q + 1, 0);
-    std::size_t offset = 0;
-    std::size_t level_size = 4;
-    for (std::uint32_t level = 1; level <= q; ++level) {
-        level_offset_[level] = offset;
-        offset += level_size;
-        level_size *= 4;
+    build_level_offsets();
+    owned_ranges_.assign(table_bytes(q) / sizeof(FmIndex::Range),
+                         FmIndex::Range{0, 0});
+    fill_subtree(fm, owned_ranges_, level_offset_, fm.whole_range(), 0, 0,
+                 q);
+    ranges_ = owned_ranges_;
+}
+
+QGramTable QGramTable::view_of(std::uint32_t q,
+                               std::span<const FmIndex::Range> ranges) {
+    if (q == 0 || q > kMaxQ) {
+        throw std::runtime_error("QGramTable: view q out of range");
     }
-    ranges_.assign(offset, FmIndex::Range{0, 0});
-    fill_subtree(fm, ranges_, level_offset_, fm.whole_range(), 0, 0, q);
+    if (ranges.size() != table_bytes(q) / sizeof(FmIndex::Range)) {
+        throw std::runtime_error("QGramTable: view range-count mismatch");
+    }
+    QGramTable table;
+    table.q_ = q;
+    table.build_level_offsets();
+    table.ranges_ = ranges;
+    return table;
 }
 
 FmIndex::Range QGramTable::lookup(
@@ -58,6 +80,11 @@ FmIndex::Range QGramTable::lookup(
 
 std::size_t QGramTable::memory_bytes() const noexcept {
     return ranges_.size() * sizeof(FmIndex::Range) +
+           level_offset_.size() * sizeof(std::size_t);
+}
+
+std::size_t QGramTable::heap_bytes() const noexcept {
+    return owned_ranges_.size() * sizeof(FmIndex::Range) +
            level_offset_.size() * sizeof(std::size_t);
 }
 

@@ -33,7 +33,20 @@ public:
     /// length <= q, far below 4^q on small references).
     QGramTable(const FmIndex& fm, std::uint32_t q);
 
+    /// Read-only view over an externally owned (mmap'd) range array —
+    /// the zero-copy load path of the .rix container. `ranges` must
+    /// hold exactly table_bytes(q) / sizeof(Range) entries and outlive
+    /// the view; the level offsets (a pure function of q) are
+    /// recomputed. Throws std::runtime_error on a size mismatch.
+    static QGramTable view_of(std::uint32_t q,
+                              std::span<const FmIndex::Range> ranges);
+
     std::uint32_t q() const noexcept { return q_; }
+
+    /// The backing range array — what the .rix writer serializes.
+    std::span<const FmIndex::Range> ranges() const noexcept {
+        return ranges_;
+    }
 
     /// Bytes of the range array a depth-`q` table occupies — used by
     /// FmIndex to cap q so the table never outweighs the text itself.
@@ -61,14 +74,23 @@ public:
     /// Range for an explicit pattern (codes 0..3, 1 <= size() <= q).
     FmIndex::Range lookup(std::span<const std::uint8_t> codes) const noexcept;
 
-    /// Heap footprint (range array + offsets) — part of the index image
-    /// uploaded to every device.
+    /// Total footprint (range array + offsets) — part of the index
+    /// image uploaded to every device, mapped or not.
     std::size_t memory_bytes() const noexcept;
 
+    /// Heap bytes actually owned — a view over a mapped range array
+    /// reports only its (tiny) level-offset table.
+    std::size_t heap_bytes() const noexcept;
+
 private:
+    QGramTable() = default; // for view_of()
+
+    void build_level_offsets();
+
     std::uint32_t q_ = 0;
     std::vector<std::size_t> level_offset_; ///< [L] = base of level L
-    std::vector<FmIndex::Range> ranges_;
+    std::vector<FmIndex::Range> owned_ranges_;
+    std::span<const FmIndex::Range> ranges_; ///< owned_ranges_ or borrowed
 };
 
 } // namespace repute::index

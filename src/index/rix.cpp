@@ -1,0 +1,290 @@
+#include "index/rix.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "index/qgram_table.hpp"
+#include "util/serialize.hpp"
+
+namespace repute::index {
+
+namespace {
+
+using rix::Header;
+using rix::Section;
+
+std::uint64_t header_checksum(Header h) {
+    h.header_checksum = 0;
+    return util::fnv1a64(&h, sizeof(h));
+}
+
+std::size_t page_round(std::size_t bytes) {
+    return (bytes + rix::kPageBytes - 1) & ~std::size_t{rix::kPageBytes - 1};
+}
+
+/// Serialized name blob: reference name first, then each sequence name
+/// (u64 count, then u64 length + raw bytes per string).
+std::vector<char> encode_names(const genomics::MultiReference& multi) {
+    std::vector<char> blob;
+    const auto put_u64 = [&blob](std::uint64_t v) {
+        const auto* p = reinterpret_cast<const char*>(&v);
+        blob.insert(blob.end(), p, p + sizeof(v));
+    };
+    const auto put_str = [&](const std::string& s) {
+        put_u64(s.size());
+        blob.insert(blob.end(), s.begin(), s.end());
+    };
+    put_u64(multi.sequence_count() + 1);
+    put_str(multi.concatenated().name());
+    for (std::size_t i = 0; i < multi.sequence_count(); ++i) {
+        put_str(multi.sequence_name(i));
+    }
+    return blob;
+}
+
+/// Cursor over the mapped SeqNames blob; every read is bounds-checked
+/// (the checksum has passed, but a hostile length field must still not
+/// walk off the mapping).
+struct BlobReader {
+    const char* p;
+    std::size_t left;
+
+    std::uint64_t u64() {
+        if (left < sizeof(std::uint64_t)) {
+            throw std::runtime_error("rix: truncated name table");
+        }
+        std::uint64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        p += sizeof(v);
+        left -= sizeof(v);
+        return v;
+    }
+    std::string str() {
+        const std::uint64_t len = u64();
+        if (left < len) {
+            throw std::runtime_error("rix: truncated name table");
+        }
+        std::string s(p, len);
+        p += len;
+        left -= len;
+        return s;
+    }
+};
+
+} // namespace
+
+void write_rix(const std::string& path,
+               const genomics::MultiReference& multi, const FmIndex& fm) {
+    if (fm.size() != multi.concatenated().size()) {
+        throw std::runtime_error(
+            "rix: index and reference lengths disagree");
+    }
+
+    Header h;
+    h.text_length = fm.size();
+    h.c = fm.c_array();
+    h.sentinel_row = fm.sentinel_row();
+    h.sa_sample = fm.sa_sample();
+    h.checkpoint_every = fm.checkpoint_every();
+    h.qgram_length = fm.qgrams() ? fm.qgrams()->q() : 0;
+    h.sequence_count = multi.sequence_count();
+
+    const auto names = encode_names(multi);
+    const auto qgram_ranges =
+        fm.qgrams() ? fm.qgrams()->ranges()
+                    : std::span<const FmIndex::Range>{};
+
+    struct Payload {
+        const void* data;
+        std::size_t bytes;
+    };
+    const Payload payloads[rix::kSectionCount] = {
+        {fm.rank_words().data(),
+         fm.rank_words().size() * sizeof(std::uint64_t)},
+        {fm.sampled_rows().words().data(),
+         fm.sampled_rows().words().size() * sizeof(std::uint64_t)},
+        {fm.sa_samples().data(),
+         fm.sa_samples().size() * sizeof(std::uint32_t)},
+        {qgram_ranges.data(),
+         qgram_ranges.size() * sizeof(FmIndex::Range)},
+        {multi.concatenated().sequence().words().data(),
+         multi.concatenated().sequence().words().size() *
+             sizeof(std::uint64_t)},
+        {names.data(), names.size()},
+        {multi.starts().data(),
+         multi.starts().size() * sizeof(std::uint32_t)},
+    };
+
+    std::uint64_t offset = rix::kPageBytes; // header owns page 0
+    for (std::uint32_t s = 0; s < rix::kSectionCount; ++s) {
+        h.sections[s] = {offset, payloads[s].bytes,
+                         util::fnv1a64(payloads[s].data,
+                                       payloads[s].bytes)};
+        offset += page_round(payloads[s].bytes);
+    }
+    h.file_bytes = offset;
+    h.header_checksum = header_checksum(h);
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("rix: cannot open " + tmp +
+                                     " for writing");
+        }
+        const std::vector<char> pad(rix::kPageBytes, 0);
+        out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+        out.write(pad.data(),
+                  static_cast<std::streamsize>(rix::kPageBytes - sizeof(h)));
+        for (const auto& p : payloads) {
+            if (p.bytes > 0) {
+                out.write(static_cast<const char*>(p.data),
+                          static_cast<std::streamsize>(p.bytes));
+            }
+            out.write(pad.data(), static_cast<std::streamsize>(
+                                      page_round(p.bytes) - p.bytes));
+        }
+        if (!out) throw std::runtime_error("rix: short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("rix: cannot rename " + tmp + " to " +
+                                 path);
+    }
+}
+
+MappedIndex MappedIndex::open(const std::string& path) {
+    MappedIndex mi;
+    mi.map_ = util::MmapFile::open_readonly(path);
+    mi.path_ = path;
+
+    if (mi.map_.size() < sizeof(Header)) {
+        throw std::runtime_error("rix: " + path +
+                                 " is too small to be a .rix container");
+    }
+    Header h;
+    std::memcpy(&h, mi.map_.data(), sizeof(h));
+
+    if (h.magic != rix::kMagic) {
+        // The stream images start with their own magics; recognize them
+        // so the error says "convert", not "corrupt".
+        if (h.magic == 0x464D4932u || h.magic == 0x464D4958u) {
+            throw std::runtime_error(
+                "rix: " + path +
+                " is a legacy FMI stream image, not a .rix container — "
+                "regenerate it with `repute index build`");
+        }
+        throw std::runtime_error("rix: " + path +
+                                 " is not a .rix container (bad magic)");
+    }
+    if (h.version != rix::kVersion) {
+        throw std::runtime_error(
+            "rix: " + path + " has unsupported version " +
+            std::to_string(h.version) + " (expected " +
+            std::to_string(rix::kVersion) + ")");
+    }
+    if (h.endian != rix::kEndianTag) {
+        throw std::runtime_error(
+            "rix: " + path +
+            " was written on a foreign-endian machine — rebuild it here");
+    }
+    if (h.page_bytes != rix::kPageBytes) {
+        throw std::runtime_error("rix: " + path +
+                                 " has an unsupported page size");
+    }
+    if (h.header_checksum != header_checksum(h)) {
+        throw std::runtime_error("rix: " + path +
+                                 " header checksum mismatch (corrupt)");
+    }
+    if (h.file_bytes != mi.map_.size()) {
+        throw std::runtime_error("rix: " + path + " is truncated (" +
+                                 std::to_string(mi.map_.size()) + " of " +
+                                 std::to_string(h.file_bytes) + " bytes)");
+    }
+
+    static const char* kSectionNames[rix::kSectionCount] = {
+        "rank blocks", "SA mark bits",   "SA samples", "q-gram ranges",
+        "ref words",   "sequence names", "sequence starts"};
+    for (std::uint32_t s = 0; s < rix::kSectionCount; ++s) {
+        const Section& sec = h.sections[s];
+        if (sec.offset % rix::kPageBytes != 0 ||
+            sec.offset + sec.bytes > mi.map_.size() ||
+            sec.offset + sec.bytes < sec.offset) {
+            throw std::runtime_error(
+                std::string("rix: section out of bounds (") +
+                kSectionNames[s] + ")");
+        }
+        if (util::fnv1a64(mi.map_.data() + sec.offset, sec.bytes) !=
+            sec.checksum) {
+            throw std::runtime_error(
+                std::string("rix: checksum mismatch in section ") +
+                kSectionNames[s] + " — the file is corrupt");
+        }
+    }
+
+    const auto span_u64 = [&](rix::SectionId s) {
+        const Section& sec = h.sections[s];
+        return mi.map_.view<std::uint64_t>(
+            sec.offset, sec.bytes / sizeof(std::uint64_t));
+    };
+    const auto span_u32 = [&](rix::SectionId s) {
+        const Section& sec = h.sections[s];
+        return mi.map_.view<std::uint32_t>(
+            sec.offset, sec.bytes / sizeof(std::uint32_t));
+    };
+
+    FmIndex::ViewGeometry g;
+    g.n = h.text_length;
+    g.c = h.c;
+    g.sentinel_row = h.sentinel_row;
+    g.sa_sample = h.sa_sample;
+    g.checkpoint_every = h.checkpoint_every;
+    g.qgram_length = h.qgram_length;
+    const Section& qsec = h.sections[rix::kQgramRanges];
+    const auto qgram_ranges = mi.map_.view<FmIndex::Range>(
+        qsec.offset, qsec.bytes / sizeof(FmIndex::Range));
+    mi.fm_ = std::make_unique<FmIndex>(FmIndex::from_view(
+        g, span_u64(rix::kRankBlocks), span_u64(rix::kSaMarkBits),
+        span_u32(rix::kSaSamples), qgram_ranges));
+
+    const Section& nsec = h.sections[rix::kSeqNames];
+    BlobReader names_in{
+        reinterpret_cast<const char*>(mi.map_.data() + nsec.offset),
+        static_cast<std::size_t>(nsec.bytes)};
+    const std::uint64_t name_count = names_in.u64();
+    if (name_count != h.sequence_count + 1) {
+        throw std::runtime_error("rix: sequence-name count mismatch");
+    }
+    std::string ref_name = names_in.str();
+    std::vector<std::string> names;
+    names.reserve(h.sequence_count);
+    for (std::uint64_t i = 0; i < h.sequence_count; ++i) {
+        names.push_back(names_in.str());
+    }
+
+    const auto starts_span = span_u32(rix::kSeqStarts);
+    std::vector<std::uint32_t> starts(starts_span.begin(),
+                                      starts_span.end());
+
+    genomics::Reference reference(
+        std::move(ref_name),
+        util::PackedDna::view_of(span_u64(rix::kRefWords),
+                                 h.text_length));
+    mi.multi_ = std::make_unique<genomics::MultiReference>(
+        std::move(reference), std::move(names), std::move(starts));
+    return mi;
+}
+
+std::size_t MappedIndex::resident_bytes() const noexcept {
+    std::size_t names_bytes = 0;
+    for (std::size_t i = 0; i < multi_->sequence_count(); ++i) {
+        names_bytes += multi_->sequence_name(i).size();
+    }
+    return fm_->resident_bytes() + names_bytes +
+           multi_->starts().size() * sizeof(std::uint32_t);
+}
+
+} // namespace repute::index

@@ -42,10 +42,11 @@ std::string MetricsRegistry::format() const {
     for (const auto& [name, histogram] : histograms_) {
         const Histogram::Snapshot s = histogram->snapshot();
         std::snprintf(line, sizeof line,
-                      "%-32s count=%llu mean=%.3f min=%.3f max=%.3f\n",
+                      "%-32s count=%llu mean=%.3f min=%.3f max=%.3f "
+                      "p50=%.3g p99=%.3g\n",
                       name.c_str(),
                       static_cast<unsigned long long>(s.count), s.mean(),
-                      s.min, s.max);
+                      s.min, s.max, s.quantile(0.5), s.quantile(0.99));
         out += line;
     }
     return out;

@@ -11,7 +11,9 @@
 // reference. Counters and gauges are lock-free; histograms take a small
 // per-observe lock (acceptable at per-read granularity).
 
+#include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -48,20 +50,57 @@ private:
     std::atomic<double> value_{0.0};
 };
 
-/// Running count/sum/min/max distribution (candidates per read, chunk
-/// sizes). Keeps no buckets — the summary reports mean and extremes.
+/// Running count/sum/min/max distribution plus base-2 logarithmic
+/// buckets for quantile estimates (candidates per read, chunk sizes,
+/// request latencies). 64 buckets cover binary exponents [-32, 31] —
+/// nanoseconds to decades when values are seconds — so quantile() is
+/// exact to within a factor of 2, which is what a p50/p99 latency
+/// report needs (the serve tier asserts on them).
 class Histogram {
 public:
+    static constexpr std::size_t kBuckets = 64;
+    static constexpr int kMinExponent = -32;
+
     struct Snapshot {
         std::uint64_t count = 0;
         double sum = 0.0;
         double min = 0.0;
         double max = 0.0;
+        std::array<std::uint64_t, kBuckets> buckets{};
 
         double mean() const noexcept {
             return count == 0 ? 0.0 : sum / static_cast<double>(count);
         }
+
+        /// Upper bound of the bucket containing the q-quantile
+        /// (0 <= q <= 1) observation, clamped to the observed extremes.
+        /// Returns 0 with no observations.
+        double quantile(double q) const noexcept {
+            if (count == 0) return 0.0;
+            const auto rank = static_cast<std::uint64_t>(
+                q * static_cast<double>(count - 1));
+            std::uint64_t seen = 0;
+            for (std::size_t b = 0; b < kBuckets; ++b) {
+                seen += buckets[b];
+                if (seen > rank) {
+                    const double upper = std::ldexp(
+                        1.0, static_cast<int>(b) + kMinExponent + 1);
+                    return std::min(std::max(upper, min), max);
+                }
+            }
+            return max;
+        }
     };
+
+    static std::size_t bucket_of(double value) noexcept {
+        if (!(value > 0.0)) return 0;
+        int exponent = 0;
+        std::frexp(value, &exponent); // value in [2^(e-1), 2^e)
+        const int b = exponent - 1 - kMinExponent;
+        if (b < 0) return 0;
+        if (b >= static_cast<int>(kBuckets)) return kBuckets - 1;
+        return static_cast<std::size_t>(b);
+    }
 
     void observe(double value) noexcept {
         const std::lock_guard lock(mutex_);
@@ -69,6 +108,7 @@ public:
         if (state_.count == 0 || value > state_.max) state_.max = value;
         ++state_.count;
         state_.sum += value;
+        ++state_.buckets[bucket_of(value)];
     }
 
     Snapshot snapshot() const {

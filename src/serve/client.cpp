@@ -1,0 +1,75 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace repute::serve {
+
+namespace {
+
+/// Connected-socket RAII.
+struct Connection {
+    int fd = -1;
+    ~Connection() {
+        if (fd >= 0) ::close(fd);
+    }
+};
+
+} // namespace
+
+ClientResult run_client(const std::string& socket_path,
+                        const WireRequest& request,
+                        std::ostream& sam_out) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("client: socket path too long: " +
+                                 socket_path);
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    Connection conn;
+    conn.fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (conn.fd < 0) {
+        throw std::runtime_error(std::string("client: socket: ") +
+                                 std::strerror(errno));
+    }
+    if (::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        throw std::runtime_error("client: cannot connect to " +
+                                 socket_path + ": " +
+                                 std::strerror(errno));
+    }
+
+    const std::string payload = encode_request(request);
+    write_frame(conn.fd, FrameType::Request, payload.data(),
+                payload.size());
+
+    for (;;) {
+        const Frame frame = read_frame(conn.fd);
+        switch (frame.type) {
+        case FrameType::SamChunk:
+            sam_out.write(frame.payload.data(),
+                          static_cast<std::streamsize>(
+                              frame.payload.size()));
+            break;
+        case FrameType::Done:
+            sam_out.flush();
+            return {frame.payload};
+        case FrameType::Error:
+            throw std::runtime_error("server error: " + frame.payload);
+        case FrameType::Request:
+            throw std::runtime_error(
+                "client: unexpected Request frame from server");
+        }
+    }
+}
+
+} // namespace repute::serve

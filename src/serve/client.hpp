@@ -1,0 +1,23 @@
+#pragma once
+// Socket client for the mapping daemon — the library behind
+// `repute client` and the serve tests.
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace repute::serve {
+
+struct ClientResult {
+    std::string summary; ///< the server's Done-frame payload
+};
+
+/// Connects to the daemon at `socket_path`, submits `request` and
+/// streams the returned SAM bytes into `sam_out`. Throws
+/// std::runtime_error on connection failure, protocol violations, or a
+/// server-side Error frame (whose message is rethrown verbatim).
+ClientResult run_client(const std::string& socket_path,
+                        const WireRequest& request, std::ostream& sam_out);
+
+} // namespace repute::serve

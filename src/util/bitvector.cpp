@@ -3,6 +3,7 @@
 #include "util/serialize.hpp"
 
 #include <bit>
+#include <stdexcept>
 
 namespace repute::util {
 
@@ -11,11 +12,40 @@ constexpr std::size_t kWordsPerSuper = 8; // 512 bits
 }
 
 BitVector::BitVector(std::size_t n, bool value)
-    : size_(n), words_((n + 63) / 64, value ? ~0ULL : 0ULL) {
+    : size_(n), owned_words_((n + 63) / 64, value ? ~0ULL : 0ULL) {
     if (value && (n & 63) != 0) {
         // Keep the tail word zero-padded so popcounts stay exact.
-        words_.back() &= (1ULL << (n & 63)) - 1;
+        owned_words_.back() &= (1ULL << (n & 63)) - 1;
     }
+    words_ = owned_words_;
+}
+
+BitVector BitVector::view_of(std::span<const std::uint64_t> words,
+                             std::size_t n) {
+    if (words.size() != (n + 63) / 64) {
+        throw std::runtime_error("BitVector: view word-count mismatch");
+    }
+    BitVector bv;
+    bv.size_ = n;
+    bv.words_ = words;
+    bv.build_rank();
+    return bv;
+}
+
+BitVector::BitVector(const BitVector& other)
+    : size_(other.size_), total_ones_(other.total_ones_),
+      owned_words_(other.owned_words_), superblock_(other.superblock_),
+      block_(other.block_) {
+    words_ = other.is_view() ? other.words_
+                             : std::span<const std::uint64_t>(owned_words_);
+}
+
+BitVector& BitVector::operator=(const BitVector& other) {
+    if (this != &other) {
+        BitVector copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
 }
 
 void BitVector::build_rank() {
@@ -87,14 +117,18 @@ namespace repute::util {
 void BitVector::save(std::ostream& out) const {
     write_magic(out, 0x42495456u); // "BITV"
     write_pod<std::uint64_t>(out, size_);
-    write_vector(out, words_);
+    write_pod<std::uint64_t>(out, words_.size());
+    out.write(reinterpret_cast<const char*>(words_.data()),
+              static_cast<std::streamsize>(words_.size() *
+                                           sizeof(std::uint64_t)));
 }
 
 BitVector BitVector::load(std::istream& in) {
     check_magic(in, 0x42495456u, "BitVector");
     BitVector bv;
     bv.size_ = read_pod<std::uint64_t>(in);
-    bv.words_ = read_vector<std::uint64_t>(in);
+    bv.owned_words_ = read_vector<std::uint64_t>(in);
+    bv.words_ = bv.owned_words_;
     if (bv.words_.size() != (bv.size_ + 63) / 64) {
         throw std::runtime_error("BitVector: corrupt word count");
     }

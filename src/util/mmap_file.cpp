@@ -1,0 +1,78 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace repute::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+    throw std::runtime_error("MmapFile: cannot " + std::string(what) +
+                             " " + path + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+MmapFile MmapFile::open_readonly(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) fail(path, "open");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail(path, "stat");
+    }
+    if (st.st_size == 0) {
+        ::close(fd);
+        throw std::runtime_error("MmapFile: " + path + " is empty");
+    }
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (addr == MAP_FAILED) fail(path, "mmap");
+
+    MmapFile file;
+    file.data_ = static_cast<const std::byte*>(addr);
+    file.size_ = static_cast<std::size_t>(st.st_size);
+    return file;
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+        this->~MmapFile();
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+}
+
+MmapFile::~MmapFile() {
+    if (data_ != nullptr) {
+        ::munmap(const_cast<std::byte*>(data_), size_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+}
+
+void MmapFile::check_range(std::size_t offset, std::size_t bytes,
+                           std::size_t alignment) const {
+    if (offset > size_ || bytes > size_ - offset) {
+        throw std::out_of_range("MmapFile: view past end of mapping");
+    }
+    if (offset % alignment != 0) {
+        throw std::runtime_error("MmapFile: misaligned view offset");
+    }
+}
+
+} // namespace repute::util

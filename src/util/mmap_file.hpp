@@ -1,0 +1,58 @@
+#pragma once
+// Read-only memory-mapped file — the zero-copy substrate of the .rix
+// index container (index/rix.hpp).
+//
+// The mapping is private and read-only; the kernel pages index data in
+// on demand and evicts it under memory pressure, so a daemon holding a
+// multi-gigabyte index resident costs only the pages actually touched
+// (see FmIndex::mapped_bytes vs resident_bytes). POSIX-only, like the
+// rest of the serving stack (AF_UNIX sockets).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace repute::util {
+
+class MmapFile {
+public:
+    MmapFile() = default;
+
+    /// Maps `path` read-only. Throws std::runtime_error (with errno
+    /// text) when the file cannot be opened, stat'ed or mapped; empty
+    /// files are rejected (nothing to map).
+    static MmapFile open_readonly(const std::string& path);
+
+    MmapFile(MmapFile&& other) noexcept;
+    MmapFile& operator=(MmapFile&& other) noexcept;
+    MmapFile(const MmapFile&) = delete;
+    MmapFile& operator=(const MmapFile&) = delete;
+    ~MmapFile();
+
+    const std::byte* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+    bool valid() const noexcept { return data_ != nullptr; }
+
+    std::span<const std::byte> bytes() const noexcept {
+        return {data_, size_};
+    }
+
+    /// Typed view of `[offset, offset + count * sizeof(T))`. Throws
+    /// std::out_of_range past the end and std::runtime_error when
+    /// `offset` is not aligned for T.
+    template <typename T>
+    std::span<const T> view(std::size_t offset, std::size_t count) const {
+        check_range(offset, count * sizeof(T), alignof(T));
+        return {reinterpret_cast<const T*>(data_ + offset), count};
+    }
+
+private:
+    void check_range(std::size_t offset, std::size_t bytes,
+                     std::size_t alignment) const;
+
+    const std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace repute::util

@@ -31,19 +31,54 @@ char code_to_base(std::uint8_t code) noexcept {
 }
 
 PackedDna::PackedDna(std::string_view ascii) {
-    words_.reserve((ascii.size() + 31) / 32);
+    owned_words_.reserve((ascii.size() + 31) / 32);
     for (const char c : ascii) push_back(base_to_code(c));
 }
 
 PackedDna::PackedDna(std::span<const std::uint8_t> codes) {
-    words_.reserve((codes.size() + 31) / 32);
+    owned_words_.reserve((codes.size() + 31) / 32);
     for (const std::uint8_t code : codes) push_back(code);
 }
 
+PackedDna PackedDna::view_of(std::span<const std::uint64_t> words,
+                             std::size_t size) {
+    if (words.size() != packed_word_count(size)) {
+        throw std::runtime_error("PackedDna: view word-count mismatch");
+    }
+    PackedDna dna;
+    dna.size_ = size;
+    dna.words_ = words;
+    return dna;
+}
+
+PackedDna::PackedDna(const PackedDna& other)
+    : size_(other.size_), owned_words_(other.owned_words_) {
+    words_ = other.is_view()
+                 ? other.words_
+                 : std::span<const std::uint64_t>(owned_words_);
+}
+
+PackedDna& PackedDna::operator=(const PackedDna& other) {
+    if (this != &other) {
+        PackedDna copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
+bool PackedDna::operator==(const PackedDna& other) const noexcept {
+    if (size_ != other.size_) return false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        if (words_[w] != other.words_[w]) return false;
+    }
+    return true;
+}
+
 void PackedDna::push_back(std::uint8_t code) {
-    if ((size_ & 31) == 0) words_.push_back(0);
+    if ((size_ & 31) == 0) owned_words_.push_back(0);
     set_code(size_, code);
     ++size_;
+    words_ = owned_words_; // push may reallocate; refresh the view
 }
 
 void PackedDna::extract(std::size_t pos, std::size_t len,
@@ -83,7 +118,7 @@ std::string PackedDna::to_string(std::size_t pos, std::size_t len) const {
 
 PackedDna PackedDna::reverse_complement() const {
     PackedDna rc;
-    rc.words_.reserve(words_.size());
+    rc.owned_words_.reserve(words_.size());
     for (std::size_t i = size_; i > 0; --i) {
         rc.push_back(complement_code(code_at(i - 1)));
     }
@@ -99,14 +134,18 @@ namespace repute::util {
 void PackedDna::save(std::ostream& out) const {
     write_magic(out, 0x50444E41u); // "PDNA"
     write_pod<std::uint64_t>(out, size_);
-    write_vector(out, words_);
+    write_pod<std::uint64_t>(out, words_.size());
+    out.write(reinterpret_cast<const char*>(words_.data()),
+              static_cast<std::streamsize>(words_.size() *
+                                           sizeof(std::uint64_t)));
 }
 
 PackedDna PackedDna::load(std::istream& in) {
     check_magic(in, 0x50444E41u, "PackedDna");
     PackedDna dna;
     dna.size_ = read_pod<std::uint64_t>(in);
-    dna.words_ = read_vector<std::uint64_t>(in);
+    dna.owned_words_ = read_vector<std::uint64_t>(in);
+    dna.words_ = dna.owned_words_;
     if (dna.words_.size() != (dna.size_ + 31) / 32) {
         throw std::runtime_error("PackedDna: corrupt word count");
     }

@@ -37,8 +37,32 @@ public:
     /// Packs a sequence of 2-bit codes.
     explicit PackedDna(std::span<const std::uint8_t> codes);
 
+    /// Read-only view over externally owned packed words (the zero-copy
+    /// mode of the mmap'd .rix container). `words` must hold exactly
+    /// packed_word_count(size) entries with a zero-padded tail and must
+    /// outlive the view. Mutation (push_back) is invalid on a view.
+    static PackedDna view_of(std::span<const std::uint64_t> words,
+                             std::size_t size);
+
+    PackedDna(const PackedDna& other);
+    PackedDna& operator=(const PackedDna& other);
+    PackedDna(PackedDna&&) noexcept = default;
+    PackedDna& operator=(PackedDna&&) noexcept = default;
+    ~PackedDna() = default;
+
     std::size_t size() const noexcept { return size_; }
     bool empty() const noexcept { return size_ == 0; }
+
+    /// True when the words are borrowed (view_of), not owned.
+    bool is_view() const noexcept {
+        return words_.data() != nullptr &&
+               words_.data() != owned_words_.data();
+    }
+
+    /// The backing words — what the .rix writer serializes.
+    std::span<const std::uint64_t> words() const noexcept {
+        return words_;
+    }
 
     std::uint8_t code_at(std::size_t i) const noexcept {
         return static_cast<std::uint8_t>(
@@ -76,12 +100,17 @@ public:
     /// Reverse complement of the whole sequence.
     PackedDna reverse_complement() const;
 
-    /// Bytes of heap storage (for footprint accounting).
+    /// Total bytes reachable through the words (owned or mapped).
     std::size_t memory_bytes() const noexcept {
         return words_.size() * sizeof(std::uint64_t);
     }
 
-    bool operator==(const PackedDna& other) const noexcept = default;
+    /// Heap bytes actually owned — zero for a view.
+    std::size_t heap_bytes() const noexcept {
+        return owned_words_.size() * sizeof(std::uint64_t);
+    }
+
+    bool operator==(const PackedDna& other) const noexcept;
 
     /// Binary serialization. Throws std::runtime_error on a short read.
     void save(std::ostream& out) const;
@@ -89,12 +118,13 @@ public:
 
 private:
     std::size_t size_ = 0;
-    std::vector<std::uint64_t> words_; // 32 bases per word
+    std::vector<std::uint64_t> owned_words_; // 32 bases per word
+    std::span<const std::uint64_t> words_;   ///< owned_words_ or borrowed
 
     void set_code(std::size_t i, std::uint8_t code) noexcept {
         const std::size_t shift = (i & 31) * 2;
-        words_[i >> 5] =
-            (words_[i >> 5] & ~(3ULL << shift)) |
+        owned_words_[i >> 5] =
+            (owned_words_[i >> 5] & ~(3ULL << shift)) |
             (static_cast<std::uint64_t>(code) << shift);
     }
 };

@@ -1,0 +1,228 @@
+// .rix container round-trip and rejection properties.
+//
+// The headline property: build -> write_rix -> mmap-load must be
+// invisible to mapping. A session over the mapped view produces SAM
+// byte-identical to the session that built the index in-process, across
+// q-gram table sizes and multi-sequence references. The rejection half
+// pins the failure modes DESIGN.md promises distinct errors for:
+// truncation, bit flips (header and section payloads), legacy stream
+// images, foreign versions and plain garbage.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "genomics/fastx.hpp"
+#include "genomics/genome_sim.hpp"
+#include "genomics/multi_reference.hpp"
+#include "genomics/read_sim.hpp"
+#include "index/fm_index.hpp"
+#include "index/rix.hpp"
+#include "pipeline/mapping_api.hpp"
+
+namespace repute {
+namespace {
+
+std::vector<genomics::FastaRecord> three_sequences(std::size_t length,
+                                                   std::uint64_t seed) {
+    genomics::GenomeSimConfig gconfig;
+    gconfig.length = length;
+    gconfig.seed = seed;
+    const genomics::Reference genome = genomics::simulate_genome(gconfig);
+    const std::string text = genome.sequence().to_string();
+    const std::size_t third = text.size() / 3;
+    return {{"chrA", text.substr(0, third)},
+            {"chrB", text.substr(third, third)},
+            {"chrC", text.substr(2 * third)}};
+}
+
+std::string fastq_text(const genomics::SimulatedReads& sim) {
+    std::ostringstream out;
+    genomics::write_fastq(out, genomics::to_fastq_records(sim));
+    return out.str();
+}
+
+std::string map_all(pipeline::MappingSession& session,
+                    const std::string& fastq, std::uint32_t delta) {
+    std::istringstream in(fastq);
+    pipeline::MapRequest request;
+    request.reads = &in;
+    request.delta = delta;
+    std::ostringstream sam;
+    session.map(request, sam);
+    return sam.str();
+}
+
+std::string temp_rix_path(const std::string& tag) {
+    return testing::TempDir() + "repute_test_" + tag + ".rix";
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes a valid container for a small 3-sequence reference and
+/// returns its path (overwritten on each call with the same tag).
+std::string write_valid_rix(const std::string& tag,
+                            std::uint32_t qgram_length = 4) {
+    const genomics::MultiReference multi(three_sequences(9'000, 11));
+    const index::FmIndex fm(multi.concatenated(), /*sa_sample=*/4,
+                            /*checkpoint_every=*/128, qgram_length);
+    const std::string path = temp_rix_path(tag);
+    index::write_rix(path, multi, fm);
+    return path;
+}
+
+void expect_open_throws_with(const std::string& path,
+                             const std::string& needle) {
+    try {
+        index::MappedIndex::open(path);
+        FAIL() << "open(" << path << ") did not throw; expected \""
+               << needle << "\"";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual message: " << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round trips
+
+TEST(RixRoundTrip, SamByteIdenticalAcrossQgramLengths) {
+    for (const std::uint32_t q : {0u, 4u, 8u}) {
+        pipeline::SessionConfig config;
+        config.qgram_length = q;
+        auto built = pipeline::MappingSession::from_multi(
+            genomics::MultiReference(three_sequences(12'000, 7)), config);
+        ASSERT_FALSE(built->is_mapped());
+
+        const std::string path =
+            temp_rix_path("q" + std::to_string(q));
+        index::write_rix(path, built->multi(), built->fm());
+        auto served = pipeline::MappingSession::from_rix(path, config);
+        ASSERT_TRUE(served->is_mapped());
+
+        genomics::ReadSimConfig rconfig;
+        rconfig.n_reads = 300;
+        rconfig.read_length = 60;
+        rconfig.max_errors = 3;
+        rconfig.seed = 100 + q;
+        const auto reads = genomics::simulate_reads(
+            built->multi().concatenated(), rconfig);
+        const std::string fastq = fastq_text(reads);
+
+        EXPECT_EQ(map_all(*built, fastq, 3), map_all(*served, fastq, 3))
+            << "SAM diverged at q=" << q;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(RixRoundTrip, MultiReferenceTablesSurvive) {
+    auto built = pipeline::MappingSession::from_multi(
+        genomics::MultiReference(three_sequences(9'000, 3)));
+    const std::string path = temp_rix_path("tables");
+    index::write_rix(path, built->multi(), built->fm());
+
+    const index::MappedIndex mapped = index::MappedIndex::open(path);
+    const auto& original = built->multi();
+    const auto& loaded = mapped.multi();
+    ASSERT_EQ(loaded.sequence_count(), original.sequence_count());
+    for (std::size_t i = 0; i < original.sequence_count(); ++i) {
+        EXPECT_EQ(loaded.sequence_name(i), original.sequence_name(i));
+        EXPECT_EQ(loaded.sequence_length(i), original.sequence_length(i));
+    }
+    EXPECT_EQ(loaded.starts(), original.starts());
+    EXPECT_EQ(loaded.concatenated().name(),
+              original.concatenated().name());
+    EXPECT_EQ(loaded.concatenated().size(),
+              original.concatenated().size());
+
+    // Footprint split: the mapping carries the big arrays, the heap
+    // only rank directories and name tables.
+    EXPECT_TRUE(mapped.fm().is_view());
+    EXPECT_GT(mapped.mapped_bytes(), 0u);
+    EXPECT_GT(mapped.resident_bytes(), 0u);
+    EXPECT_LT(mapped.resident_bytes(), mapped.mapped_bytes());
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Rejection
+
+TEST(RixRejects, TruncatedFile) {
+    const std::string path = write_valid_rix("trunc");
+    const std::string bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 2 * index::rix::kPageBytes);
+    spill(path, bytes.substr(0, bytes.size() - index::rix::kPageBytes));
+    expect_open_throws_with(path, "truncated");
+
+    spill(path, bytes.substr(0, 16)); // smaller than the header
+    expect_open_throws_with(path, "too small");
+    std::remove(path.c_str());
+}
+
+TEST(RixRejects, BitFlipInSectionPayload) {
+    const std::string path = write_valid_rix("flip_section");
+    std::string bytes = slurp(path);
+    // Page 0 is the header; the first section (rank blocks, never
+    // empty) starts at page 1.
+    const std::size_t target = index::rix::kPageBytes + 8;
+    ASSERT_LT(target, bytes.size());
+    bytes[target] = static_cast<char>(bytes[target] ^ 0x10);
+    spill(path, bytes);
+    expect_open_throws_with(path, "checksum mismatch in section");
+    std::remove(path.c_str());
+}
+
+TEST(RixRejects, BitFlipInHeader) {
+    const std::string path = write_valid_rix("flip_header");
+    std::string bytes = slurp(path);
+    // Offset 24 is inside the text-length field — past the up-front
+    // magic/version/endian/page checks, so the checksum must catch it.
+    bytes[24] = static_cast<char>(bytes[24] ^ 0x01);
+    spill(path, bytes);
+    expect_open_throws_with(path, "header checksum mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(RixRejects, LegacyStreamImageAndGarbage) {
+    const std::string path = temp_rix_path("legacy");
+    for (const std::uint32_t magic : {0x464D4932u, 0x464D4958u}) {
+        std::string bytes(sizeof(index::rix::Header), '\0');
+        std::memcpy(bytes.data(), &magic, sizeof(magic));
+        spill(path, bytes);
+        expect_open_throws_with(path, "legacy FMI stream image");
+        expect_open_throws_with(path, "repute index build");
+    }
+    std::string garbage(sizeof(index::rix::Header), 'x');
+    spill(path, garbage);
+    expect_open_throws_with(path, "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(RixRejects, ForeignVersion) {
+    const std::string path = write_valid_rix("version");
+    std::string bytes = slurp(path);
+    const std::uint32_t future = 99;
+    std::memcpy(bytes.data() + 4, &future, sizeof(future));
+    spill(path, bytes);
+    expect_open_throws_with(path, "unsupported version");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace repute

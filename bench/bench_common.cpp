@@ -46,6 +46,30 @@ FunnelToggles parse_funnel_toggles(const util::Args& args) {
     return toggles;
 }
 
+void apply_transfer_specs(const std::vector<ocl::Device*>& devices) {
+    ocl::TransferSpec pcie;
+    pcie.bytes_per_second = 6e9; // PCIe gen2 x16 effective
+    pcie.latency_seconds = 20e-6;
+    ocl::TransferSpec shared;
+    shared.bytes_per_second = 12e9; // host-visible / unified memory
+    shared.latency_seconds = 5e-6;
+    for (ocl::Device* device : devices) {
+        device->set_transfer_spec(
+            device->profile().type == ocl::DeviceType::Gpu ? pcie
+                                                           : shared);
+    }
+}
+
+void apply_transfer_specs(ocl::Platform& platform) {
+    apply_transfer_specs(platform.devices());
+}
+
+bool parse_double_buffer(const util::Args& args) {
+    const bool on = !args.get_bool("no-double-buffer", false);
+    if (!on) std::printf("# double-buffered staging: OFF\n");
+    return on;
+}
+
 Workload make_workload(const WorkloadConfig& config) {
     util::Stopwatch timer;
     std::printf("# workload: genome=%zu bp, reads=%zu per set, seed=%llu\n",
@@ -132,6 +156,10 @@ ScopedTrace::~ScopedTrace() {
                 obs::stage_summary(session_->recorder(),
                                    &session_->registry())
                     .c_str());
+    const std::string xfer = obs::xfer_summary(session_->registry());
+    if (!xfer.empty()) {
+        std::printf("\n== host<->device transfers ==\n%s", xfer.c_str());
+    }
     std::fflush(stdout);
 }
 

@@ -88,6 +88,17 @@ struct FunnelToggles {
 };
 FunnelToggles parse_funnel_toggles(const util::Args& args);
 
+/// Installs host<->device link models on the devices: discrete GPUs get
+/// a PCIe-gen2-class link (6 GB/s, 20 us latency), CPUs and embedded
+/// SoCs a shared-memory-class link (12 GB/s, 5 us). Sweep benches call
+/// this so modeled times include staging cost and the double-buffer
+/// path actually has transfers to hide.
+void apply_transfer_specs(const std::vector<ocl::Device*>& devices);
+void apply_transfer_specs(ocl::Platform& platform);
+
+/// Parses --no-double-buffer (default: double buffering on).
+bool parse_double_buffer(const util::Args& args);
+
 /// Builds the genome, index and both read sets. Prints progress to
 /// stdout (benches are interactive tools).
 Workload make_workload(const WorkloadConfig& config);

@@ -45,7 +45,8 @@ ocl::DeviceProfile skew_profile(const char* name, ocl::DeviceType type,
 /// nonzero when the fault-injected dynamic run diverges from the
 /// fault-free reference output.
 int run_skewed_fleet(const Workload& workload, std::size_t n,
-                     std::uint32_t delta, std::uint32_t s_min) {
+                     std::uint32_t delta, std::uint32_t s_min,
+                     bool double_buffer) {
     const auto& batch = workload.reads(n).batch;
     const double total = static_cast<double>(batch.size());
 
@@ -56,6 +57,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     ocl::Device cpu_b(skew_profile("slow-cpu-b", ocl::DeviceType::Cpu,
                                    4, 2e8, 1));
     std::vector<ocl::Device*> fleet = {&fast_gpu, &cpu_a, &cpu_b};
+    apply_transfer_specs(fleet);
 
     std::printf("\n# Skewed fleet: 1 fast GPU + 2 slow CPUs, %zu reads "
                 "(n=%zu, delta=%u, s_min=%u)\n",
@@ -66,6 +68,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
                                     8, 1e9, 1));
     core::HeterogeneousMapperConfig config;
     config.kernel.s_min = s_min;
+    config.double_buffer = double_buffer;
     const auto expected =
         core::make_repute(workload.reference(), workload.fm(),
                           {{&oracle, 1.0}}, config)
@@ -94,6 +97,7 @@ int run_skewed_fleet(const Workload& workload, std::size_t n,
     // dynamic scheduler below treats it as a warm start and corrects.
     core::TuneConfig probe;
     probe.probe_reads = 16;
+    probe.double_buffer = double_buffer;
     const auto tuned =
         core::tune_shares(workload.reference(), workload.fm(), batch, delta,
                           s_min, fleet, probe);
@@ -171,6 +175,8 @@ int main(int argc, char** argv) {
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system1();
+    apply_transfer_specs(platform);
+    const bool double_buffer = parse_double_buffer(args);
     auto& cpu = platform.device("i7-2600");
     auto& gpu0 = platform.device("gtx590-0");
     auto& gpu1 = platform.device("gtx590-1");
@@ -192,6 +198,7 @@ int main(int argc, char** argv) {
         core::HeterogeneousMapperConfig config;
         config.kernel.s_min = s_min;
         config.kernel.max_locations_per_read = 1000;
+        config.double_buffer = double_buffer;
         std::vector<core::DeviceShare> shares;
         if (cpu_reads > 0) {
             shares.push_back(
@@ -217,7 +224,8 @@ int main(int argc, char** argv) {
         "reads/GPU", x, "T(s)", y);
 
     if (args.get_int("skewed", 1) != 0) {
-        return run_skewed_fleet(workload, n, delta, s_min) == 0
+        return run_skewed_fleet(workload, n, delta, s_min,
+                                double_buffer) == 0
                    ? EXIT_SUCCESS
                    : EXIT_FAILURE;
     }

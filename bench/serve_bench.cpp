@@ -38,13 +38,15 @@ std::string to_fastq_text(const genomics::SimulatedReads& sim) {
 }
 
 std::string map_all(pipeline::MappingSession& session,
-                    const std::string& fastq, std::uint32_t delta) {
+                    const std::string& fastq, std::uint32_t delta,
+                    pipeline::MapResponse* response_out = nullptr) {
     std::istringstream in(fastq);
     pipeline::MapRequest request;
     request.reads = &in;
     request.delta = delta;
     std::ostringstream sam;
-    session.map(request, sam);
+    const auto response = session.map(request, sam);
+    if (response_out != nullptr) *response_out = response;
     return sam.str();
 }
 
@@ -85,7 +87,12 @@ int main(int argc, char** argv) {
     const std::string fastq = to_fastq_text(workload.reads100);
     const std::string built_sam =
         map_all(*workload.session, fastq, delta);
-    const std::string served_sam = map_all(*served, fastq, delta);
+    // Steady-state request on the serving session: its staged/drained
+    // bytes are what every request of this shape moves over the
+    // host<->device link.
+    pipeline::MapResponse served_response;
+    const std::string served_sam =
+        map_all(*served, fastq, delta, &served_response);
     const bool byte_identical = built_sam == served_sam;
 
     const double speedup =
@@ -103,6 +110,12 @@ int main(int argc, char** argv) {
     std::printf("SAM identical   %12s   (%zu bytes, %zu reads)\n",
                 byte_identical ? "yes" : "NO",
                 built_sam.size(), workload.reads100.batch.size());
+    std::printf("request h2d     %12llu bytes staged\n",
+                static_cast<unsigned long long>(
+                    served_response.xfer_bytes_staged));
+    std::printf("request d2h     %12llu bytes drained\n",
+                static_cast<unsigned long long>(
+                    served_response.xfer_bytes_drained));
 
     if (std::FILE* f = std::fopen(out_path.c_str(), "wb")) {
         std::fprintf(
@@ -117,12 +130,18 @@ int main(int argc, char** argv) {
             "  \"load_speedup\": %.2f,\n"
             "  \"mapped_bytes\": %zu,\n"
             "  \"resident_bytes\": %zu,\n"
+            "  \"request_xfer_bytes_staged\": %llu,\n"
+            "  \"request_xfer_bytes_drained\": %llu,\n"
             "  \"sam_byte_identical\": %s\n"
             "}\n",
             workload.reference().size(),
             workload.reads100.batch.size(), delta, build_seconds,
             write_seconds, load_seconds, speedup,
             served->mapped_bytes(), served->resident_bytes(),
+            static_cast<unsigned long long>(
+                served_response.xfer_bytes_staged),
+            static_cast<unsigned long long>(
+                served_response.xfer_bytes_drained),
             byte_identical ? "true" : "false");
         std::fclose(f);
         std::printf("# wrote %s\n", out_path.c_str());

@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system1();
+    apply_transfer_specs(platform);
+    const bool double_buffer = parse_double_buffer(args);
     auto& cpu = platform.device("i7-2600");
     auto& gpu0 = platform.device("gtx590-0");
     auto& gpu1 = platform.device("gtx590-1");
@@ -41,8 +43,8 @@ int main(int argc, char** argv) {
     // throughput for each cell's kernel scratch requirement.
     auto hetero_spec = [&](const std::string& name, bool dp) {
         return MapperSpec{
-            name, [&workload, &cpu, &gpu0, &gpu1, dp, name, toggles](
-                      std::size_t n, std::uint32_t delta)
+            name, [&workload, &cpu, &gpu0, &gpu1, dp, name, toggles,
+                   double_buffer](std::size_t n, std::uint32_t delta)
                       -> std::unique_ptr<core::Mapper> {
                 const std::uint32_t s_min = best_s_min(n, delta);
                 const filter::MemoryOptimizedSeeder probe(s_min);
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
                 core::HeterogeneousMapperConfig config;
                 config.kernel.s_min = s_min;
                 config.kernel.max_locations_per_read = 1000;
+                config.double_buffer = double_buffer;
                 toggles.apply(config.kernel);
                 if (dp) {
                     return core::make_repute(workload.reference(),

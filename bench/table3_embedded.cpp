@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
     const auto workload = make_workload(parse_workload_config(args));
 
     auto platform = ocl::Platform::system2();
+    apply_transfer_specs(platform);
+    const bool double_buffer = parse_double_buffer(args);
     auto& a73 = platform.device("hikey970-a73");
     auto& a53 = platform.device("hikey970-a53");
 
@@ -54,8 +56,8 @@ int main(int argc, char** argv) {
     const FunnelToggles toggles = parse_funnel_toggles(args);
     auto hetero_spec = [&](const std::string& name, bool dp) {
         return MapperSpec{
-            name, [&workload, cluster_shares, dp, toggles](
-                      std::size_t n, std::uint32_t delta)
+            name, [&workload, cluster_shares, dp, toggles,
+                   double_buffer](std::size_t n, std::uint32_t delta)
                       -> std::unique_ptr<core::Mapper> {
                 const std::uint32_t s_min = best_s_min(n, delta);
                 const filter::MemoryOptimizedSeeder probe(s_min);
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
                 core::HeterogeneousMapperConfig config;
                 config.kernel.s_min = s_min;
                 config.kernel.max_locations_per_read = 1000;
+                config.double_buffer = double_buffer;
                 toggles.apply(config.kernel);
                 if (dp) {
                     return core::make_repute(

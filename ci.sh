@@ -4,8 +4,12 @@
 #                 must pass) + micro-benchmark smoke
 #   bench         benchmark regression gate: micro_kernels vs
 #                 BENCH_kernels.json via ci/check_bench.py (>25% fails)
+#                 + the transfer-overlap gate (pipeline_throughput
+#                 --xfer: double-buffered staging must beat serialized
+#                 by >=1.15x on modeled time)
 #   tsan          ThreadSanitizer build of the queue/scheduler-heavy
-#                 tests plus the streaming pipeline
+#                 tests plus the streaming pipeline and the
+#                 double-buffered staging equivalence matrix
 #   asan          AddressSanitizer build of the index/filter hot paths
 #                 (rank-block and scratch-reuse pointer arithmetic), the
 #                 verification funnel and the SIMD differential harness
@@ -91,10 +95,10 @@ if has_tier tier1; then
 fi
 
 if has_tier bench; then
-    echo "== bench gate: micro_kernels vs BENCH_kernels.json =="
-    if [[ ! -x build/bench/micro_kernels ]]; then
+    echo "== bench gate: micro_kernels vs BENCH_kernels.json + xfer overlap =="
+    if [[ ! -x build/bench/micro_kernels || ! -x build/bench/pipeline_throughput ]]; then
         cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
-        cmake --build build -j "$JOBS" --target micro_kernels
+        cmake --build build -j "$JOBS" --target micro_kernels pipeline_throughput
     fi
     # Even quick keeps >=2 repetitions: the gate's min-over-reps is what
     # absorbs scheduler noise on shared runners.
@@ -110,13 +114,17 @@ if has_tier tsan; then
     cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
     cmake --build build-tsan -j "$JOBS" \
-          --target test_ocl test_scheduler test_determinism test_pipeline
+          --target test_ocl test_scheduler test_determinism test_pipeline \
+          test_xfer
     ./build-tsan/tests/test_ocl
     ./build-tsan/tests/test_scheduler
     ./build-tsan/tests/test_determinism
     # The streaming pipeline is three thread stages around two bounded
     # queues — exactly the code TSan exists for.
     ./build-tsan/tests/test_pipeline
+    # Double-buffered staging: per-direction DMA clocks and event
+    # wait-lists crossing the scheduler's worker threads.
+    ./build-tsan/tests/test_xfer
 fi
 
 if has_tier asan; then

@@ -25,11 +25,18 @@ tolerance is re-measured (up to --retries times, flagged benchmarks
 only) and its time is the minimum across attempts. A spike does not
 reproduce; a real regression does.
 
+Besides the micro-kernel comparison, the gate runs the transfer-overlap
+fixture (`pipeline_throughput --xfer`) and requires the double-buffered
+pipeline to beat serialized staging by --xfer-min-speedup on modeled
+mapping time (0 disables). The fixture prints modeled seconds, so the
+ratio is deterministic — no normalization or retries needed.
+
 Usage:
   ci/check_bench.py [--binary build/bench/micro_kernels]
                     [--baseline BENCH_kernels.json] [--tolerance 25]
                     [--min-time 0.01] [--repetitions 3] [--filter RE]
-                    [--update-baseline]
+                    [--xfer-binary build/bench/pipeline_throughput]
+                    [--xfer-min-speedup 1.15] [--update-baseline]
 """
 
 import argparse
@@ -100,6 +107,36 @@ def regressed(baseline, current, tolerance, normalize):
     return over, deltas, common_mode
 
 
+def run_xfer_gate(binary, min_speedup):
+    """Runs the transfer-overlap fixture; returns True when it passes.
+
+    The fixture itself byte-compares the SAM outputs (its exit code
+    covers correctness); this gate additionally requires the printed
+    modeled-time speedup to clear the floor.
+    """
+    if not os.path.exists(binary):
+        print(f"xfer gate: FAIL — {binary} not built")
+        return False
+    proc = subprocess.run([binary, "--xfer"], capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        print(f"xfer gate: FAIL — {binary} --xfer exited {proc.returncode}")
+        return False
+    match = re.search(r"^xfer_speedup:\s*([0-9.]+)", proc.stdout, re.M)
+    if not match:
+        print("xfer gate: FAIL — no xfer_speedup line in output")
+        return False
+    speedup = float(match.group(1))
+    ok = speedup >= min_speedup
+    print(
+        f"xfer gate: double-buffered staging {speedup:.3f}x over "
+        f"serialized (need >= {min_speedup:.2f}x)"
+        f"{'' if ok else '  << BELOW CRITERION'}"
+    )
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", default="build/bench/micro_kernels")
@@ -131,6 +168,18 @@ def main():
         "--update-baseline",
         action="store_true",
         help="write the fresh run over --baseline instead of comparing",
+    )
+    parser.add_argument(
+        "--xfer-binary",
+        default="build/bench/pipeline_throughput",
+        help="transfer-overlap fixture binary (run with --xfer)",
+    )
+    parser.add_argument(
+        "--xfer-min-speedup",
+        type=float,
+        default=1.15,
+        help="required double-buffered vs serialized staging speedup "
+        "on the --xfer fixture (0 disables the gate)",
     )
     args = parser.parse_args()
 
@@ -206,7 +255,11 @@ def main():
         if not ok:
             ratio_failures.append(batched)
 
-    if regressions or ratio_failures:
+    xfer_ok = True
+    if args.xfer_min_speedup > 0:
+        xfer_ok = run_xfer_gate(args.xfer_binary, args.xfer_min_speedup)
+
+    if regressions or ratio_failures or not xfer_ok:
         if regressions:
             print(
                 f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
@@ -217,6 +270,8 @@ def main():
                 f"\nFAIL: {len(ratio_failures)} benchmark(s) below their "
                 f"cross-benchmark speedup criterion"
             )
+        if not xfer_ok:
+            print("\nFAIL: transfer-overlap gate below criterion")
         return 1
     print(f"\nOK: no benchmark regressed more than {args.tolerance:.0f}%")
     return 0

@@ -92,8 +92,16 @@ devices:
   --platform NAME       system1 (i7 + 2x GTX590) | system2 (HiKey970)
   --devices LIST        comma-separated device names (default i7-2600)
   --schedule MODE       static | dynamic work-stealing (default static)
+transfers:
+  --xfer-gbps X         model host<->device links at X GB/s (default:
+                        transfers are free)
+  --xfer-latency-us X   per-transfer latency in microseconds (default 0)
+  --no-double-buffer    serialize staging (stage+compute+drain per chunk
+                        instead of overlapping); output is identical
 observability:
   --trace FILE          write Chrome trace JSON + per-stage summary
+  --xfer-trace          print the host<->device transfer summary
+                        (per-buffer bytes, overlap ratio) to stderr
 )";
 
 constexpr const char* kServeUsage = R"(repute serve — persistent mapping daemon (Unix-domain socket)
@@ -109,6 +117,7 @@ options:
   --mappers N           mapper pool = max total map workers (default =
                         handlers)
   --smin/--max-locations/--no-simd/--platform/--devices/--schedule
+  --xfer-gbps/--xfer-latency-us/--no-double-buffer
                         session-level mapping knobs, as in `repute map`
 
 SIGTERM/SIGINT drain in-flight requests, print the metrics summary
@@ -175,6 +184,12 @@ pipeline::SessionConfig session_config_from(const util::Args& args) {
         throw CliError("--schedule must be 'static' or 'dynamic', got: " +
                        schedule);
     }
+    const double gbps = args.get_double("xfer-gbps", 0.0);
+    if (gbps < 0.0) throw CliError("--xfer-gbps must be >= 0");
+    config.transfer.bytes_per_second = gbps * 1e9;
+    config.transfer.latency_seconds =
+        args.get_double("xfer-latency-us", 0.0) * 1e-6;
+    config.double_buffer = !args.get_bool("no-double-buffer", false);
     return config;
 }
 
@@ -214,37 +229,52 @@ std::unique_ptr<pipeline::MappingSession> open_session(
     return session;
 }
 
-/// RAII --trace support (the CLI twin of bench::ScopedTrace).
+/// RAII --trace / --xfer-trace support (the CLI twin of
+/// bench::ScopedTrace). --xfer-trace alone still installs the session so
+/// transfer metrics have somewhere to land.
 class TraceScope {
 public:
-    explicit TraceScope(const std::string& path) : path_(path) {
-        if (!path_.empty()) {
+    TraceScope(const std::string& path, bool xfer_summary)
+        : path_(path), xfer_summary_(xfer_summary) {
+        if (!path_.empty() || xfer_summary_) {
             session_ = std::make_unique<obs::TraceSession>();
         }
     }
     ~TraceScope() {
         if (!session_) return;
-        const auto json = obs::chrome_trace_json(session_->recorder());
-        std::ofstream out(path_, std::ios::binary);
-        if (out) {
-            out.write(json.data(),
-                      static_cast<std::streamsize>(json.size()));
-            std::fprintf(stderr, "trace written to %s (%zu bytes)\n",
-                         path_.c_str(), json.size());
-        } else {
-            std::fprintf(stderr, "ERROR: cannot write trace to %s\n",
-                         path_.c_str());
+        if (!path_.empty()) {
+            const auto json =
+                obs::chrome_trace_json(session_->recorder());
+            std::ofstream out(path_, std::ios::binary);
+            if (out) {
+                out.write(json.data(),
+                          static_cast<std::streamsize>(json.size()));
+                std::fprintf(stderr, "trace written to %s (%zu bytes)\n",
+                             path_.c_str(), json.size());
+            } else {
+                std::fprintf(stderr, "ERROR: cannot write trace to %s\n",
+                             path_.c_str());
+            }
+            std::fprintf(stderr, "%s",
+                         obs::stage_summary(session_->recorder(),
+                                            &session_->registry())
+                             .c_str());
         }
-        std::fprintf(stderr, "%s",
-                     obs::stage_summary(session_->recorder(),
-                                        &session_->registry())
-                         .c_str());
+        if (xfer_summary_) {
+            const auto summary =
+                obs::xfer_summary(session_->registry());
+            std::fprintf(stderr, "%s",
+                         summary.empty()
+                             ? "no host<->device transfers recorded\n"
+                             : summary.c_str());
+        }
     }
     TraceScope(const TraceScope&) = delete;
     TraceScope& operator=(const TraceScope&) = delete;
 
 private:
     std::string path_;
+    bool xfer_summary_ = false;
     std::unique_ptr<obs::TraceSession> session_;
 };
 
@@ -301,7 +331,8 @@ int run_map(const util::Args& args, bool deprecated_form) {
                      "repute: the flat invocation is deprecated; use "
                      "`repute map --ref ...` (see `repute --help`)\n");
     }
-    const TraceScope trace(args.get_string("trace", ""));
+    const TraceScope trace(args.get_string("trace", ""),
+                           args.get_bool("xfer-trace", false));
 
     auto config = session_config_from(args);
     config.mapper_pool = static_cast<std::size_t>(

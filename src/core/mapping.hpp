@@ -41,6 +41,16 @@ struct DeviceRun {
     /// Per-stage op breakdown (filtration / locate / verify) — filled by
     /// mappers that instrument their kernels (REPUTE/CORAL do).
     obs::StageCounters stage;
+    /// Host-to-device bytes staged for this run (resident image + read
+    /// chunks) and device-to-host bytes drained (output chunks). Counted
+    /// even when the device's TransferSpec is unmodeled.
+    std::uint64_t bytes_staged = 0;
+    std::uint64_t bytes_drained = 0;
+    /// Modeled DMA seconds (h2d + d2h) and the compute-timeline stalls
+    /// transfers forced (kernel queue waits plus the final drain tail).
+    /// Zero when transfers are unmodeled.
+    double transfer_seconds = 0.0;
+    double stall_seconds = 0.0;
 };
 
 struct MapResult {
@@ -63,6 +73,15 @@ struct MapResult {
 
     std::uint64_t total_mappings() const noexcept;
     std::size_t reads_mapped() const noexcept; ///< reads with >= 1 mapping
+
+    /// Total bytes staged/drained across devices this run.
+    std::uint64_t bytes_staged() const noexcept;
+    std::uint64_t bytes_drained() const noexcept;
+    /// Fraction of modeled transfer time hidden behind kernel execution:
+    /// 1 - stalls/transfer, clamped to [0, 1]. A fully serialized
+    /// stage+compute+drain loop scores near 0, perfect double buffering
+    /// scores 1. Returns 1 when the run had no modeled transfer time.
+    double transfer_overlap_ratio() const noexcept;
 };
 
 class Mapper {

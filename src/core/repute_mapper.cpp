@@ -55,6 +55,24 @@ MapResult HeterogeneousMapper::map(const genomics::ReadBatch& batch,
                : map_static(batch, delta);
 }
 
+namespace {
+
+/// Publishes the run's transfer/compute overlap ratio once any modeled
+/// transfer time was spent (unmodeled runs leave the gauge untouched so
+/// legacy metric dumps are unchanged).
+void finish_transfer_accounting(const MapResult& result) {
+    double transfer = 0.0;
+    for (const DeviceRun& run : result.device_runs) {
+        transfer += run.transfer_seconds;
+    }
+    if (transfer <= 0.0) return;
+    if (auto* m = obs::metrics()) {
+        m->gauge("xfer.overlap_ratio").set(result.transfer_overlap_ratio());
+    }
+}
+
+} // namespace
+
 MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
                                           std::uint32_t delta) {
     MapResult result;
@@ -78,15 +96,28 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
 
     const auto counts = split_workload(batch.size());
 
-    // Per-device state kept alive until every event completed.
+    // Per-device state kept alive until every event completed. Each
+    // chunk runs as a stage -> kernel -> drain event triple: the write
+    // stages the chunk's reads host-to-device, the kernel hard-waits on
+    // it, and the read drains the output buffer. With double buffering
+    // (and a modeled TransferSpec) two buffer sets alternate, so chunk
+    // k+1's write overlaps chunk k's kernel and the steady-state cost
+    // per chunk drops from stage+compute+drain to max(stage, compute,
+    // drain). Buffer-reuse dependencies ride the ordering-only reuse
+    // list: a failed kernel never touched its buffers, so reusing them
+    // needs no wait and no failure propagation.
     struct DeviceWork {
-        ocl::Buffer resident;       ///< reference + index image
-        ocl::Buffer reads_buffer;   ///< reused across chunk launches
-        ocl::Buffer output_buffer;  ///< reused across chunk launches
-        std::vector<ocl::Event> events;
-        /// Read range [first, second) of each event, for the per-launch
+        ocl::Buffer resident;              ///< reference + index image
+        std::vector<ocl::Buffer> reads;    ///< one per buffer set
+        std::vector<ocl::Buffer> outputs;  ///< one per buffer set
+        ocl::Event resident_write;
+        std::vector<ocl::Event> writes;
+        std::vector<ocl::Event> kernels;
+        std::vector<ocl::Event> reads_done; ///< output drains
+        /// Read range [first, second) of each kernel, for the per-launch
         /// stage breakdown in traces.
         std::vector<std::pair<std::size_t, std::size_t>> ranges;
+        std::size_t sets = 1;
     };
     std::vector<DeviceWork> work(shares_.size());
 
@@ -104,15 +135,25 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
         // ceilings (quarter-of-RAM per buffer, remaining global memory
         // in total). Oversized workloads run as several kernel
         // invocations reusing the same buffers — the paper's fallback.
+        // Double buffering costs a second buffer set; when even one
+        // read does not fit twice, it degrades to a single set rather
+        // than failing.
         const auto& profile = device.profile();
+        const bool staged_device = profile.transfer.modeled();
+        dw.sets = (staged_device && config_.double_buffer) ? 2 : 1;
         const std::uint64_t quarter = profile.max_single_allocation();
         const std::uint64_t free_bytes =
             profile.global_memory_bytes - device.allocated_bytes();
         std::uint64_t max_chunk64 = counts[d];
         max_chunk64 = std::min(max_chunk64, quarter / out_bytes_per_read);
         max_chunk64 = std::min(max_chunk64, quarter / n);
-        max_chunk64 =
-            std::min(max_chunk64, free_bytes / (n + out_bytes_per_read));
+        std::uint64_t per_set =
+            free_bytes / (dw.sets * (n + out_bytes_per_read));
+        if (per_set == 0 && dw.sets > 1) {
+            dw.sets = 1;
+            per_set = free_bytes / (n + out_bytes_per_read);
+        }
+        max_chunk64 = std::min(max_chunk64, per_set);
         if (max_chunk64 == 0) {
             throw ocl::OclError(
                 ocl::OclStatus::MemObjectAllocFail,
@@ -132,18 +173,34 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
             }
         }
 
-        dw.reads_buffer =
-            context.allocate(device, max_chunk * n, "reads");
-        dw.output_buffer = context.allocate(
-            device, max_chunk * out_bytes_per_read, "mappings");
+        for (std::size_t s = 0; s < dw.sets; ++s) {
+            dw.reads.push_back(
+                context.allocate(device, max_chunk * n, "reads"));
+            dw.outputs.push_back(context.allocate(
+                device, max_chunk * out_bytes_per_read, "mappings"));
+        }
 
         std::size_t base = 0;
         for (std::size_t e = 0; e < d; ++e) base += counts[e];
 
         ocl::CommandQueue queue(device);
+        dw.resident_write =
+            queue.enqueue_write(dw.resident, dw.resident.bytes());
         std::size_t remaining = counts[d];
+        std::size_t chunk_index = 0;
         while (remaining > 0) {
             const std::size_t chunk = std::min(remaining, max_chunk);
+            const std::size_t set = chunk_index % dw.sets;
+
+            // Stage the chunk's reads; the buffer set is free again
+            // once the kernel that last used it completed.
+            std::vector<ocl::Event> write_reuse;
+            if (chunk_index >= dw.sets) {
+                write_reuse.push_back(dw.kernels[chunk_index - dw.sets]);
+            }
+            dw.writes.push_back(queue.enqueue_write(
+                dw.reads[set], chunk * n, {}, std::move(write_reuse)));
+
             ocl::KernelLaunch launch;
             launch.name = name_ + "::map";
             launch.n_items = chunk;
@@ -161,34 +218,78 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
                                          kernel_scratch,
                                          &read_stages[base + i]);
             };
-            dw.events.push_back(queue.enqueue(std::move(launch)));
+            std::vector<ocl::Event> kernel_wait{dw.writes.back()};
+            if (chunk_index == 0) {
+                kernel_wait.push_back(dw.resident_write);
+            }
+            std::vector<ocl::Event> kernel_reuse;
+            if (chunk_index >= dw.sets) {
+                kernel_reuse.push_back(
+                    dw.reads_done[chunk_index - dw.sets]);
+            }
+            dw.kernels.push_back(queue.enqueue(std::move(launch),
+                                               std::move(kernel_wait),
+                                               std::move(kernel_reuse)));
+            dw.reads_done.push_back(queue.enqueue_read(
+                dw.outputs[set], chunk * out_bytes_per_read,
+                {dw.kernels.back()}));
             dw.ranges.emplace_back(base, base + chunk);
             base += chunk;
             remaining -= chunk;
+            ++chunk_index;
         }
     }
 
     // Task-parallel completion: devices ran concurrently; the mapping
-    // time is the slowest device's serial total.
+    // time is the slowest device's elapsed total — kernel execution
+    // plus any staging stalls plus the final drain tail (the last
+    // output transfer outliving the last kernel). Everything is
+    // computed from the run's own events, so concurrent mappers sharing
+    // a device (the serve pool) cannot skew each other's numbers.
     double slowest = 0.0;
     for (std::size_t d = 0; d < shares_.size(); ++d) {
         if (counts[d] == 0) continue;
         ocl::Device& device = *shares_[d].device;
+        DeviceWork& dw = work[d];
         DeviceRun run;
         run.device_name = device.name();
         run.reads = counts[d];
         run.power_scale = config_.power_scale;
-        double device_seconds = 0.0;
-        for (std::size_t e = 0; e < work[d].events.size(); ++e) {
-            const ocl::LaunchStats& stats = work[d].events[e].wait();
-            device_seconds += stats.seconds;
+
+        const ocl::LaunchStats& resident_stats = dw.resident_write.wait();
+        run.bytes_staged += dw.resident.bytes();
+        run.transfer_seconds += resident_stats.seconds;
+
+        double exec_seconds = 0.0;
+        double wait_seconds = 0.0;
+        double last_kernel_end = 0.0;
+        double last_drain_end = 0.0;
+        for (std::size_t e = 0; e < dw.kernels.size(); ++e) {
+            const auto [lo, hi] = dw.ranges[e];
+
+            const ocl::LaunchStats& write_stats = dw.writes[e].wait();
+            run.bytes_staged += (hi - lo) * n;
+            run.transfer_seconds += write_stats.seconds;
+
+            const ocl::LaunchStats& stats = dw.kernels[e].wait();
+            exec_seconds += stats.seconds;
+            wait_seconds += stats.queue_wait_seconds;
+            last_kernel_end =
+                std::max(last_kernel_end,
+                         stats.start_seconds + stats.seconds);
             run.stats.items += stats.items;
             run.stats.total_ops += stats.total_ops;
             run.stats.scratch_bytes_per_item = stats.scratch_bytes_per_item;
             run.stats.utilization = stats.utilization;
 
+            const ocl::LaunchStats& drain_stats = dw.reads_done[e].wait();
+            run.bytes_drained += (hi - lo) * out_bytes_per_read;
+            run.transfer_seconds += drain_stats.seconds;
+            last_drain_end =
+                std::max(last_drain_end,
+                         drain_stats.start_seconds + drain_stats.seconds);
+
             obs::StageCounters launch_stage;
-            const auto [lo, hi] = work[d].ranges[e];
             for (std::size_t r = lo; r < hi; ++r) {
                 launch_stage += read_stages[r];
             }
@@ -201,11 +302,16 @@ MapResult HeterogeneousMapper::map_static(const genomics::ReadBatch& batch,
                     stats.seconds, launch_stage);
             }
         }
-        run.stats.seconds = device_seconds;
-        slowest = std::max(slowest, device_seconds);
+        const double drain_tail =
+            std::max(0.0, last_drain_end - last_kernel_end);
+        run.stats.seconds = exec_seconds;
+        run.stall_seconds = wait_seconds + drain_tail;
+        slowest = std::max(slowest,
+                           exec_seconds + wait_seconds + drain_tail);
         result.device_runs.push_back(std::move(run));
     }
     result.mapping_seconds = slowest;
+    finish_transfer_accounting(result);
     return result;
 }
 
@@ -248,23 +354,35 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
     // Resident images plus the chunk ceiling: any chunk must fit the
     // buffer budget of EVERY device, because a failed chunk may be
     // requeued anywhere in the fleet (the paper's multi-run fallback
-    // logic, applied fleet-wide).
+    // logic, applied fleet-wide). Devices with a modeled TransferSpec
+    // run double-buffered (two chunk buffer sets) unless disabled,
+    // degrading to one set when memory is too tight.
     std::vector<ocl::Buffer> resident;
     resident.reserve(devices.size());
+    std::vector<std::size_t> buffer_sets(devices.size(), 1);
     std::uint64_t fleet_chunk_cap = std::numeric_limits<std::uint64_t>::max();
-    for (ocl::Device* device : devices) {
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        ocl::Device* device = devices[d];
         resident.push_back(context.allocate(
             *device,
             reference_->sequence().memory_bytes() + fm_->memory_bytes(),
             "index+reference"));
         const auto& profile = device->profile();
+        if (profile.transfer.modeled() && config_.double_buffer) {
+            buffer_sets[d] = 2;
+        }
         const std::uint64_t quarter = profile.max_single_allocation();
         const std::uint64_t free_bytes =
             profile.global_memory_bytes - device->allocated_bytes();
         std::uint64_t max_chunk = quarter / out_bytes_per_read;
         max_chunk = std::min(max_chunk, quarter / n);
-        max_chunk =
-            std::min(max_chunk, free_bytes / (n + out_bytes_per_read));
+        std::uint64_t per_set =
+            free_bytes / (buffer_sets[d] * (n + out_bytes_per_read));
+        if (per_set == 0 && buffer_sets[d] > 1) {
+            buffer_sets[d] = 1;
+            per_set = free_bytes / (n + out_bytes_per_read);
+        }
+        max_chunk = std::min(max_chunk, per_set);
         if (max_chunk == 0) {
             throw ocl::OclError(
                 ocl::OclStatus::MemObjectAllocFail,
@@ -292,18 +410,43 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
     ChunkScheduler scheduler(devices, warm_start, scheduler_config);
 
     // Per-device read/output buffers sized to the largest planned chunk
-    // and reused across chunk launches.
+    // and reused across chunk launches (one set per buffer_sets entry:
+    // double-buffered devices alternate two).
     std::size_t largest_chunk = 1;
     for (const ChunkRecord& c : scheduler.plan(batch.size())) {
         largest_chunk = std::max(largest_chunk, c.count);
     }
-    std::vector<ocl::Buffer> chunk_buffers;
-    chunk_buffers.reserve(devices.size() * 2);
-    for (ocl::Device* device : devices) {
-        chunk_buffers.push_back(
-            context.allocate(*device, largest_chunk * n, "reads"));
-        chunk_buffers.push_back(context.allocate(
-            *device, largest_chunk * out_bytes_per_read, "mappings"));
+
+    // Per-device staging state. The scheduler runs one worker per
+    // device and always hands device d's chunks to worker d, so each
+    // entry is touched by exactly one thread during run().
+    struct DeviceStage {
+        std::vector<ocl::Buffer> reads;   ///< one per buffer set
+        std::vector<ocl::Buffer> outputs; ///< one per buffer set
+        ocl::Event resident_write;
+        std::vector<ocl::Event> last_kernel; ///< per set
+        std::vector<ocl::Event> last_drain;  ///< per set
+        std::size_t launches = 0;
+        std::uint64_t bytes_staged = 0;
+        std::uint64_t bytes_drained = 0;
+        double transfer_seconds = 0.0;
+        double last_kernel_end = 0.0;
+        double last_drain_end = 0.0;
+    };
+    std::vector<DeviceStage> stages(devices.size());
+    std::map<ocl::Device*, std::size_t> device_index;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        DeviceStage& st = stages[d];
+        st.last_kernel.resize(buffer_sets[d]);
+        st.last_drain.resize(buffer_sets[d]);
+        for (std::size_t s = 0; s < buffer_sets[d]; ++s) {
+            st.reads.push_back(context.allocate(
+                *devices[d], largest_chunk * n, "reads"));
+            st.outputs.push_back(context.allocate(
+                *devices[d], largest_chunk * out_bytes_per_read,
+                "mappings"));
+        }
+        device_index[devices[d]] = d;
     }
 
     // One persistent in-order queue per device: chunk launches on a
@@ -312,10 +455,30 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
     for (ocl::Device* device : devices) {
         queues.try_emplace(device, *device);
     }
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        stages[d].resident_write = queues.at(devices[d])
+                                       .enqueue_write(resident[d],
+                                                      resident[d].bytes());
+    }
 
     ScheduleStats schedule = scheduler.run(
         batch.size(),
         [&](ocl::Device& device, std::size_t begin, std::size_t count) {
+            const std::size_t d = device_index.at(&device);
+            DeviceStage& st = stages[d];
+            ocl::CommandQueue& queue = queues.at(&device);
+            const std::size_t set = st.launches % st.last_kernel.size();
+
+            // Stage this chunk's reads; the set is free once the kernel
+            // that last used it completed (ordering-only reuse dep — a
+            // faulted kernel must not cascade into later stages).
+            std::vector<ocl::Event> write_reuse;
+            if (st.last_kernel[set].valid()) {
+                write_reuse.push_back(st.last_kernel[set]);
+            }
+            ocl::Event write = queue.enqueue_write(
+                st.reads[set], count * n, {}, std::move(write_reuse));
+
             ocl::KernelLaunch launch;
             launch.name = name_ + "::map-chunk";
             launch.n_items = count;
@@ -334,8 +497,40 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
                                          kernel_scratch,
                                          &read_stages[begin + i]);
             };
-            const ocl::LaunchStats stats =
-                queues.at(&device).run(std::move(launch));
+            std::vector<ocl::Event> kernel_wait{write};
+            if (st.launches == 0) {
+                kernel_wait.push_back(st.resident_write);
+            }
+            std::vector<ocl::Event> kernel_reuse;
+            if (st.last_drain[set].valid()) {
+                kernel_reuse.push_back(st.last_drain[set]);
+            }
+            ocl::Event kernel = queue.enqueue(std::move(launch),
+                                              std::move(kernel_wait),
+                                              std::move(kernel_reuse));
+
+            // The write cannot fault; account it before the kernel wait
+            // so a retried chunk still shows the staging it burned.
+            const ocl::LaunchStats& write_stats = write.wait();
+            st.bytes_staged += count * n;
+            st.transfer_seconds += write_stats.seconds;
+            ++st.launches;
+
+            const ocl::LaunchStats stats = kernel.wait(); // throws on fault
+            st.last_kernel[set] = kernel;
+            st.last_kernel_end = std::max(
+                st.last_kernel_end, stats.start_seconds + stats.seconds);
+
+            ocl::Event drain = queue.enqueue_read(
+                st.outputs[set], count * out_bytes_per_read, {kernel});
+            const ocl::LaunchStats& drain_stats = drain.wait();
+            st.last_drain[set] = drain;
+            st.bytes_drained += count * out_bytes_per_read;
+            st.transfer_seconds += drain_stats.seconds;
+            st.last_drain_end =
+                std::max(st.last_drain_end,
+                         drain_stats.start_seconds + drain_stats.seconds);
+
             if (auto* recorder = obs::trace()) {
                 obs::StageCounters chunk_stage;
                 for (std::size_t r = begin; r < begin + count; ++r) {
@@ -351,12 +546,26 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
         });
 
     for (std::size_t d = 0; d < devices.size(); ++d) {
-        const DeviceScheduleStats& pd = schedule.per_device[d];
+        DeviceStage& st = stages[d];
+        DeviceScheduleStats& pd = schedule.per_device[d];
+        const ocl::LaunchStats& resident_stats = st.resident_write.wait();
+        st.bytes_staged += resident[d].bytes();
+        st.transfer_seconds += resident_stats.seconds;
+        // The last output drain may outlive the last kernel; that tail
+        // extends the device's elapsed time (and the makespan) like any
+        // other stall.
+        pd.stall_seconds +=
+            std::max(0.0, st.last_drain_end - st.last_kernel_end);
+
         DeviceRun run;
         run.device_name = pd.device_name;
         run.reads = pd.items;
         run.power_scale = config_.power_scale;
         run.stats = pd.stats;
+        run.bytes_staged = st.bytes_staged;
+        run.bytes_drained = st.bytes_drained;
+        run.transfer_seconds = st.transfer_seconds;
+        run.stall_seconds = pd.stall_seconds;
         for (const ChunkRecord& c : schedule.records) {
             if (c.device != d) continue;
             for (std::size_t r = c.begin; r < c.begin + c.count; ++r) {
@@ -367,6 +576,7 @@ MapResult HeterogeneousMapper::map_dynamic(const genomics::ReadBatch& batch,
     }
     result.mapping_seconds = schedule.makespan_seconds();
     result.schedule = std::move(schedule);
+    finish_transfer_accounting(result);
     return result;
 }
 

@@ -52,6 +52,12 @@ struct HeterogeneousMapperConfig {
     ScheduleMode schedule = ScheduleMode::StaticSplit;
     /// Chunking/retry knobs for ScheduleMode::Dynamic.
     SchedulerConfig scheduler;
+    /// Stage chunk k+1's buffers while chunk k executes, through a
+    /// second buffer set chained via event wait-lists. Only takes
+    /// effect on devices whose TransferSpec is modeled (staging is free
+    /// otherwise, and one buffer set keeps chunk sizing unchanged);
+    /// output is byte-identical either way.
+    bool double_buffer = true;
 };
 
 class HeterogeneousMapper final : public Mapper {

@@ -15,7 +15,7 @@ namespace repute::core {
 double ScheduleStats::makespan_seconds() const noexcept {
     double makespan = 0.0;
     for (const DeviceScheduleStats& d : per_device) {
-        makespan = std::max(makespan, d.busy_seconds);
+        makespan = std::max(makespan, d.busy_seconds + d.stall_seconds);
     }
     return makespan;
 }
@@ -176,12 +176,16 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
     };
     // A device may take its next chunk only while its modeled clock is
     // the minimum of the surviving fleet — the order real devices of
-    // these speeds would pull in. Ties run concurrently.
+    // these speeds would pull in. Ties run concurrently. The clock is
+    // elapsed device time: execution plus staging stalls.
+    auto device_clock = [&](std::size_t d) {
+        return stats.per_device[d].busy_seconds +
+               stats.per_device[d].stall_seconds;
+    };
     auto clock_is_min = [&](std::size_t d) {
         for (std::size_t e = 0; e < devices_.size(); ++e) {
             if (quarantined[e]) continue;
-            if (stats.per_device[d].busy_seconds >
-                stats.per_device[e].busy_seconds + 1e-15) {
+            if (device_clock(d) > device_clock(e) + 1e-15) {
                 return false;
             }
         }
@@ -194,9 +198,9 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
         for (std::size_t e = 0; e < devices_.size(); ++e) {
             if (quarantined[e] || e == self) continue;
             if (best == devices_.size() ||
-                stats.per_device[e].busy_seconds + 1e-9 *
-                        static_cast<double>(queued_items(e)) <
-                    stats.per_device[best].busy_seconds +
+                device_clock(e) +
+                        1e-9 * static_cast<double>(queued_items(e)) <
+                    device_clock(best) +
                         1e-9 * static_cast<double>(queued_items(best))) {
                 best = e;
             }
@@ -248,8 +252,7 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
                     obs::TraceInstant instant;
                     instant.name = "steal";
                     instant.device = devices_[d]->name();
-                    instant.at_seconds =
-                        stats.per_device[d].busy_seconds;
+                    instant.at_seconds = device_clock(d);
                     instant.detail =
                         "from " + devices_[victim]->name() + " chunk [" +
                         std::to_string(chunk.begin) + ", " +
@@ -282,7 +285,7 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
                     obs::TraceInstant instant;
                     instant.name = "retry";
                     instant.device = devices_[d]->name();
-                    instant.at_seconds = pd.busy_seconds;
+                    instant.at_seconds = pd.busy_seconds + pd.stall_seconds;
                     instant.detail = "chunk [" +
                                      std::to_string(chunk.begin) + ", " +
                                      std::to_string(chunk.begin +
@@ -313,7 +316,8 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
                         obs::TraceInstant instant;
                         instant.name = "quarantine";
                         instant.device = devices_[d]->name();
-                        instant.at_seconds = pd.busy_seconds;
+                        instant.at_seconds =
+                            pd.busy_seconds + pd.stall_seconds;
                         instant.detail =
                             std::to_string(consecutive_failures[d]) +
                             " consecutive launch failures";
@@ -354,6 +358,7 @@ ScheduleStats ChunkScheduler::run(std::size_t total_items,
             lock.lock();
             DeviceScheduleStats& pd = stats.per_device[d];
             pd.busy_seconds += launch_stats.seconds;
+            pd.stall_seconds += launch_stats.queue_wait_seconds;
             ++pd.chunks;
             pd.items += chunk.count;
             pd.stats.items += launch_stats.items;

@@ -78,8 +78,14 @@ struct DeviceScheduleStats {
     std::size_t failures = 0; ///< faulted launches observed on it
     bool quarantined = false;
     /// Modeled seconds the device was occupied (successful launches
-    /// plus the dispatch overhead of failed ones).
+    /// plus the dispatch overhead of failed ones). Pure execution time:
+    /// queue-wait stalls live in stall_seconds, so busy / elapsed can no
+    /// longer exceed 100%.
     double busy_seconds = 0.0;
+    /// Modeled seconds launches sat idle waiting for wait-list
+    /// dependencies (buffer staging/drain), plus the post-run drain
+    /// tail the mapper adds. Elapsed device time = busy + stall.
+    double stall_seconds = 0.0;
     ocl::LaunchStats stats;   ///< aggregate over its completed launches
 };
 
@@ -91,7 +97,7 @@ struct ScheduleStats {
     std::vector<ChunkRecord> records;
 
     /// Modeled wall time: devices drain in parallel, so the schedule
-    /// finishes when the busiest device does.
+    /// finishes when the busiest device does (execution plus stalls).
     double makespan_seconds() const noexcept;
 };
 

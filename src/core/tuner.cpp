@@ -64,9 +64,26 @@ TuneResult tune_shares(const genomics::Reference& reference,
                                      delta, kernel, out);
         };
         const auto stats = queue.run(std::move(launch));
-        if (stats.seconds > 0.0) {
+        // Fold the modeled host<->device transfer cost of a probe-sized
+        // chunk into the device's effective rate: a device behind a slow
+        // bus maps fewer reads per second than its kernel time suggests.
+        // Double-buffered staging hides transfers behind compute
+        // (steady-state chunk cost = max of the three), serialized
+        // staging pays their sum.
+        const ocl::TransferSpec& spec = device.profile().transfer;
+        const double write_seconds =
+            spec.seconds_for(static_cast<std::uint64_t>(probe) *
+                             batch.read_length);
+        const double read_seconds = spec.seconds_for(
+            static_cast<std::uint64_t>(probe) *
+            kernel.max_locations_per_read * 8);
+        const double chunk_seconds =
+            config.double_buffer
+                ? std::max({stats.seconds, write_seconds, read_seconds})
+                : stats.seconds + write_seconds + read_seconds;
+        if (chunk_seconds > 0.0) {
             result.reads_per_second[d] =
-                static_cast<double>(probe) / stats.seconds;
+                static_cast<double>(probe) / chunk_seconds;
         }
     }
 

@@ -25,6 +25,12 @@ struct TuneConfig {
     /// Devices slower than this fraction of the fastest are dropped
     /// (their dispatch overhead would dominate their contribution).
     double min_useful_fraction = 0.02;
+    /// Whether the mapper the shares are tuned for will double-buffer
+    /// its staging. Affects how a device's modeled TransferSpec folds
+    /// into its effective rate: overlapped staging costs
+    /// max(compute, stage, drain) per chunk, serialized staging costs
+    /// their sum. Ignored for devices with unmodeled transfers.
+    bool double_buffer = true;
 };
 
 struct TuneResult {

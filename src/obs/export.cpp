@@ -147,6 +147,10 @@ std::string chrome_trace_json(const TraceRecorder& recorder) {
                     pid, tid);
             if (track == kSchedulerTrack) {
                 out += "scheduler";
+            } else if (track == kXferWriteTrack) {
+                out += "dma-h2d";
+            } else if (track == kXferReadTrack) {
+                out += "dma-d2h";
             } else {
                 appendf(out, "queue %llu",
                         static_cast<unsigned long long>(track));
@@ -247,6 +251,64 @@ std::string stage_summary(const TraceRecorder& recorder,
             out += "-- metrics --\n";
             out += dump;
         }
+    }
+    return out;
+}
+
+std::string xfer_summary(const MetricsRegistry& metrics) {
+    const auto counters = metrics.counter_values();
+    const auto gauges = metrics.gauge_values();
+    auto counter = [&](const std::string& name) -> std::uint64_t {
+        const auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t total_written = counter("xfer.bytes_written");
+    const std::uint64_t total_read = counter("xfer.bytes_read");
+    if (total_written == 0 && total_read == 0) return {};
+
+    // Per-buffer rows from the xfer.buf.<name>.<direction> counters.
+    // Both directions of one buffer fold into a single row.
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> buffers;
+    const std::string prefix = "xfer.buf.";
+    auto suffix_of = [](const std::string& name, const std::string& tail) {
+        return name.size() > tail.size() &&
+               name.compare(name.size() - tail.size(), tail.size(), tail) ==
+                   0;
+    };
+    for (const auto& [name, value] : counters) {
+        if (name.rfind(prefix, 0) != 0) continue;
+        // Parse by known suffix — buffer names may themselves contain
+        // dots.
+        const std::string written_tail = ".bytes_written";
+        const std::string read_tail = ".bytes_read";
+        if (suffix_of(name, written_tail)) {
+            buffers[name.substr(prefix.size(), name.size() - prefix.size() -
+                                                   written_tail.size())]
+                .first += value;
+        } else if (suffix_of(name, read_tail)) {
+            buffers[name.substr(prefix.size(), name.size() - prefix.size() -
+                                                   read_tail.size())]
+                .second += value;
+        }
+    }
+
+    std::string out;
+    appendf(out, "%-28s %14s %14s\n", "buffer", "h2d bytes", "d2h bytes");
+    for (const auto& [buffer, bytes] : buffers) {
+        appendf(out, "%-28s %14llu %14llu\n", buffer.c_str(),
+                static_cast<unsigned long long>(bytes.first),
+                static_cast<unsigned long long>(bytes.second));
+    }
+    appendf(out, "%-28s %14llu %14llu\n", "total",
+            static_cast<unsigned long long>(total_written),
+            static_cast<unsigned long long>(total_read));
+    appendf(out, "transfers: %llu writes, %llu reads\n",
+            static_cast<unsigned long long>(counter("xfer.writes")),
+            static_cast<unsigned long long>(counter("xfer.reads")));
+    const auto overlap = gauges.find("xfer.overlap_ratio");
+    if (overlap != gauges.end()) {
+        appendf(out, "transfer/compute overlap ratio: %.3f\n",
+                overlap->second);
     }
     return out;
 }

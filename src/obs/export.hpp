@@ -29,4 +29,11 @@ std::string chrome_trace_json(const TraceRecorder& recorder);
 std::string stage_summary(const TraceRecorder& recorder,
                           const MetricsRegistry* metrics = nullptr);
 
+/// Plain-text host<->device transfer table: one row per buffer
+/// (`xfer.buf.*` counters) with staged/drained bytes, a fleet total
+/// row, and the modeled transfer seconds + transfer/compute overlap
+/// ratio when those metrics were recorded. Empty string when the run
+/// performed no transfers.
+std::string xfer_summary(const MetricsRegistry& metrics);
+
 } // namespace repute::obs

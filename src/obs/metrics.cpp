@@ -52,4 +52,23 @@ std::string MetricsRegistry::format() const {
     return out;
 }
 
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values()
+    const {
+    const std::lock_guard lock(mutex_);
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [name, counter] : counters_) {
+        out[name] = counter->value();
+    }
+    return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauge_values() const {
+    const std::lock_guard lock(mutex_);
+    std::map<std::string, double> out;
+    for (const auto& [name, gauge] : gauges_) {
+        out[name] = gauge->value();
+    }
+    return out;
+}
+
 } // namespace repute::obs

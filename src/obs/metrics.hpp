@@ -134,6 +134,10 @@ public:
     /// sorted by name.
     std::string format() const;
 
+    /// Name-sorted value snapshots (used by the xfer summary exporter).
+    std::map<std::string, std::uint64_t> counter_values() const;
+    std::map<std::string, double> gauge_values() const;
+
 private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -40,7 +40,10 @@ std::map<std::string, double> TraceRecorder::device_busy_seconds() const {
     const std::lock_guard lock(mutex_);
     std::map<std::string, double> busy;
     for (const TraceSpan& span : spans_) {
-        if (span.track == kSchedulerTrack || !span.stage.empty()) continue;
+        if (span.track == kSchedulerTrack || span.track == kXferWriteTrack ||
+            span.track == kXferReadTrack || !span.stage.empty()) {
+            continue;
+        }
         busy[span.device] += span.duration_seconds;
     }
     return busy;

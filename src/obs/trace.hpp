@@ -33,6 +33,12 @@ namespace repute::obs {
 /// Track (Chrome tid) carrying scheduler chunk spans and instants;
 /// kernel launches use their queue id as the track.
 inline constexpr std::uint64_t kSchedulerTrack = ~std::uint64_t{0};
+/// Tracks carrying modeled host<->device DMA transfers ("dma-h2d" /
+/// "dma-d2h" threads in the Chrome export). Transfers overlap kernel
+/// launches, so like the scheduler track they are excluded from
+/// device_busy_seconds().
+inline constexpr std::uint64_t kXferWriteTrack = ~std::uint64_t{0} - 1;
+inline constexpr std::uint64_t kXferReadTrack = ~std::uint64_t{0} - 2;
 
 /// One closed interval on a device's modeled clock.
 struct TraceSpan {

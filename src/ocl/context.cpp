@@ -7,7 +7,7 @@ namespace repute::ocl {
 
 Buffer::Buffer(Buffer&& other) noexcept
     : device_(other.device_), bytes_(other.bytes_),
-      name_(std::move(other.name_)) {
+      name_(std::move(other.name_)), xfer_(std::move(other.xfer_)) {
     other.device_ = nullptr;
     other.bytes_ = 0;
 }
@@ -18,6 +18,7 @@ Buffer& Buffer::operator=(Buffer&& other) noexcept {
         device_ = other.device_;
         bytes_ = other.bytes_;
         name_ = std::move(other.name_);
+        xfer_ = std::move(other.xfer_);
         other.device_ = nullptr;
         other.bytes_ = 0;
     }

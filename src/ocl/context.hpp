@@ -12,6 +12,7 @@
 // the paper describes (limit mappings per read, or split the read set
 // and run the kernel multiple times).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -22,6 +23,16 @@
 namespace repute::ocl {
 
 class Context;
+
+/// Per-buffer transfer counters, shared between the Buffer handle and
+/// in-flight enqueue_write/enqueue_read tasks (which may outlive a
+/// moved-from handle). Relaxed atomics: counts, not synchronization.
+struct BufferXfer {
+    std::atomic<std::uint64_t> bytes_written{0};
+    std::atomic<std::uint64_t> bytes_read{0};
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> reads{0};
+};
 
 /// RAII device allocation. Move-only.
 class Buffer {
@@ -37,17 +48,31 @@ public:
     const std::string& name() const noexcept { return name_; }
     bool valid() const noexcept { return device_ != nullptr; }
 
+    /// Host-to-device bytes staged into this buffer so far.
+    std::uint64_t bytes_written() const noexcept {
+        return xfer_ ? xfer_->bytes_written.load(std::memory_order_relaxed)
+                     : 0;
+    }
+    /// Device-to-host bytes drained from this buffer so far.
+    std::uint64_t bytes_read() const noexcept {
+        return xfer_ ? xfer_->bytes_read.load(std::memory_order_relaxed) : 0;
+    }
+    /// Shared counter block (used by CommandQueue transfer tasks).
+    const std::shared_ptr<BufferXfer>& xfer() const noexcept { return xfer_; }
+
     /// Releases the allocation early.
     void release() noexcept;
 
 private:
     friend class Context;
     Buffer(Device* device, std::uint64_t bytes, std::string name)
-        : device_(device), bytes_(bytes), name_(std::move(name)) {}
+        : device_(device), bytes_(bytes), name_(std::move(name)),
+          xfer_(std::make_shared<BufferXfer>()) {}
 
     Device* device_ = nullptr;
     std::uint64_t bytes_ = 0;
     std::string name_;
+    std::shared_ptr<BufferXfer> xfer_;
 };
 
 class Context {

@@ -30,7 +30,8 @@ double Device::utilization_for_scratch(
 }
 
 LaunchStats Device::execute(std::size_t n_items, const WorkItem& body,
-                            std::uint64_t scratch_bytes_per_item) {
+                            std::uint64_t scratch_bytes_per_item,
+                            double ready_seconds) {
     if (scratch_bytes_per_item > profile_.private_memory_per_unit) {
         throw OclError(
             OclStatus::OutOfResources,
@@ -59,12 +60,43 @@ LaunchStats Device::execute(std::size_t n_items, const WorkItem& body,
                     static_cast<double>(stats.total_ops) / throughput;
 
     {
-        // The launch occupies [busy, busy + seconds) on the device
+        // The launch occupies [start, start + seconds) on the device
         // clock: launches serialize on exec_mutex_, so back-to-back
-        // intervals model an in-order device.
+        // intervals model an in-order device. A launch whose inputs are
+        // still in flight (ready_seconds ahead of the compute frontier)
+        // stalls the timeline — that gap is queue_wait_seconds, kept out
+        // of busy_seconds_ so utilization never exceeds 100%.
         const std::lock_guard time_lock(time_mutex_);
-        stats.start_seconds = busy_seconds_;
+        const double start = std::max(compute_clock_, ready_seconds);
+        stats.queue_wait_seconds = start - compute_clock_;
+        stats.start_seconds = start;
+        compute_clock_ = start + stats.seconds;
         busy_seconds_ += stats.seconds;
+    }
+    return stats;
+}
+
+LaunchStats Device::transfer(std::uint64_t bytes, bool host_to_device,
+                             double ready_seconds) {
+    LaunchStats stats;
+    // DMA does not occupy compute units: only the per-direction channel
+    // clock advances, so transfers overlap kernel execution and each
+    // other across directions (full-duplex link).
+    const std::lock_guard time_lock(time_mutex_);
+    stats.seconds = profile_.transfer.seconds_for(bytes);
+    double& channel = host_to_device ? h2d_clock_ : d2h_clock_;
+    const double start = std::max(channel, ready_seconds);
+    stats.queue_wait_seconds = start - channel;
+    stats.start_seconds = start;
+    channel = start + stats.seconds;
+    if (host_to_device) {
+        xfer_.bytes_written += bytes;
+        xfer_.writes += 1;
+        xfer_.write_seconds += stats.seconds;
+    } else {
+        xfer_.bytes_read += bytes;
+        xfer_.reads += 1;
+        xfer_.read_seconds += stats.seconds;
     }
     return stats;
 }
@@ -120,6 +152,20 @@ double Device::busy_seconds() const noexcept {
 void Device::reset_busy_time() noexcept {
     const std::lock_guard lock(time_mutex_);
     busy_seconds_ = 0.0;
+    compute_clock_ = 0.0;
+    h2d_clock_ = 0.0;
+    d2h_clock_ = 0.0;
+    xfer_ = TransferStats{};
+}
+
+void Device::set_transfer_spec(const TransferSpec& spec) noexcept {
+    const std::lock_guard lock(time_mutex_);
+    profile_.transfer = spec;
+}
+
+TransferStats Device::transfer_stats() const noexcept {
+    const std::lock_guard lock(time_mutex_);
+    return xfer_;
 }
 
 } // namespace repute::ocl

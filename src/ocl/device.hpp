@@ -51,6 +51,31 @@ struct PowerSpec {
     double active_watts = 0.0; ///< delta over system idle when busy
 };
 
+/// Modeled host<->device transfer channel (PCIe link, SoC interconnect).
+/// The default — zero bandwidth, zero latency — leaves transfers
+/// *unmodeled*: enqueue_write/enqueue_read still count bytes but take
+/// zero modeled time, so legacy profiles and every pinned modeled-time
+/// expectation stay bit-identical. Benches and sessions opt in via
+/// Device::set_transfer_spec().
+struct TransferSpec {
+    double bytes_per_second = 0.0; ///< sustained link bandwidth
+    double latency_seconds = 0.0;  ///< fixed per-transfer setup cost
+
+    bool modeled() const noexcept {
+        return bytes_per_second > 0.0 || latency_seconds > 0.0;
+    }
+    /// Modeled duration of one transfer: latency + bytes/bandwidth
+    /// (0 when unmodeled).
+    double seconds_for(std::uint64_t bytes) const noexcept {
+        if (!modeled()) return 0.0;
+        double seconds = latency_seconds;
+        if (bytes_per_second > 0.0) {
+            seconds += static_cast<double>(bytes) / bytes_per_second;
+        }
+        return seconds;
+    }
+};
+
 struct DeviceProfile {
     std::string name;
     DeviceType type = DeviceType::Cpu;
@@ -65,6 +90,8 @@ struct DeviceProfile {
     std::uint32_t min_resident_items = 1;
     double dispatch_overhead_seconds = 1e-4;
     PowerSpec power;
+    /// Host<->device transfer model (unmodeled by default).
+    TransferSpec transfer;
 
     /// OpenCL 1.2 restriction (paper §III-b): one allocation may not
     /// exceed a quarter of device memory.
@@ -83,7 +110,25 @@ struct LaunchStats {
     /// are recorded against. Meaningless for aggregated stats.
     double start_seconds = 0.0;
     double seconds = 0.0;   ///< modeled duration on the device
+    /// Time this launch sat idle on the device waiting for its wait-list
+    /// dependencies (staged input / free buffer) after the device itself
+    /// became available. A stall, not busy time: Device::busy_seconds()
+    /// and DeviceScheduleStats::busy_seconds exclude it so utilization
+    /// can no longer exceed 100% when events are chained via wait-lists.
+    double queue_wait_seconds = 0.0;
     double utilization = 1.0;
+};
+
+/// Cumulative host<->device transfer accounting for one device.
+/// "written" = host-to-device staging, "read" = device-to-host drains —
+/// the clEnqueueWriteBuffer / clEnqueueReadBuffer directions.
+struct TransferStats {
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    double write_seconds = 0.0; ///< modeled h2d DMA time
+    double read_seconds = 0.0;  ///< modeled d2h DMA time
 };
 
 /// Deterministic fault-injection plan (testing / resilience work).
@@ -121,18 +166,41 @@ public:
     /// Executes `n_items` work-items (blocking). Throws OclError
     /// (OutOfResources) when `scratch_bytes_per_item` exceeds private
     /// memory. Thread-safe; concurrent callers serialize on the device
-    /// like in-order queues sharing hardware.
+    /// like in-order queues sharing hardware. `ready_seconds` is the
+    /// device-clock instant the launch's inputs are available (the max
+    /// end of its wait-list events): the launch starts no earlier, and
+    /// any gap it forces on the compute timeline is reported as
+    /// LaunchStats::queue_wait_seconds rather than folded into
+    /// busy_seconds().
     LaunchStats execute(std::size_t n_items, const WorkItem& body,
-                        std::uint64_t scratch_bytes_per_item);
+                        std::uint64_t scratch_bytes_per_item,
+                        double ready_seconds = 0.0);
+
+    /// Advances the modeled DMA clock for one host<->device transfer of
+    /// `bytes` (write = host-to-device). h2d and d2h run on independent
+    /// channels (full-duplex link) and both overlap compute; within one
+    /// direction transfers serialize. Returns stats on the same device
+    /// clock as execute() (items/total_ops are 0). Zero modeled duration
+    /// when the profile's TransferSpec is unmodeled — bytes still count.
+    LaunchStats transfer(std::uint64_t bytes, bool host_to_device,
+                         double ready_seconds = 0.0);
 
     /// Modeled occupancy-adjusted utilization for a given per-item
     /// scratch requirement (1.0 = full throughput).
     double utilization_for_scratch(
         std::uint64_t scratch_bytes_per_item) const noexcept;
 
-    /// Total modeled busy seconds accumulated by execute() calls.
+    /// Total modeled busy seconds accumulated by execute() calls — pure
+    /// kernel time, excluding queue-wait stalls and DMA transfers.
     double busy_seconds() const noexcept;
+    /// Resets the compute clock, both DMA clocks and transfer counters.
     void reset_busy_time() noexcept;
+
+    /// Installs a transfer model (benches/sessions opt in per device;
+    /// built-in profiles default to unmodeled).
+    void set_transfer_spec(const TransferSpec& spec) noexcept;
+    /// Cumulative transfer accounting since construction / reset.
+    TransferStats transfer_stats() const noexcept;
 
     /// Arms fault injection for subsequent launches (resets the launch
     /// counter and the transient stream). Thread-safe.
@@ -157,7 +225,11 @@ private:
     DeviceProfile profile_;
     std::unique_ptr<util::ThreadPool> pool_;
     std::mutex exec_mutex_;   ///< serializes launches (in-order device)
-    double busy_seconds_ = 0.0;
+    double busy_seconds_ = 0.0;   ///< pure exec time (no waits, no DMA)
+    double compute_clock_ = 0.0;  ///< frontier of the in-order timeline
+    double h2d_clock_ = 0.0;      ///< host-to-device DMA channel frontier
+    double d2h_clock_ = 0.0;      ///< device-to-host DMA channel frontier
+    TransferStats xfer_;
     mutable std::mutex time_mutex_;
     std::uint64_t allocated_ = 0;
 

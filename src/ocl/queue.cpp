@@ -1,5 +1,8 @@
 #include "ocl/queue.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "obs/trace.hpp"
 
 namespace repute::ocl {
@@ -25,12 +28,47 @@ const LaunchStats& Event::wait() {
     return state_->stats;
 }
 
+namespace {
+
+/// Settles both dependency lists and returns the modeled instant the
+/// dependent operation's inputs are ready: the max end (start + seconds)
+/// over all completed events. A throwing `wait_list` dependency
+/// propagates; a throwing `reuse_list` dependency is absorbed and
+/// contributes no ready time — a failed launch never advanced the
+/// modeled clock and never touched its buffers, so reuse needs no wait.
+double settle_dependencies(std::vector<Event>& wait_list,
+                           std::vector<Event>& reuse_list) {
+    double ready = 0.0;
+    for (Event& dependency : wait_list) {
+        const LaunchStats& dep = dependency.wait();
+        ready = std::max(ready, dep.start_seconds + dep.seconds);
+    }
+    for (Event& dependency : reuse_list) {
+        try {
+            const LaunchStats& dep = dependency.wait();
+            ready = std::max(ready, dep.start_seconds + dep.seconds);
+        } catch (...) {
+            // Ordering only; the producer's error surfaces through its
+            // own event.
+        }
+    }
+    return ready;
+}
+
+} // namespace
+
 Event CommandQueue::enqueue(KernelLaunch launch) {
-    return enqueue(std::move(launch), {});
+    return enqueue(std::move(launch), {}, {});
 }
 
 Event CommandQueue::enqueue(KernelLaunch launch,
                             std::vector<Event> wait_list) {
+    return enqueue(std::move(launch), std::move(wait_list), {});
+}
+
+Event CommandQueue::enqueue(KernelLaunch launch,
+                            std::vector<Event> wait_list,
+                            std::vector<Event> reuse_list) {
     Device* device = device_;
     const std::uint64_t queue_id = queue_id_;
 
@@ -45,13 +83,13 @@ Event CommandQueue::enqueue(KernelLaunch launch,
     auto future =
         std::async(std::launch::async,
                    [device, queue_id, prev, launch = std::move(launch),
-                    wait_list = std::move(wait_list)]() mutable
+                    wait_list = std::move(wait_list),
+                    reuse_list = std::move(reuse_list)]() mutable
                    -> LaunchStats {
-                       // Dependencies first; a throwing dependency
-                       // propagates and fails this event as well.
-                       for (Event& dependency : wait_list) {
-                           dependency.wait();
-                       }
+                       // Dependencies first; a throwing wait-list
+                       // dependency propagates and fails this event too.
+                       const double ready =
+                           settle_dependencies(wait_list, reuse_list);
                        if (prev.valid()) {
                            try {
                                prev.wait();
@@ -62,7 +100,8 @@ Event CommandQueue::enqueue(KernelLaunch launch,
                        }
                        const LaunchStats stats =
                            device->execute(launch.n_items, launch.body,
-                                           launch.scratch_bytes_per_item);
+                                           launch.scratch_bytes_per_item,
+                                           ready);
                        if (auto* recorder = obs::trace()) {
                            obs::TraceSpan span;
                            span.name = launch.name;
@@ -77,6 +116,124 @@ Event CommandQueue::enqueue(KernelLaunch launch,
             .share();
     Event event{std::move(future)};
     last_ = event;
+    return event;
+}
+
+Event CommandQueue::enqueue_write(const Buffer& buffer, std::uint64_t bytes,
+                                  std::vector<Event> wait_list,
+                                  std::vector<Event> reuse_list) {
+    return enqueue_transfer(buffer, bytes, /*host_to_device=*/true,
+                            std::move(wait_list), std::move(reuse_list));
+}
+
+Event CommandQueue::enqueue_read(const Buffer& buffer, std::uint64_t bytes,
+                                 std::vector<Event> wait_list,
+                                 std::vector<Event> reuse_list) {
+    return enqueue_transfer(buffer, bytes, /*host_to_device=*/false,
+                            std::move(wait_list), std::move(reuse_list));
+}
+
+Event CommandQueue::enqueue_transfer(const Buffer& buffer,
+                                     std::uint64_t bytes,
+                                     bool host_to_device,
+                                     std::vector<Event> wait_list,
+                                     std::vector<Event> reuse_list) {
+    if (!buffer.valid()) {
+        throw std::invalid_argument("enqueue transfer on a released buffer");
+    }
+    if (bytes > buffer.bytes()) {
+        throw std::invalid_argument(
+            "transfer of " + std::to_string(bytes) + " bytes overruns '" +
+            buffer.name() + "' (" + std::to_string(buffer.bytes()) +
+            " bytes)");
+    }
+    Device* device = device_;
+    // The task captures the shared counter block, not the Buffer: the
+    // handle may be moved or released while the transfer is in flight.
+    std::shared_ptr<BufferXfer> xfer = buffer.xfer();
+    std::string buffer_name = buffer.name();
+
+    // Transfers serialize per direction (one DMA engine per channel) so
+    // channel-clock assignment is deterministic, but chain neither on
+    // kernels nor on the opposite direction — staging batch k+1 overlaps
+    // both compute and the drain of batch k.
+    const std::lock_guard order_lock(order_mutex_);
+    Event prev = host_to_device ? last_write_ : last_read_;
+
+    auto future =
+        std::async(std::launch::async,
+                   [device, bytes, host_to_device, prev,
+                    xfer = std::move(xfer),
+                    buffer_name = std::move(buffer_name),
+                    wait_list = std::move(wait_list),
+                    reuse_list = std::move(reuse_list)]() mutable
+                   -> LaunchStats {
+                       const double ready =
+                           settle_dependencies(wait_list, reuse_list);
+                       if (prev.valid()) {
+                           try {
+                               prev.wait();
+                           } catch (...) {
+                               // Ordering only.
+                           }
+                       }
+                       const LaunchStats stats =
+                           device->transfer(bytes, host_to_device, ready);
+                       if (host_to_device) {
+                           xfer->bytes_written.fetch_add(
+                               bytes, std::memory_order_relaxed);
+                           xfer->writes.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                       } else {
+                           xfer->bytes_read.fetch_add(
+                               bytes, std::memory_order_relaxed);
+                           xfer->reads.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                       }
+                       if (auto* metrics = obs::metrics()) {
+                           const char* direction = host_to_device
+                                                       ? "bytes_written"
+                                                       : "bytes_read";
+                           metrics
+                               ->counter(std::string("xfer.") + direction)
+                               .add(bytes);
+                           metrics
+                               ->counter(host_to_device ? "xfer.writes"
+                                                        : "xfer.reads")
+                               .add();
+                           metrics
+                               ->counter("xfer.buf." + buffer_name + "." +
+                                         direction)
+                               .add(bytes);
+                           if (stats.seconds > 0.0) {
+                               metrics->histogram("xfer.seconds")
+                                   .observe(stats.seconds);
+                           }
+                       }
+                       // Zero-duration (unmodeled) transfers stay out of
+                       // the trace so legacy exports are byte-identical.
+                       if (stats.seconds > 0.0) {
+                           if (auto* recorder = obs::trace()) {
+                               obs::TraceSpan span;
+                               span.name =
+                                   (host_to_device ? "h2d:" : "d2h:") +
+                                   buffer_name;
+                               span.device = device->name();
+                               span.track = host_to_device
+                                                ? obs::kXferWriteTrack
+                                                : obs::kXferReadTrack;
+                               span.start_seconds = stats.start_seconds;
+                               span.duration_seconds = stats.seconds;
+                               span.detail =
+                                   std::to_string(bytes) + " bytes";
+                               recorder->record(std::move(span));
+                           }
+                       }
+                       return stats;
+                   })
+            .share();
+    Event event{std::move(future)};
+    (host_to_device ? last_write_ : last_read_) = event;
     return event;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ocl/context.hpp"
 #include "ocl/device.hpp"
 
 namespace repute::ocl {
@@ -79,18 +80,56 @@ public:
 
     /// Launch with an event wait-list (OpenCL clEnqueueNDRangeKernel
     /// semantics): the kernel starts only after every event in
-    /// `wait_list` (plus the queue's previous event) completed. A
-    /// failed dependency fails this event too.
+    /// `wait_list` (plus the queue's previous event) completed — on the
+    /// modeled clock too: the launch starts no earlier than the latest
+    /// wait-list event end, and any gap forced on the compute timeline
+    /// is LaunchStats::queue_wait_seconds. A failed dependency fails
+    /// this event too.
     Event enqueue(KernelLaunch launch, std::vector<Event> wait_list);
+
+    /// Like the wait-list overload, with a second, *ordering-only*
+    /// dependency list: the launch starts after every `reuse_list`
+    /// event settled, but a failed reuse dependency neither fails this
+    /// event nor contributes ready time (a failed launch never advanced
+    /// the modeled clock and never touched its buffers, so reusing its
+    /// buffer needs no wait). This is how double-buffered staging
+    /// chains "buffer free again" dependencies without letting one
+    /// injected kernel fault cascade through every later stage.
+    Event enqueue(KernelLaunch launch, std::vector<Event> wait_list,
+                  std::vector<Event> reuse_list);
+
+    /// Asynchronously stages `bytes` host-to-device into `buffer` once
+    /// every `wait_list` event completed (`reuse_list` as above). The
+    /// modeled duration comes from the device's TransferSpec (zero when
+    /// unmodeled) on the h2d DMA channel, which overlaps compute; the
+    /// buffer's and device's transfer counters advance either way.
+    /// Writes on one queue serialize against each other, not against
+    /// kernels. Throws std::invalid_argument when `bytes` exceeds the
+    /// buffer size.
+    Event enqueue_write(const Buffer& buffer, std::uint64_t bytes,
+                        std::vector<Event> wait_list = {},
+                        std::vector<Event> reuse_list = {});
+
+    /// Device-to-host counterpart of enqueue_write (d2h DMA channel).
+    Event enqueue_read(const Buffer& buffer, std::uint64_t bytes,
+                       std::vector<Event> wait_list = {},
+                       std::vector<Event> reuse_list = {});
 
     /// Synchronous convenience: enqueue + wait.
     LaunchStats run(KernelLaunch launch);
 
 private:
+    Event enqueue_transfer(const Buffer& buffer, std::uint64_t bytes,
+                           bool host_to_device,
+                           std::vector<Event> wait_list,
+                           std::vector<Event> reuse_list);
+
     Device* device_;
     std::uint64_t queue_id_;
-    std::mutex order_mutex_; ///< guards last_ across enqueuing threads
-    Event last_;             ///< tail of the in-order chain
+    std::mutex order_mutex_; ///< guards the chain tails across threads
+    Event last_;             ///< tail of the in-order kernel chain
+    Event last_write_;       ///< tail of the h2d transfer chain
+    Event last_read_;        ///< tail of the d2h transfer chain
 };
 
 } // namespace repute::ocl

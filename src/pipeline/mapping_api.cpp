@@ -91,12 +91,18 @@ void MappingSession::build_pool() {
     for (const auto& name : config_.devices) {
         shares.push_back({&platform_->device(name), 1.0});
     }
+    if (config_.transfer.modeled()) {
+        for (const auto& name : config_.devices) {
+            platform_->device(name).set_transfer_spec(config_.transfer);
+        }
+    }
     core::HeterogeneousMapperConfig mapper_config;
     mapper_config.kernel.s_min = config_.s_min;
     mapper_config.kernel.max_locations_per_read = config_.max_locations;
     mapper_config.kernel.simd_verification = config_.simd_verification;
     mapper_config.schedule = config_.schedule;
     mapper_config.scheduler = config_.scheduler;
+    mapper_config.double_buffer = config_.double_buffer;
 
     const std::size_t pool =
         std::max<std::size_t>(config_.mapper_pool, 1);
@@ -237,12 +243,18 @@ MapResponse MappingSession::map(const MapRequest& request,
         emitter.emit(batch, result);
         response.reads_in = batch.size() + length_dropped;
         response.dropped = length_dropped;
+        response.xfer_bytes_staged = result.bytes_staged();
+        response.xfer_bytes_drained = result.bytes_drained();
     } else { // single-end streaming
         StreamingFastxReader reader(*request.reads, request.reader);
         response.pipeline = run_mapping_pipeline(
             reader, mappers, request.delta,
             [&](std::size_t, const genomics::ReadBatch& batch,
                 const core::MapResult& result) {
+                // Sinks run serialized in the pipeline's writer thread,
+                // so plain accumulation is safe.
+                response.xfer_bytes_staged += result.bytes_staged();
+                response.xfer_bytes_drained += result.bytes_drained();
                 emitter.emit(batch, result);
             },
             pipe_config);

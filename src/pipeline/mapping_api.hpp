@@ -55,6 +55,15 @@ struct SessionConfig {
     core::SchedulerConfig scheduler;
     std::string platform = "system1";
     std::vector<std::string> devices{"i7-2600"};
+    /// Host<->device link model applied to every selected device when
+    /// modeled (bandwidth + latency; see ocl::TransferSpec). The default
+    /// leaves transfers unmodeled — staging is accounted in bytes but
+    /// costs no modeled time.
+    ocl::TransferSpec transfer;
+    /// Stage chunk k+1 while chunk k executes (double-buffered staging).
+    /// Only affects devices with a modeled TransferSpec; output is
+    /// byte-identical either way.
+    bool double_buffer = true;
     /// Mapper pool size = the max concurrent map workers across all
     /// requests (the daemon's parallelism ceiling).
     std::size_t mapper_pool = 1;
@@ -92,6 +101,11 @@ struct MapResponse {
     std::size_t dropped = 0;
     std::size_t workers_granted = 0;
     double wall_seconds = 0.0;
+    /// Host<->device traffic this request staged/drained (single-end and
+    /// monolithic paths; paired requests leave them 0). Counted even
+    /// when transfers are unmodeled.
+    std::uint64_t xfer_bytes_staged = 0;
+    std::uint64_t xfer_bytes_drained = 0;
 };
 
 class MappingSession {

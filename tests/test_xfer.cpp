@@ -1,0 +1,485 @@
+// Transfer model and double-buffered staging: TransferSpec arithmetic,
+// the per-direction DMA clocks, buffer/device byte accounting, event
+// wait-list vs reuse-list semantics, and the staging equivalence matrix
+// (double buffering on/off x static/dynamic x fault injection) — output
+// must be byte-identical no matter how transfers are modeled or
+// overlapped. This binary also runs under ThreadSanitizer (ci.sh tsan):
+// the staging paths chain events across the scheduler's worker threads.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/repute_mapper.hpp"
+#include "core/tuner.hpp"
+#include "genomics/genome_sim.hpp"
+#include "genomics/read_sim.hpp"
+#include "index/fm_index.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "ocl/context.hpp"
+#include "ocl/device.hpp"
+#include "ocl/queue.hpp"
+
+namespace {
+
+using repute::core::DeviceShare;
+using repute::core::HeterogeneousMapperConfig;
+using repute::core::make_repute;
+using repute::core::MapResult;
+using repute::core::ScheduleMode;
+using repute::core::tune_shares;
+using repute::core::TuneConfig;
+using repute::genomics::GenomeSimConfig;
+using repute::genomics::ReadSimConfig;
+using repute::genomics::Reference;
+using repute::genomics::simulate_genome;
+using repute::genomics::simulate_reads;
+using repute::genomics::SimulatedReads;
+using repute::index::FmIndex;
+using repute::ocl::Buffer;
+using repute::ocl::CommandQueue;
+using repute::ocl::Context;
+using repute::ocl::Device;
+using repute::ocl::DeviceProfile;
+using repute::ocl::Event;
+using repute::ocl::FaultPlan;
+using repute::ocl::KernelLaunch;
+using repute::ocl::OclError;
+using repute::ocl::TransferSpec;
+
+DeviceProfile test_profile(std::uint32_t units = 4,
+                           double ops_per_unit = 1e6) {
+    DeviceProfile p;
+    p.name = "xfer-dev";
+    p.compute_units = units;
+    p.ops_per_unit_per_second = ops_per_unit;
+    p.global_memory_bytes = 1 << 20; // 1 MiB
+    p.private_memory_per_unit = 4096;
+    p.min_resident_items = 1;
+    p.dispatch_overhead_seconds = 0.0;
+    return p;
+}
+
+TransferSpec spec_of(double bytes_per_second, double latency_seconds) {
+    TransferSpec spec;
+    spec.bytes_per_second = bytes_per_second;
+    spec.latency_seconds = latency_seconds;
+    return spec;
+}
+
+KernelLaunch noop_kernel(std::uint64_t ops = 1000) {
+    KernelLaunch launch;
+    launch.name = "noop";
+    launch.n_items = 1;
+    launch.body = [ops](std::size_t) { return ops; };
+    return launch;
+}
+
+// ---------------------------------------------------------- TransferSpec
+
+TEST(TransferSpec, UnmodeledByDefault) {
+    const TransferSpec spec;
+    EXPECT_FALSE(spec.modeled());
+    EXPECT_EQ(spec.seconds_for(0), 0.0);
+    EXPECT_EQ(spec.seconds_for(1'000'000'000), 0.0);
+}
+
+TEST(TransferSpec, SecondsForIsLatencyPlusBytesOverBandwidth) {
+    const TransferSpec spec = spec_of(1e6, 1e-3);
+    EXPECT_TRUE(spec.modeled());
+    EXPECT_NEAR(spec.seconds_for(2000), 1e-3 + 2e-3, 1e-12);
+    // Latency-only link: fixed cost per transfer, no per-byte term.
+    const TransferSpec latency_only = spec_of(0.0, 5e-6);
+    EXPECT_TRUE(latency_only.modeled());
+    EXPECT_NEAR(latency_only.seconds_for(1 << 20), 5e-6, 1e-12);
+}
+
+// -------------------------------------------------- Device DMA channels
+
+TEST(DeviceTransfer, ChannelsAreFullDuplexAndSerializePerDirection) {
+    Device dev(test_profile());
+    dev.set_transfer_spec(spec_of(1e6, 0.0)); // 1 MB/s
+    const auto h2d = dev.transfer(1'000'000, true);
+    EXPECT_NEAR(h2d.start_seconds, 0.0, 1e-12);
+    EXPECT_NEAR(h2d.seconds, 1.0, 1e-12);
+    // Opposite direction is an independent channel: starts at 0 even
+    // though the h2d channel is busy until t=1.
+    const auto d2h = dev.transfer(500'000, false);
+    EXPECT_NEAR(d2h.start_seconds, 0.0, 1e-12);
+    EXPECT_NEAR(d2h.seconds, 0.5, 1e-12);
+    // Same direction serializes behind the channel frontier.
+    const auto h2d2 = dev.transfer(1'000'000, true);
+    EXPECT_NEAR(h2d2.start_seconds, 1.0, 1e-12);
+    // DMA time is not compute time.
+    EXPECT_EQ(dev.busy_seconds(), 0.0);
+}
+
+TEST(DeviceTransfer, ReadySecondsDelaysStartAndReportsQueueWait) {
+    Device dev(test_profile());
+    dev.set_transfer_spec(spec_of(1e6, 0.0));
+    const auto stats = dev.transfer(1000, true, 5.0);
+    EXPECT_NEAR(stats.start_seconds, 5.0, 1e-12);
+    EXPECT_NEAR(stats.queue_wait_seconds, 5.0, 1e-12);
+}
+
+TEST(DeviceTransfer, StatsAccumulateAndResetClearsClocks) {
+    Device dev(test_profile());
+    dev.set_transfer_spec(spec_of(2e6, 1e-4));
+    dev.transfer(4000, true);
+    dev.transfer(4000, true);
+    dev.transfer(1000, false);
+    const auto stats = dev.transfer_stats();
+    EXPECT_EQ(stats.bytes_written, 8000u);
+    EXPECT_EQ(stats.bytes_read, 1000u);
+    EXPECT_EQ(stats.writes, 2u);
+    EXPECT_EQ(stats.reads, 1u);
+    EXPECT_NEAR(stats.write_seconds, 2 * (1e-4 + 4000 / 2e6), 1e-12);
+    EXPECT_NEAR(stats.read_seconds, 1e-4 + 1000 / 2e6, 1e-12);
+    dev.reset_busy_time();
+    const auto cleared = dev.transfer_stats();
+    EXPECT_EQ(cleared.bytes_written, 0u);
+    EXPECT_EQ(cleared.writes, 0u);
+    EXPECT_EQ(cleared.write_seconds, 0.0);
+    // Channel frontiers were reset too: a new transfer starts at 0.
+    EXPECT_NEAR(dev.transfer(1, true).start_seconds, 0.0, 1e-12);
+}
+
+TEST(DeviceTransfer, UnmodeledTransfersCountBytesButNoTime) {
+    Device dev(test_profile());
+    dev.transfer(12345, true);
+    const auto stats = dev.transfer_stats();
+    EXPECT_EQ(stats.bytes_written, 12345u);
+    EXPECT_EQ(stats.write_seconds, 0.0);
+}
+
+TEST(DeviceTransfer, BypassesFaultInjection) {
+    Device dev(test_profile());
+    FaultPlan plan;
+    plan.fail_on_launch = 1;
+    plan.fail_forever = true;
+    dev.inject_faults(plan);
+    // Transfers model clEnqueueWriteBuffer, not kernel dispatch: the
+    // fault plan must not fire on them (and must not consume ordinals).
+    EXPECT_NO_THROW(dev.transfer(1000, true));
+    EXPECT_THROW(
+        dev.execute(1, [](std::size_t) { return std::uint64_t{1}; }, 0),
+        OclError);
+    dev.clear_faults();
+}
+
+TEST(DeviceTransfer, QueueWaitIsNotBusyTimeSoUtilizationIsBounded) {
+    Device dev(test_profile(4, 1e6));
+    const auto first = dev.execute(
+        100, [](std::size_t) { return std::uint64_t{400}; }, 0);
+    // Inputs only ready at t=10: the launch stalls, and the stall must
+    // land in queue_wait_seconds — not in busy_seconds — or utilization
+    // (busy / elapsed) would exceed 100%.
+    const auto second = dev.execute(
+        100, [](std::size_t) { return std::uint64_t{400}; }, 0, 10.0);
+    EXPECT_NEAR(second.start_seconds, 10.0, 1e-9);
+    EXPECT_NEAR(second.queue_wait_seconds, 10.0 - first.seconds, 1e-9);
+    EXPECT_NEAR(dev.busy_seconds(), first.seconds + second.seconds, 1e-9);
+    const double elapsed = second.start_seconds + second.seconds;
+    EXPECT_LE(dev.busy_seconds() / elapsed, 1.0);
+}
+
+// ------------------------------------------------------ Queue transfers
+
+TEST(QueueTransfer, BufferAndDeviceCountersAdvance) {
+    Device dev(test_profile());
+    dev.set_transfer_spec(spec_of(1e6, 0.0));
+    Context context({&dev});
+    Buffer buffer = context.allocate(dev, 8192, "reads");
+    CommandQueue queue(dev);
+    const auto write = queue.enqueue_write(buffer, 8192).wait();
+    EXPECT_NEAR(write.seconds, 8192 / 1e6, 1e-12);
+    queue.enqueue_read(buffer, 100).wait();
+    EXPECT_EQ(buffer.bytes_written(), 8192u);
+    EXPECT_EQ(buffer.bytes_read(), 100u);
+    const auto stats = dev.transfer_stats();
+    EXPECT_EQ(stats.bytes_written, 8192u);
+    EXPECT_EQ(stats.bytes_read, 100u);
+}
+
+TEST(QueueTransfer, ValidatesBufferAndSize) {
+    Device dev(test_profile());
+    Context context({&dev});
+    Buffer buffer = context.allocate(dev, 1024, "small");
+    CommandQueue queue(dev);
+    EXPECT_THROW(queue.enqueue_write(buffer, 1025),
+                 std::invalid_argument);
+    Buffer released = context.allocate(dev, 64, "released");
+    released.release();
+    EXPECT_THROW(queue.enqueue_write(released, 1),
+                 std::invalid_argument);
+}
+
+TEST(QueueTransfer, FailedHardDepPropagatesFailedReuseDepDoesNot) {
+    Device dev(test_profile());
+    dev.set_transfer_spec(spec_of(1e6, 0.0));
+    Context context({&dev});
+    Buffer buffer = context.allocate(dev, 4096, "chunk");
+    CommandQueue queue(dev);
+
+    FaultPlan plan;
+    plan.fail_on_launch = 1;
+    dev.inject_faults(plan);
+    Event failed = queue.enqueue(noop_kernel());
+    EXPECT_THROW(failed.wait(), OclError);
+    dev.clear_faults();
+
+    // Reuse-list semantics: "this kernel's buffer is free again". The
+    // failed launch never touched the buffer, so staging over it must
+    // succeed — a fault must not cascade through every later stage.
+    Event restage = queue.enqueue_write(buffer, 4096, {}, {failed});
+    EXPECT_NO_THROW(restage.wait());
+
+    // Wait-list semantics: a hard dependency ("my input was staged by
+    // that event") propagates the failure.
+    Event hard = queue.enqueue_write(buffer, 4096, {failed}, {});
+    EXPECT_THROW(hard.wait(), OclError);
+    EXPECT_EQ(buffer.bytes_written(), 4096u); // only the reuse write ran
+}
+
+TEST(QueueTransfer, KernelWaitsOnStagedInputOnModeledClock) {
+    Device dev(test_profile(4, 1e6));
+    dev.set_transfer_spec(spec_of(1e4, 0.0)); // slow: 10 KB/s
+    Context context({&dev});
+    Buffer buffer = context.allocate(dev, 10'000, "reads");
+    CommandQueue queue(dev);
+    Event write = queue.enqueue_write(buffer, 10'000); // 1 s of DMA
+    const auto stats =
+        queue.enqueue(noop_kernel(), {write}).wait();
+    EXPECT_NEAR(stats.start_seconds, 1.0, 1e-9);
+    EXPECT_NEAR(stats.queue_wait_seconds, 1.0, 1e-9);
+    EXPECT_LT(dev.busy_seconds(), 1.0); // the stall is not busy time
+}
+
+// ------------------------------------------- Staging equivalence matrix
+
+class XferMapTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        GenomeSimConfig gconfig;
+        gconfig.length = 100'000;
+        gconfig.seed = 67;
+        reference_ = new Reference(simulate_genome(gconfig));
+        fm_ = new FmIndex(*reference_, 4);
+        ReadSimConfig rconfig;
+        rconfig.n_reads = 240;
+        rconfig.read_length = 100;
+        rconfig.max_errors = 4;
+        sim_ = new SimulatedReads(simulate_reads(*reference_, rconfig));
+    }
+    static void TearDownTestSuite() {
+        delete sim_;
+        delete fm_;
+        delete reference_;
+        sim_ = nullptr;
+        fm_ = nullptr;
+        reference_ = nullptr;
+    }
+
+    static DeviceProfile mapper_profile(std::uint32_t units,
+                                        const char* name) {
+        DeviceProfile p;
+        p.name = name;
+        p.compute_units = units;
+        p.ops_per_unit_per_second = 1e9;
+        p.global_memory_bytes = 1ULL << 30;
+        p.private_memory_per_unit = 1 << 20;
+        p.dispatch_overhead_seconds = 0.0;
+        return p;
+    }
+
+    /// Profile sized so the static path must cut each device's slice
+    /// into several chunks (exercising buffer-set rotation): global
+    /// memory is four residents, so the quarter-of-RAM ceiling equals
+    /// the resident image and the output-buffer cap forces chunking.
+    static DeviceProfile tight_profile(std::uint32_t units,
+                                       const char* name) {
+        DeviceProfile p = mapper_profile(units, name);
+        const std::uint64_t resident =
+            reference_->sequence().memory_bytes() + fm_->memory_bytes();
+        p.global_memory_bytes = 4 * resident;
+        return p;
+    }
+
+    static void expect_identical(const MapResult& a, const MapResult& b) {
+        ASSERT_EQ(a.per_read.size(), b.per_read.size());
+        for (std::size_t i = 0; i < a.per_read.size(); ++i) {
+            ASSERT_EQ(a.per_read[i], b.per_read[i]) << "read " << i;
+        }
+    }
+
+    static MapResult reference_result() {
+        Device dev(mapper_profile(8, "ref"));
+        HeterogeneousMapperConfig config;
+        config.kernel.s_min = 14;
+        auto mapper =
+            make_repute(*reference_, *fm_, {{&dev, 1.0}}, config);
+        return mapper->map(sim_->batch, 4);
+    }
+
+    static Reference* reference_;
+    static FmIndex* fm_;
+    static SimulatedReads* sim_;
+};
+
+Reference* XferMapTest::reference_ = nullptr;
+FmIndex* XferMapTest::fm_ = nullptr;
+SimulatedReads* XferMapTest::sim_ = nullptr;
+
+TEST_F(XferMapTest, StagingEquivalenceMatrix) {
+    const MapResult expected = reference_result();
+    for (const ScheduleMode mode :
+         {ScheduleMode::StaticSplit, ScheduleMode::Dynamic}) {
+        for (const bool double_buffer : {true, false}) {
+            // Asymmetric fleet, asymmetric links: the output must not
+            // depend on who staged what when.
+            Device fast(tight_profile(8, "fleet-fast"));
+            Device slow(tight_profile(2, "fleet-slow"));
+            fast.set_transfer_spec(spec_of(50e6, 1e-6));
+            slow.set_transfer_spec(spec_of(10e6, 5e-6));
+            HeterogeneousMapperConfig config;
+            config.kernel.s_min = 14;
+            config.schedule = mode;
+            config.scheduler.chunk_items = 64;
+            config.double_buffer = double_buffer;
+            auto mapper = make_repute(
+                *reference_, *fm_, {{&fast, 0.7}, {&slow, 0.3}}, config);
+            const MapResult result = mapper->map(sim_->batch, 4);
+            SCOPED_TRACE(testing::Message()
+                         << "mode="
+                         << (mode == ScheduleMode::Dynamic ? "dynamic"
+                                                           : "static")
+                         << " double_buffer=" << double_buffer);
+            expect_identical(expected, result);
+            EXPECT_GT(result.bytes_staged(), 0u);
+            EXPECT_GT(result.bytes_drained(), 0u);
+            const double overlap = result.transfer_overlap_ratio();
+            EXPECT_GE(overlap, 0.0);
+            EXPECT_LE(overlap, 1.0);
+            double transfer_seconds = 0.0;
+            for (const auto& run : result.device_runs) {
+                transfer_seconds += run.transfer_seconds;
+            }
+            EXPECT_GT(transfer_seconds, 0.0);
+        }
+    }
+}
+
+TEST_F(XferMapTest, FaultMidStageKeepsOutputIdentical) {
+    const MapResult expected = reference_result();
+    for (const bool double_buffer : {true, false}) {
+        Device healthy(tight_profile(8, "fleet-healthy"));
+        Device flaky(tight_profile(4, "fleet-flaky"));
+        healthy.set_transfer_spec(spec_of(50e6, 1e-6));
+        flaky.set_transfer_spec(spec_of(50e6, 1e-6));
+        // The flaky device dies on its second launch and stays dead:
+        // its staged chunks must be retried elsewhere with no trace in
+        // the merged output, staged or not.
+        FaultPlan plan;
+        plan.fail_on_launch = 2;
+        plan.fail_forever = true;
+        flaky.inject_faults(plan);
+        HeterogeneousMapperConfig config;
+        config.kernel.s_min = 14;
+        config.schedule = ScheduleMode::Dynamic;
+        config.scheduler.chunk_items = 32;
+        config.double_buffer = double_buffer;
+        auto mapper = make_repute(
+            *reference_, *fm_, {{&healthy, 0.5}, {&flaky, 0.5}}, config);
+        const MapResult result = mapper->map(sim_->batch, 4);
+        flaky.clear_faults();
+        SCOPED_TRACE(testing::Message()
+                     << "double_buffer=" << double_buffer);
+        expect_identical(expected, result);
+        ASSERT_TRUE(result.schedule.has_value());
+        EXPECT_GE(result.schedule->retries, 1u);
+        const double overlap = result.transfer_overlap_ratio();
+        EXPECT_GE(overlap, 0.0);
+        EXPECT_LE(overlap, 1.0);
+    }
+}
+
+TEST_F(XferMapTest, DoubleBufferingNeverSlowsModeledTime) {
+    // Transfer-bound single device: staging a 64-read chunk costs about
+    // as much as computing it, the regime double buffering targets.
+    const auto run = [&](bool double_buffer) {
+        Device dev(mapper_profile(8, "overlap"));
+        dev.set_transfer_spec(spec_of(2e6, 0.0));
+        HeterogeneousMapperConfig config;
+        config.kernel.s_min = 14;
+        config.schedule = ScheduleMode::Dynamic;
+        config.scheduler.chunk_items = 64;
+        config.double_buffer = double_buffer;
+        auto mapper =
+            make_repute(*reference_, *fm_, {{&dev, 1.0}}, config);
+        return mapper->map(sim_->batch, 4);
+    };
+    const MapResult serialized = run(false);
+    const MapResult doubled = run(true);
+    expect_identical(serialized, doubled);
+    EXPECT_LE(doubled.mapping_seconds,
+              serialized.mapping_seconds + 1e-9);
+    EXPECT_GE(doubled.transfer_overlap_ratio(),
+              serialized.transfer_overlap_ratio());
+}
+
+// ------------------------------------------------------ Tuner and trace
+
+TEST_F(XferMapTest, TunerFoldsTransferCostIntoShares) {
+    Device fast_link(mapper_profile(4, "tune-fast"));
+    Device slow_link(mapper_profile(4, "tune-slow"));
+    // Identical compute, but one device pays a heavy modeled staging
+    // cost per read: the tuner must shift work off it.
+    slow_link.set_transfer_spec(spec_of(1e5, 0.0));
+    const auto tuned =
+        tune_shares(*reference_, *fm_, sim_->batch, 4, 14,
+                    {&fast_link, &slow_link});
+    ASSERT_EQ(tuned.shares.size(), 2u);
+    EXPECT_GT(tuned.shares[0].fraction, tuned.shares[1].fraction);
+    ASSERT_EQ(tuned.reads_per_second.size(), 2u);
+    EXPECT_GT(tuned.reads_per_second[0], tuned.reads_per_second[1]);
+
+    // Serialized staging costs stage+compute+drain instead of their
+    // max: the same modeled device rates lower without double buffering.
+    TuneConfig serialized;
+    serialized.double_buffer = false;
+    const auto tuned_serialized =
+        tune_shares(*reference_, *fm_, sim_->batch, 4, 14,
+                    {&fast_link, &slow_link}, serialized);
+    EXPECT_LT(tuned_serialized.reads_per_second[1],
+              tuned.reads_per_second[1]);
+}
+
+TEST_F(XferMapTest, XferMetricsLandInTraceRegistry) {
+    repute::obs::TraceSession session;
+    Device dev(mapper_profile(8, "traced"));
+    dev.set_transfer_spec(spec_of(50e6, 1e-6));
+    HeterogeneousMapperConfig config;
+    config.kernel.s_min = 14;
+    auto mapper = make_repute(*reference_, *fm_, {{&dev, 1.0}}, config);
+    const MapResult result = mapper->map(sim_->batch, 4);
+
+    const auto counters = session.registry().counter_values();
+    ASSERT_TRUE(counters.count("xfer.bytes_written"));
+    ASSERT_TRUE(counters.count("xfer.bytes_read"));
+    EXPECT_EQ(counters.at("xfer.bytes_written"), result.bytes_staged());
+    EXPECT_EQ(counters.at("xfer.bytes_read"), result.bytes_drained());
+    const auto gauges = session.registry().gauge_values();
+    ASSERT_TRUE(gauges.count("xfer.overlap_ratio"));
+    EXPECT_GE(gauges.at("xfer.overlap_ratio"), 0.0);
+    EXPECT_LE(gauges.at("xfer.overlap_ratio"), 1.0);
+
+    const std::string summary =
+        repute::obs::xfer_summary(session.registry());
+    EXPECT_NE(summary.find("bytes"), std::string::npos);
+    EXPECT_NE(summary.find("overlap"), std::string::npos);
+}
+
+} // namespace

@@ -24,6 +24,13 @@
 #                 over the Unix socket + SIGTERM drain, and the .rix
 #                 load-speedup gate (serve_bench --min-speedup 10,
 #                 recorded in BENCH_serve.json)
+#   shard         reference-sharding smoke: `repute index build
+#                 --shards 4 --jobs 4` -> `repute map --index x.rixm`
+#                 byte-compare against the monolithic index (single-end,
+#                 paired, static and dynamic schedules), the
+#                 parallel-build speedup gate (check_bench --only-shard,
+#                 >=1.5x at --jobs 4 on multi-core machines, recorded in
+#                 BENCH_shard.json) and the shard-merge tests under TSan
 #   format        clang-format --dry-run --Werror over the tree
 #
 # Usage: ./ci.sh [--quick] [tier...] [jobs]
@@ -45,12 +52,12 @@ for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --format-check) TIERS+=(format) ;;
-        tier1|bench|tsan|asan|ubsan|simdoff|serve|format) TIERS+=("$arg") ;;
+        tier1|bench|tsan|asan|ubsan|simdoff|serve|shard|format) TIERS+=("$arg") ;;
         ''|*[!0-9]*) echo "unknown argument: $arg" >&2; exit 2 ;;
         *) JOBS="$arg" ;;
     esac
 done
-[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan simdoff serve format)
+[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan simdoff serve shard format)
 JOBS="${JOBS:-$(nproc)}"
 
 # ccache transparently accelerates the CI matrix (each job re-runs the
@@ -243,6 +250,117 @@ PY
         ./build/bench/serve_bench --min-speedup 10 \
             --out "$SMOKE/BENCH_serve.json"
     fi
+fi
+
+if has_tier shard; then
+    echo "== shard smoke: sharded index vs monolithic byte-compare + build-speedup gate =="
+    if [[ ! -x build/src/cli/repute || ! -x build/bench/shard_bench ]]; then
+        cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
+        cmake --build build -j "$JOBS" --target repute_cli shard_bench
+    fi
+    SHARD_TMP="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand now; also sweep the serve dir
+    # when both tiers ran in this invocation (one trap per process).
+    trap "rm -rf '$SHARD_TMP' '${SMOKE:-/nonexistent}'" EXIT
+    # Five-contig FASTA (shard planning is contig-granular, 4 shards
+    # need cut points), substitution-only single reads and proper
+    # FR mate pairs sampled from it.
+    python3 - "$SHARD_TMP" <<'PY'
+import random, sys
+out = sys.argv[1]
+rng = random.Random(20260809)
+comp = str.maketrans("ACGT", "TGCA")
+names = ["chr%d" % i for i in range(5)]
+seqs = {n: "".join(rng.choice("ACGT") for _ in range(9000 + 2500 * (i % 3)))
+        for i, n in enumerate(names)}
+with open(out + "/ref.fa", "w") as f:
+    for name in names:
+        f.write(">%s\n" % name)
+        s = seqs[name]
+        for i in range(0, len(s), 70):
+            f.write(s[i:i + 70] + "\n")
+
+def mutate(read):
+    read = list(read)
+    for _ in range(rng.randrange(3)):
+        p = rng.randrange(len(read))
+        read[p] = rng.choice("ACGT")
+    return "".join(read)
+
+with open(out + "/reads.fq", "w") as f:
+    for i in range(300):
+        seq = seqs[rng.choice(names)]
+        start = rng.randrange(len(seq) - 100)
+        f.write("@r%d\n%s\n+\n%s\n" % (i, mutate(seq[start:start + 100]), "I" * 100))
+with open(out + "/r1.fq", "w") as f1, open(out + "/r2.fq", "w") as f2:
+    for i in range(150):
+        seq = seqs[rng.choice(names)]
+        insert = rng.randrange(250, 450)
+        start = rng.randrange(len(seq) - insert)
+        m1 = mutate(seq[start:start + 100])
+        frag = seq[start + insert - 100:start + insert]
+        m2 = mutate(frag.translate(comp)[::-1])
+        f1.write("@p%d/1\n%s\n+\n%s\n" % (i, m1, "I" * 100))
+        f2.write("@p%d/2\n%s\n+\n%s\n" % (i, m2, "I" * 100))
+PY
+    R=./build/src/cli/repute
+    "$R" index build --ref "$SHARD_TMP/ref.fa" --out "$SHARD_TMP/mono.rix"
+    "$R" index build --ref "$SHARD_TMP/ref.fa" --out "$SHARD_TMP/ref.rixm" \
+         --shards 4 --jobs 4
+    # Single-end, static schedule.
+    "$R" map --index "$SHARD_TMP/mono.rix" --reads "$SHARD_TMP/reads.fq" \
+         --out "$SHARD_TMP/mono.sam"
+    "$R" map --index "$SHARD_TMP/ref.rixm" --reads "$SHARD_TMP/reads.fq" \
+         --out "$SHARD_TMP/shard.sam"
+    cmp "$SHARD_TMP/mono.sam" "$SHARD_TMP/shard.sam"
+    echo "sharded single-end SAM byte-identical (static)"
+    # Single-end, dynamic work-stealing over a heterogeneous trio.
+    "$R" map --index "$SHARD_TMP/mono.rix" --reads "$SHARD_TMP/reads.fq" \
+         --devices i7-2600,gtx590-0,gtx590-1 --schedule dynamic \
+         --out "$SHARD_TMP/mono_dyn.sam"
+    "$R" map --index "$SHARD_TMP/ref.rixm" --reads "$SHARD_TMP/reads.fq" \
+         --devices i7-2600,gtx590-0,gtx590-1 --schedule dynamic \
+         --out "$SHARD_TMP/shard_dyn.sam"
+    cmp "$SHARD_TMP/mono_dyn.sam" "$SHARD_TMP/shard_dyn.sam"
+    echo "sharded single-end SAM byte-identical (dynamic trio)"
+    # Paired-end with rescue.
+    "$R" map --index "$SHARD_TMP/mono.rix" --reads "$SHARD_TMP/r1.fq" \
+         --reads2 "$SHARD_TMP/r2.fq" --out "$SHARD_TMP/mono_pe.sam"
+    "$R" map --index "$SHARD_TMP/ref.rixm" --reads "$SHARD_TMP/r1.fq" \
+         --reads2 "$SHARD_TMP/r2.fq" --out "$SHARD_TMP/shard_pe.sam"
+    cmp "$SHARD_TMP/mono_pe.sam" "$SHARD_TMP/shard_pe.sam"
+    echo "sharded paired-end SAM byte-identical"
+    # The daemon accepts the manifest too: all shards mmap'd resident.
+    "$R" serve --index "$SHARD_TMP/ref.rixm" \
+         --socket "$SHARD_TMP/repute.sock" \
+         >"$SHARD_TMP/serve.log" 2>&1 &
+    SHARD_SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -S "$SHARD_TMP/repute.sock" ]] && break
+        sleep 0.1
+    done
+    "$R" client --socket "$SHARD_TMP/repute.sock" \
+         --reads "$SHARD_TMP/reads.fq" --out "$SHARD_TMP/served.sam" \
+         --tenant ci
+    cmp "$SHARD_TMP/mono.sam" "$SHARD_TMP/served.sam"
+    echo "daemon over .rixm manifest byte-identical"
+    kill -TERM "$SHARD_SERVE_PID"
+    wait "$SHARD_SERVE_PID"
+
+    # The acceptance gate: sharded mapping identical to monolithic at
+    # every shard count and the 4-way parallel build >=1.5x faster than
+    # serial (wall clock — enforced on machines with >=2 CPUs).
+    python3 ci/check_bench.py --only-shard --shard-min-build-speedup 1.5 \
+        --shard-binary build/bench/shard_bench \
+        --shard-out "$SHARD_TMP/BENCH_shard.json"
+
+    # Shard merge and the parallel build under TSan: the per-device
+    # scatter threads, the shard-build ThreadPool and the gather-side
+    # merge are exactly the concurrency this tier exists for.
+    cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
+    cmake --build build-tsan -j "$JOBS" --target test_shard
+    ./build-tsan/tests/test_shard
 fi
 
 if has_tier format; then

@@ -31,12 +31,23 @@ pipeline to beat serialized staging by --xfer-min-speedup on modeled
 mapping time (0 disables). The fixture prints modeled seconds, so the
 ratio is deterministic — no normalization or retries needed.
 
+The sharding fixture (`shard_bench`) has its own gate: sharded mapping
+must stay identical to monolithic (the fixture's exit code) and the
+parallel shard build must beat the serial one by
+--shard-min-build-speedup (0 disables; the CI shard tier passes 1.5).
+Build speedup is real wall clock, so the floor only binds on machines
+with >= 2 CPUs — on a single-core runner it degrades to the identity
+check and says so. --only-shard runs just this gate (the CI shard tier
+uses it so the micro-kernel suite is not re-run).
+
 Usage:
   ci/check_bench.py [--binary build/bench/micro_kernels]
                     [--baseline BENCH_kernels.json] [--tolerance 25]
                     [--min-time 0.01] [--repetitions 3] [--filter RE]
                     [--xfer-binary build/bench/pipeline_throughput]
                     [--xfer-min-speedup 1.15] [--update-baseline]
+                    [--shard-binary build/bench/shard_bench]
+                    [--shard-min-build-speedup 1.5] [--only-shard]
 """
 
 import argparse
@@ -137,6 +148,51 @@ def run_xfer_gate(binary, min_speedup):
     return ok
 
 
+def run_shard_gate(binary, min_speedup, out_path):
+    """Runs the sharding fixture; returns True when it passes.
+
+    The fixture itself compares every sharded mapping against the
+    monolithic mapper (its exit code covers identity); this gate
+    additionally requires the printed parallel-build speedup to clear
+    the floor. The speedup is real wall clock — on a single-core
+    machine parallel shard builds cannot beat serial ones, so the
+    floor is only enforced when the machine has >= 2 CPUs.
+    """
+    if not os.path.exists(binary):
+        print(f"shard gate: FAIL — {binary} not built")
+        return False
+    proc = subprocess.run(
+        [binary, "--out", out_path], capture_output=True, text=True
+    )
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        print(f"shard gate: FAIL — {binary} exited {proc.returncode}")
+        return False
+    match = re.search(
+        r"^shard_build_speedup:\s*([0-9.]+)", proc.stdout, re.M
+    )
+    if not match:
+        print("shard gate: FAIL — no shard_build_speedup line in output")
+        return False
+    speedup = float(match.group(1))
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(
+            f"shard gate: single-core machine — parallel build speedup "
+            f"{speedup:.3f}x not gated (sharded/monolithic identity "
+            f"checks passed)"
+        )
+        return True
+    ok = speedup >= min_speedup
+    print(
+        f"shard gate: parallel shard build {speedup:.3f}x over serial "
+        f"(need >= {min_speedup:.2f}x on {cores} cpus)"
+        f"{'' if ok else '  << BELOW CRITERION'}"
+    )
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", default="build/bench/micro_kernels")
@@ -181,7 +237,43 @@ def main():
         help="required double-buffered vs serialized staging speedup "
         "on the --xfer fixture (0 disables the gate)",
     )
+    parser.add_argument(
+        "--shard-binary",
+        default="build/bench/shard_bench",
+        help="reference-sharding fixture binary",
+    )
+    parser.add_argument(
+        "--shard-min-build-speedup",
+        type=float,
+        default=0.0,
+        help="required parallel-vs-serial shard build speedup on the "
+        "sharding fixture (0 disables the gate; enforced only on "
+        "machines with >= 2 CPUs)",
+    )
+    parser.add_argument(
+        "--shard-out",
+        default="BENCH_shard.json",
+        help="where the sharding fixture writes its JSON report",
+    )
+    parser.add_argument(
+        "--only-shard",
+        action="store_true",
+        help="run only the sharding gate (skip the micro-kernel "
+        "comparison and the transfer-overlap gate)",
+    )
     args = parser.parse_args()
+
+    if args.only_shard:
+        ok = run_shard_gate(
+            args.shard_binary,
+            args.shard_min_build_speedup,
+            args.shard_out,
+        )
+        if not ok:
+            print("\nFAIL: sharding gate below criterion")
+            return 1
+        print("\nOK: sharding gate passed")
+        return 0
 
     report = run_benchmarks(
         args.binary, args.min_time, args.repetitions, args.filter
@@ -259,7 +351,15 @@ def main():
     if args.xfer_min_speedup > 0:
         xfer_ok = run_xfer_gate(args.xfer_binary, args.xfer_min_speedup)
 
-    if regressions or ratio_failures or not xfer_ok:
+    shard_ok = True
+    if args.shard_min_build_speedup > 0:
+        shard_ok = run_shard_gate(
+            args.shard_binary,
+            args.shard_min_build_speedup,
+            args.shard_out,
+        )
+
+    if regressions or ratio_failures or not xfer_ok or not shard_ok:
         if regressions:
             print(
                 f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
@@ -272,6 +372,8 @@ def main():
             )
         if not xfer_ok:
             print("\nFAIL: transfer-overlap gate below criterion")
+        if not shard_ok:
+            print("\nFAIL: sharding gate below criterion")
         return 1
     print(f"\nOK: no benchmark regressed more than {args.tolerance:.0f}%")
     return 0

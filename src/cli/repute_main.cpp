@@ -27,6 +27,8 @@
 #include "genomics/multi_reference.hpp"
 #include "index/fm_index.hpp"
 #include "index/rix.hpp"
+#include "index/rixm.hpp"
+#include "index/shard_plan.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/mapping_api.hpp"
@@ -64,13 +66,26 @@ options:
   --sa-sample N         suffix-array sampling interval (default 4)
   --checkpoint N        occ checkpoint spacing, pow2 >= 32 (default 128)
   --qgram N             q-gram jump table depth, 0 = none (default 8)
+sharding (write a .rixm manifest + per-shard .rix files instead):
+  --shards N            split the reference into N contig-granular
+                        shards (clamped to the contig count)
+  --shard-budget BYTES  or: pack shards under a per-shard device image
+                        budget (contigs are never split)
+  --overlap N           overhang indexed into neighbour shards; must be
+                        >= read_length + delta at map time (default 512)
+  --jobs N              parallel shard index builds (default 1)
+
+`repute map --index` and `repute serve --index` accept the .rixm
+manifest path; mapping output is byte-identical to the monolithic
+index while per-device residency stays one shard image.
 )";
 
 constexpr const char* kMapUsage = R"(repute map — one-shot streaming read mapping
 
 index source (exactly one):
   --ref FILE            FASTA reference: build the index in-process
-  --index FILE          prebuilt .rix container: mmap zero-copy
+  --index FILE          prebuilt .rix container or .rixm shard manifest:
+                        mmap zero-copy
 required:
   --reads FILE          FASTA/FASTQ reads (format auto-detected)
 options:
@@ -107,7 +122,8 @@ observability:
 constexpr const char* kServeUsage = R"(repute serve — persistent mapping daemon (Unix-domain socket)
 
 index source (exactly one):
-  --index FILE          prebuilt .rix container: mmap zero-copy
+  --index FILE          prebuilt .rix container or .rixm shard manifest:
+                        mmap zero-copy (a manifest mmaps every shard)
   --ref FILE            FASTA reference: build the index in-process
 required:
   --socket PATH         Unix socket path to listen on
@@ -301,6 +317,34 @@ int run_index_build(const util::Args& args) {
     std::fprintf(stderr, "reference: %zu sequence(s), %zu bp (%.1f s)\n",
                  multi.sequence_count(), multi.concatenated().size(),
                  timer.seconds());
+
+    const auto shards =
+        static_cast<std::uint32_t>(args.get_int("shards", 0));
+    const auto shard_budget =
+        static_cast<std::uint64_t>(args.get_int("shard-budget", 0));
+    if (shards > 0 || shard_budget > 0) {
+        index::ShardBuildConfig build_config;
+        build_config.plan.shard_count = shards;
+        build_config.plan.budget_bytes = shard_budget;
+        build_config.plan.overlap =
+            static_cast<std::uint32_t>(args.get_int("overlap", 512));
+        build_config.plan.sa_sample = sa_sample;
+        build_config.plan.checkpoint_every = checkpoint;
+        build_config.plan.qgram_length = qgram;
+        build_config.jobs =
+            static_cast<std::uint32_t>(args.get_int("jobs", 1));
+        const auto result =
+            index::build_sharded_index(multi, out_path, build_config);
+        std::fprintf(stderr,
+                     "%zu shard(s) built in %.2f s with %u job(s), "
+                     "manifest %s (largest shard ~%.1f MB)\n",
+                     result.shard_paths.size(), result.build_seconds,
+                     build_config.jobs, result.manifest_path.c_str(),
+                     static_cast<double>(
+                         result.plan.max_estimated_bytes) /
+                         1e6);
+        return 0;
+    }
 
     timer.reset();
     const index::FmIndex fm(multi.concatenated(), sa_sample, checkpoint,

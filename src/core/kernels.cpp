@@ -145,6 +145,11 @@ void map_strand(const index::FmIndex& fm,
             if (out.size() >= config.max_locations_per_read) break;
             const std::uint32_t start =
                 candidates.positions[group.first + ci];
+            // Sharded ownership filter: drop non-owned diagonals before
+            // any verification or cap accounting (see KernelConfig).
+            if (start < config.report_lo || start >= config.report_hi) {
+                continue;
+            }
             const std::uint32_t win_lo =
                 start >= delta ? start - delta : 0;
             if (win_lo >= text_len) continue;

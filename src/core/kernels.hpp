@@ -77,6 +77,16 @@ struct KernelConfig {
     /// with it off this toggle is inert. Output-neutral like the other
     /// funnel layers.
     bool simd_verification = true;
+    /// Ownership window for sharded mapping: only candidate diagonals in
+    /// [report_lo, report_hi) are verified and reported. Shard kernels
+    /// index overlapping reference slices so junction-straddling windows
+    /// stay intact; the owning shard alone reports each position, and —
+    /// because the filter runs *before* verification and the first-n cap
+    /// counting — every shard's output list is exactly the monolithic
+    /// list restricted to its owned range. Defaults cover everything
+    /// (the monolithic path is untouched).
+    std::uint32_t report_lo = 0;
+    std::uint32_t report_hi = 0xFFFFFFFFu;
     OpWeights weights;
 };
 

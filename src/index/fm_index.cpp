@@ -243,7 +243,10 @@ void FmIndex::build_qgrams() {
     // saturation anyway.
     const std::size_t budget = std::max<std::size_t>(n_, 4096);
     std::uint32_t q = qgram_length_;
-    while (q > 0 && QGramTable::table_bytes(q) > budget) --q;
+    // Clamp q to the text length too: a tail shard from a contig-granular
+    // split can be shorter than q, and a jump table of patterns longer
+    // than the text is all-empty — pure footprint, zero jumps.
+    while (q > 0 && (QGramTable::table_bytes(q) > budget || q > n_)) --q;
     if (q > 0) qgrams_ = std::make_unique<QGramTable>(*this, q);
 }
 

@@ -74,7 +74,62 @@ struct BlobReader {
     }
 };
 
+/// Shared magic/version/endian/page/checksum validation — the failure
+/// modes and messages MappedIndex::open and rix::read_header agree on.
+void validate_header(const Header& h, const std::string& path) {
+    if (h.magic != rix::kMagic) {
+        // The stream images start with their own magics; recognize them
+        // so the error says "convert", not "corrupt".
+        if (h.magic == 0x464D4932u || h.magic == 0x464D4958u) {
+            throw std::runtime_error(
+                "rix: " + path +
+                " is a legacy FMI stream image, not a .rix container — "
+                "regenerate it with `repute index build`");
+        }
+        throw std::runtime_error("rix: " + path +
+                                 " is not a .rix container (bad magic)");
+    }
+    if (h.version != rix::kVersion) {
+        throw std::runtime_error(
+            "rix: " + path + " has unsupported version " +
+            std::to_string(h.version) + " (expected " +
+            std::to_string(rix::kVersion) + ")");
+    }
+    if (h.endian != rix::kEndianTag) {
+        throw std::runtime_error(
+            "rix: " + path +
+            " was written on a foreign-endian machine — rebuild it here");
+    }
+    if (h.page_bytes != rix::kPageBytes) {
+        throw std::runtime_error("rix: " + path +
+                                 " has an unsupported page size");
+    }
+    if (h.header_checksum != header_checksum(h)) {
+        throw std::runtime_error("rix: " + path +
+                                 " header checksum mismatch (corrupt)");
+    }
+}
+
 } // namespace
+
+namespace rix {
+
+Header read_header(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("rix: cannot open " + path);
+    }
+    Header h;
+    in.read(reinterpret_cast<char*>(&h), sizeof(h));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(h))) {
+        throw std::runtime_error("rix: " + path +
+                                 " is too small to be a .rix container");
+    }
+    validate_header(h, path);
+    return h;
+}
+
+} // namespace rix
 
 void write_rix(const std::string& path,
                const genomics::MultiReference& multi, const FmIndex& fm) {
@@ -168,37 +223,7 @@ MappedIndex MappedIndex::open(const std::string& path) {
     Header h;
     std::memcpy(&h, mi.map_.data(), sizeof(h));
 
-    if (h.magic != rix::kMagic) {
-        // The stream images start with their own magics; recognize them
-        // so the error says "convert", not "corrupt".
-        if (h.magic == 0x464D4932u || h.magic == 0x464D4958u) {
-            throw std::runtime_error(
-                "rix: " + path +
-                " is a legacy FMI stream image, not a .rix container — "
-                "regenerate it with `repute index build`");
-        }
-        throw std::runtime_error("rix: " + path +
-                                 " is not a .rix container (bad magic)");
-    }
-    if (h.version != rix::kVersion) {
-        throw std::runtime_error(
-            "rix: " + path + " has unsupported version " +
-            std::to_string(h.version) + " (expected " +
-            std::to_string(rix::kVersion) + ")");
-    }
-    if (h.endian != rix::kEndianTag) {
-        throw std::runtime_error(
-            "rix: " + path +
-            " was written on a foreign-endian machine — rebuild it here");
-    }
-    if (h.page_bytes != rix::kPageBytes) {
-        throw std::runtime_error("rix: " + path +
-                                 " has an unsupported page size");
-    }
-    if (h.header_checksum != header_checksum(h)) {
-        throw std::runtime_error("rix: " + path +
-                                 " header checksum mismatch (corrupt)");
-    }
+    validate_header(h, path);
     if (h.file_bytes != mi.map_.size()) {
         throw std::runtime_error("rix: " + path + " is truncated (" +
                                  std::to_string(mi.map_.size()) + " of " +

@@ -89,6 +89,13 @@ struct Header {
 };
 static_assert(std::is_trivially_copyable_v<Header>);
 
+/// Reads and validates just the header of a .rix container (magic,
+/// version, endian, checksum) without mapping the sections — what the
+/// .rixm manifest layer uses to pin shard identity. Throws
+/// std::runtime_error with the same distinct messages as
+/// MappedIndex::open for each failure mode.
+Header read_header(const std::string& path);
+
 } // namespace rix
 
 /// Writes `multi` + its built FmIndex as a .rix container at `path`

@@ -1,0 +1,185 @@
+#include "index/shard_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "index/fm_index.hpp"
+#include "index/qgram_table.hpp"
+
+namespace repute::index {
+
+namespace {
+
+/// Owned bp of contigs [first, last) given their boundary table.
+std::uint64_t span_bp(const std::vector<std::uint32_t>& starts,
+                      std::size_t first, std::size_t last) {
+    return starts[last] - starts[first];
+}
+
+/// True when contigs can be packed into at most `k` contiguous groups
+/// of owned length <= `cap` each (greedy check; optimal for contiguous
+/// partitions).
+bool fits(const std::vector<std::uint32_t>& starts, std::size_t n,
+          std::uint32_t k, std::uint64_t cap) {
+    std::uint32_t groups = 1;
+    std::uint64_t current = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t len = span_bp(starts, i, i + 1);
+        if (len > cap) return false;
+        if (current + len > cap) {
+            if (++groups > k) return false;
+            current = 0;
+        }
+        current += len;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t estimate_index_bytes(std::uint64_t bp,
+                                   std::uint32_t sa_sample,
+                                   std::uint32_t checkpoint_every,
+                                   std::uint32_t qgram_length) {
+    const std::uint64_t rows = bp + 1;
+    std::uint64_t bytes =
+        FmIndex::rank_words_for(bp, checkpoint_every) * 8;
+    bytes += 5 * sizeof(std::uint32_t); // C array
+    // Sampled SA values plus the mark bit-vector (rank directories add
+    // ~3% of the bit words; fold them into the word count).
+    const std::uint64_t samples =
+        (rows + sa_sample - 1) / std::max<std::uint32_t>(sa_sample, 1);
+    bytes += samples * sizeof(std::uint32_t);
+    const std::uint64_t mark_words = (rows + 63) / 64;
+    bytes += mark_words * 8 + mark_words / 4;
+    // Q-gram table after the same clamp FmIndex::build_qgrams applies.
+    const std::uint64_t table_budget = std::max<std::uint64_t>(bp, 4096);
+    std::uint32_t q = std::min(qgram_length, QGramTable::kMaxQ);
+    while (q > 0 &&
+           (QGramTable::table_bytes(q) > table_budget || q > bp)) {
+        --q;
+    }
+    if (q > 0) bytes += QGramTable::table_bytes(q);
+    // 2-bit packed reference text (the kernel verifies windows against
+    // it, so it ships with the index image).
+    bytes += ((bp + 31) / 32) * 8;
+    return bytes;
+}
+
+ShardPlan plan_shards(const genomics::MultiReference& multi,
+                      const ShardPlanConfig& config) {
+    const std::vector<std::uint32_t>& starts = multi.starts();
+    const std::size_t n = multi.sequence_count();
+    if (config.shard_count == 0 && config.budget_bytes == 0) {
+        throw std::invalid_argument(
+            "shard plan: need a shard count or a byte budget");
+    }
+
+    const auto estimate = [&](std::uint64_t owned_bp) {
+        // Conservative: assume both overhangs even though the edge
+        // shards drop one each.
+        return estimate_index_bytes(
+            owned_bp + 2ull * config.overlap, config.sa_sample,
+            config.checkpoint_every, config.qgram_length);
+    };
+
+    // Decide group boundaries (contiguous runs of contigs).
+    std::vector<std::size_t> breaks; // group ends, exclusive
+    if (config.shard_count > 0) {
+        const std::uint32_t k = static_cast<std::uint32_t>(
+            std::min<std::size_t>(config.shard_count, n));
+        // Binary-search the minmax owned-length capacity, then place
+        // greedy cuts at that capacity.
+        std::uint64_t lo = 0, hi = span_bp(starts, 0, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            lo = std::max(lo, span_bp(starts, i, i + 1));
+        }
+        while (lo < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            if (fits(starts, n, k, mid)) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        const std::uint64_t cap = lo;
+        std::uint64_t current = 0;
+        std::uint32_t groups_left = k;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t len = span_bp(starts, i, i + 1);
+            // Keep enough contigs for the remaining groups: never close
+            // a group when the tail could not fill the rest.
+            const std::size_t tail = n - i;
+            if (current > 0 &&
+                (current + len > cap || tail < groups_left)) {
+                breaks.push_back(i);
+                --groups_left;
+                current = 0;
+            }
+            current += len;
+        }
+        breaks.push_back(n);
+        if (config.budget_bytes > 0) {
+            for (std::size_t g = 0; g < breaks.size(); ++g) {
+                const std::size_t first = g == 0 ? 0 : breaks[g - 1];
+                const std::uint64_t bp = span_bp(starts, first, breaks[g]);
+                if (estimate(bp) > config.budget_bytes) {
+                    throw std::invalid_argument(
+                        "shard plan: " + std::to_string(breaks.size()) +
+                        " shards cannot meet the per-shard budget of " +
+                        std::to_string(config.budget_bytes) +
+                        " bytes — raise --shards or the budget");
+                }
+            }
+        }
+    } else {
+        // Budget-driven greedy packing.
+        std::uint64_t current = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t len = span_bp(starts, i, i + 1);
+            if (estimate(len) > config.budget_bytes) {
+                throw std::invalid_argument(
+                    "shard plan: contig '" + multi.sequence_name(i) +
+                    "' (" + std::to_string(len) +
+                    " bp) alone exceeds the per-shard budget of " +
+                    std::to_string(config.budget_bytes) +
+                    " bytes — contigs are never split");
+            }
+            if (current > 0 && estimate(current + len) >
+                                   config.budget_bytes) {
+                breaks.push_back(i);
+                current = 0;
+            }
+            current += len;
+        }
+        breaks.push_back(n);
+    }
+
+    ShardPlan plan;
+    plan.overlap = config.overlap;
+    const std::uint32_t total = starts.back();
+    for (std::size_t g = 0; g < breaks.size(); ++g) {
+        const std::size_t first = g == 0 ? 0 : breaks[g - 1];
+        ShardSpec spec;
+        spec.index = static_cast<std::uint32_t>(g);
+        spec.first_sequence = static_cast<std::uint32_t>(first);
+        spec.sequence_count =
+            static_cast<std::uint32_t>(breaks[g] - first);
+        spec.base = starts[first];
+        spec.owned_length = starts[breaks[g]] - starts[first];
+        spec.left_overlap = std::min<std::uint32_t>(
+            config.overlap, spec.base);
+        spec.right_overlap = std::min<std::uint32_t>(
+            config.overlap, total - (spec.base + spec.owned_length));
+        plan.shards.push_back(spec);
+        plan.max_estimated_bytes = std::max(
+            plan.max_estimated_bytes,
+            estimate_index_bytes(spec.text_length(), config.sa_sample,
+                                 config.checkpoint_every,
+                                 config.qgram_length));
+    }
+    return plan;
+}
+
+} // namespace repute::index

@@ -77,12 +77,26 @@ std::unique_ptr<MappingSession> MappingSession::from_rix(
     std::unique_ptr<MappingSession> session(new MappingSession());
     session->config_ = std::move(config);
     const util::Stopwatch timer;
-    session->mapped_.emplace(index::MappedIndex::open(rix_path));
-    session->index_seconds_ = timer.seconds();
-    session->multi_ = &session->mapped_->multi();
-    session->fm_ = &session->mapped_->fm();
+    if (index::is_rixm_manifest(rix_path)) {
+        session->sharded_.emplace(index::ShardedIndex::open(rix_path));
+        session->index_seconds_ = timer.seconds();
+        session->multi_ = &session->sharded_->multi();
+    } else {
+        session->mapped_.emplace(index::MappedIndex::open(rix_path));
+        session->index_seconds_ = timer.seconds();
+        session->multi_ = &session->mapped_->multi();
+        session->fm_ = &session->mapped_->fm();
+    }
     session->build_pool();
     return session;
+}
+
+const index::FmIndex& MappingSession::fm() const {
+    if (fm_ == nullptr) {
+        throw std::logic_error(
+            "MappingSession: sharded sessions have no single FM-index");
+    }
+    return *fm_;
 }
 
 void MappingSession::build_pool() {
@@ -104,21 +118,31 @@ void MappingSession::build_pool() {
     mapper_config.scheduler = config_.scheduler;
     mapper_config.double_buffer = config_.double_buffer;
 
+    if (config_.flavor != "repute" && config_.flavor != "coral") {
+        throw std::invalid_argument(
+            "MappingSession: flavor must be 'repute' or 'coral', got: " +
+            config_.flavor);
+    }
     const std::size_t pool =
         std::max<std::size_t>(config_.mapper_pool, 1);
-    const auto& reference = multi_->concatenated();
     for (std::size_t i = 0; i < pool; ++i) {
-        if (config_.flavor == "repute") {
-            pool_.push_back(core::make_repute(reference, *fm_, shares,
-                                              mapper_config));
-        } else if (config_.flavor == "coral") {
-            pool_.push_back(core::make_coral(reference, *fm_, shares,
-                                             mapper_config));
+        if (sharded_) {
+            auto views = core::shard_views_of(*sharded_);
+            pool_.push_back(config_.flavor == "repute"
+                                ? core::make_sharded_repute(
+                                      std::move(views), shares,
+                                      mapper_config)
+                                : core::make_sharded_coral(
+                                      std::move(views), shares,
+                                      mapper_config));
         } else {
-            throw std::invalid_argument(
-                "MappingSession: flavor must be 'repute' or 'coral', "
-                "got: " +
-                config_.flavor);
+            const auto& reference = multi_->concatenated();
+            pool_.push_back(
+                config_.flavor == "repute"
+                    ? core::make_repute(reference, *fm_, shares,
+                                        mapper_config)
+                    : core::make_coral(reference, *fm_, shares,
+                                       mapper_config));
         }
         free_.push_back(pool_.back().get());
     }
@@ -126,10 +150,12 @@ void MappingSession::build_pool() {
 }
 
 std::size_t MappingSession::mapped_bytes() const noexcept {
+    if (sharded_) return sharded_->mapped_bytes();
     return mapped_ ? mapped_->mapped_bytes() : 0;
 }
 
 std::size_t MappingSession::resident_bytes() const noexcept {
+    if (sharded_) return sharded_->resident_bytes();
     if (mapped_) return mapped_->resident_bytes();
     return fm_->memory_bytes() +
            multi_->concatenated().sequence().memory_bytes();

@@ -31,9 +31,11 @@
 
 #include "core/paired.hpp"
 #include "core/repute_mapper.hpp"
+#include "core/sharded_mapper.hpp"
 #include "genomics/multi_reference.hpp"
 #include "index/fm_index.hpp"
 #include "index/rix.hpp"
+#include "index/rixm.hpp"
 #include "ocl/platform.hpp"
 #include "pipeline/mapping_pipeline.hpp"
 #include "pipeline/sam_emitter.hpp"
@@ -115,8 +117,12 @@ public:
     static std::unique_ptr<MappingSession> from_fasta(
         const std::string& fasta_path, SessionConfig config = {});
 
-    /// Maps a prebuilt .rix container zero-copy (index/rix.hpp);
-    /// load cost is O(sections) checksumming, not reconstruction.
+    /// Maps a prebuilt index zero-copy: a .rix container (index/rix.hpp)
+    /// or a .rixm shard manifest (index/rixm.hpp) — dispatched by file
+    /// magic, so callers pass either path through the same flag. A
+    /// manifest mmaps every shard and builds sharded mappers whose
+    /// per-device peak residency is one shard image, not the whole
+    /// index.
     static std::unique_ptr<MappingSession> from_rix(
         const std::string& rix_path, SessionConfig config = {});
 
@@ -137,11 +143,21 @@ public:
     const genomics::MultiReference& multi() const noexcept {
         return *multi_;
     }
-    const index::FmIndex& fm() const noexcept { return *fm_; }
+    /// The monolithic FM-index. Throws std::logic_error for sharded
+    /// sessions — there is no single index; use sharded().
+    const index::FmIndex& fm() const;
     const SessionConfig& config() const noexcept { return config_; }
 
-    /// True when the index is a zero-copy view over a .rix mapping.
-    bool is_mapped() const noexcept { return mapped_.has_value(); }
+    /// True when the index is a zero-copy view over .rix mapping(s)
+    /// (monolithic container or shard set).
+    bool is_mapped() const noexcept {
+        return mapped_.has_value() || sharded_.has_value();
+    }
+
+    /// True when the session maps through a .rixm shard set.
+    bool is_sharded() const noexcept { return sharded_.has_value(); }
+    /// The shard set (only when is_sharded()).
+    const index::ShardedIndex& sharded() const { return *sharded_; }
 
     /// Footprint split (exported as index.mapped_bytes /
     /// index.resident_bytes gauges when a metrics registry is
@@ -165,6 +181,7 @@ private:
 
     SessionConfig config_;
     std::optional<index::MappedIndex> mapped_;
+    std::optional<index::ShardedIndex> sharded_;
     std::optional<genomics::MultiReference> owned_multi_;
     std::optional<index::FmIndex> owned_fm_;
     const genomics::MultiReference* multi_ = nullptr;
@@ -172,7 +189,7 @@ private:
     double index_seconds_ = 0.0;
 
     std::optional<ocl::Platform> platform_;
-    std::vector<std::unique_ptr<core::HeterogeneousMapper>> pool_;
+    std::vector<std::unique_ptr<core::Mapper>> pool_;
     std::mutex pool_mutex_;
     std::condition_variable pool_cv_;
     std::vector<core::Mapper*> free_;

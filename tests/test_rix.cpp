@@ -24,6 +24,7 @@
 #include "genomics/read_sim.hpp"
 #include "index/fm_index.hpp"
 #include "index/rix.hpp"
+#include "index/rixm.hpp"
 #include "pipeline/mapping_api.hpp"
 
 namespace repute {
@@ -222,6 +223,158 @@ TEST(RixRejects, ForeignVersion) {
     spill(path, bytes);
     expect_open_throws_with(path, "unsupported version");
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// .rixm shard manifests: every failure mode promised distinct in
+// rixm.hpp, plus cross-misuse of the two formats.
+
+struct ShardedFixture {
+    std::string manifest;
+    std::vector<std::string> shard_paths;
+};
+
+/// Builds a small 2-shard set under TempDir and returns its paths.
+ShardedFixture write_valid_sharded(const std::string& tag) {
+    const genomics::MultiReference multi(three_sequences(9'000, 13));
+    index::ShardBuildConfig config;
+    config.plan.shard_count = 2;
+    config.plan.overlap = 64;
+    const auto built = index::build_sharded_index(
+        multi, testing::TempDir() + "repute_test_" + tag + ".rixm",
+        config);
+    return {built.manifest_path, built.shard_paths};
+}
+
+void remove_sharded(const ShardedFixture& fx) {
+    for (const auto& p : fx.shard_paths) std::remove(p.c_str());
+    std::remove(fx.manifest.c_str());
+}
+
+void expect_sharded_open_throws_with(const std::string& path,
+                                     const std::string& needle) {
+    try {
+        index::ShardedIndex::open(path);
+        FAIL() << "open(" << path << ") did not throw; expected \""
+               << needle << "\"";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual message: " << e.what();
+    }
+}
+
+TEST(RixmManifest, SniffsFormatsApart) {
+    const ShardedFixture fx = write_valid_sharded("sniff");
+    const std::string rix = write_valid_rix("sniff_mono");
+    EXPECT_TRUE(index::is_rixm_manifest(fx.manifest));
+    EXPECT_FALSE(index::is_rixm_manifest(rix));
+    EXPECT_FALSE(index::is_rixm_manifest(rix + ".does-not-exist"));
+    std::remove(rix.c_str());
+    remove_sharded(fx);
+}
+
+TEST(RixmManifest, OpensAndReassemblesTheReference) {
+    const genomics::MultiReference multi(three_sequences(9'000, 13));
+    const ShardedFixture fx = write_valid_sharded("open");
+    const auto sharded = index::ShardedIndex::open(fx.manifest);
+    ASSERT_EQ(sharded.shards().size(), 2u);
+    ASSERT_EQ(sharded.multi().sequence_count(), multi.sequence_count());
+    for (std::size_t i = 0; i < multi.sequence_count(); ++i) {
+        EXPECT_EQ(sharded.multi().sequence_name(i),
+                  multi.sequence_name(i));
+        EXPECT_EQ(sharded.multi().sequence_length(i),
+                  multi.sequence_length(i));
+    }
+    // The reassembled text must be the original, byte for byte.
+    EXPECT_EQ(sharded.multi().concatenated().sequence().to_string(),
+              multi.concatenated().sequence().to_string());
+    EXPECT_GT(sharded.mapped_bytes(), 0u);
+    EXPECT_GT(sharded.resident_bytes(), 0u);
+    remove_sharded(fx);
+}
+
+TEST(RixmRejects, MissingShardFile) {
+    const ShardedFixture fx = write_valid_sharded("missing");
+    std::remove(fx.shard_paths[1].c_str());
+    expect_sharded_open_throws_with(fx.manifest, "missing shard file");
+    expect_sharded_open_throws_with(fx.manifest, "shard 1");
+    remove_sharded(fx);
+}
+
+TEST(RixmRejects, ShardRebuiltBehindTheManifest) {
+    // Overwrite shard 0 with a valid .rix built from something else:
+    // structurally fine, but the header-checksum pin must catch it.
+    const ShardedFixture fx = write_valid_sharded("rebuilt");
+    const std::string foreign = write_valid_rix("rebuilt_foreign");
+    spill(fx.shard_paths[0], slurp(foreign));
+    std::remove(foreign.c_str());
+    expect_sharded_open_throws_with(fx.manifest,
+                                    "header checksum mismatch");
+    expect_sharded_open_throws_with(fx.manifest, "shard 0");
+    remove_sharded(fx);
+}
+
+TEST(RixmRejects, ShardVersionSkew) {
+    // A future-version shard under a current manifest: mixed-version
+    // sets fail with the shard named and the .rix version message kept.
+    const ShardedFixture fx = write_valid_sharded("skew");
+    std::string bytes = slurp(fx.shard_paths[1]);
+    const std::uint32_t future = 7;
+    std::memcpy(bytes.data() + 4, &future, sizeof(future));
+    spill(fx.shard_paths[1], bytes);
+    expect_sharded_open_throws_with(fx.manifest, "unsupported version");
+    expect_sharded_open_throws_with(fx.manifest, "shard 1");
+    remove_sharded(fx);
+}
+
+TEST(RixmRejects, GarbageShardFile) {
+    const ShardedFixture fx = write_valid_sharded("garbage");
+    spill(fx.shard_paths[0],
+          std::string(sizeof(index::rix::Header), 'x'));
+    expect_sharded_open_throws_with(fx.manifest, "bad magic");
+    remove_sharded(fx);
+}
+
+TEST(RixmRejects, ForeignManifestVersion) {
+    const ShardedFixture fx = write_valid_sharded("mversion");
+    std::string text = slurp(fx.manifest);
+    text.replace(text.find("RIXM\t1"), 6, "RIXM\t9");
+    spill(fx.manifest, text);
+    expect_sharded_open_throws_with(fx.manifest,
+                                    "unsupported manifest version 9");
+    remove_sharded(fx);
+}
+
+TEST(RixmRejects, TruncatedManifest) {
+    const ShardedFixture fx = write_valid_sharded("mtrunc");
+    const std::string text = slurp(fx.manifest);
+    // Drop the last shard line: the owned ranges no longer cover the
+    // text (or the count disagrees) — malformed either way.
+    spill(fx.manifest,
+          text.substr(0, text.rfind("shard\t")));
+    expect_sharded_open_throws_with(fx.manifest, "malformed manifest");
+    remove_sharded(fx);
+}
+
+TEST(RixmRejects, CrossFormatMisuse) {
+    // A monolithic .rix into the manifest opener and a manifest into
+    // the container opener must both fail up front, distinctly.
+    const ShardedFixture fx = write_valid_sharded("cross");
+    const std::string rix = write_valid_rix("cross_mono");
+    expect_sharded_open_throws_with(rix, "missing RIXM magic");
+    // The tiny text manifest reads as either bad magic or a too-short
+    // container, depending on its length vs the binary header.
+    try {
+        index::MappedIndex::open(fx.manifest);
+        FAIL() << "MappedIndex::open accepted a .rixm manifest";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_TRUE(what.find("bad magic") != std::string::npos ||
+                    what.find("too small") != std::string::npos)
+            << "actual message: " << what;
+    }
+    std::remove(rix.c_str());
+    remove_sharded(fx);
 }
 
 } // namespace

@@ -1,0 +1,258 @@
+// Mixed-length batching bench: what does the length-bucketed path cost
+// on input the fixed path could already handle? (DESIGN.md §5h).
+//
+//   mixed_bench [--quick] [--genome N] [--reads N] [--seed S]
+//               [--delta D] [--batch B] [--min-ratio X]
+//               [--out BENCH_mixed.json] [--trace out.json]
+//
+// Two measurements over one workload:
+//
+//   1. Uniform input (every read 100 bp) through the fixed-length
+//      pipeline (next_batch + ordered emit) and through the bucketed
+//      pipeline (next_bucket + per-read render + reorder writer). Both
+//      walls are host time — modeled device seconds are identical by
+//      construction — so the ratio isolates the bucketing overhead:
+//      quantization, ordinal bookkeeping and the reorder buffer. The
+//      two SAM outputs must be byte-identical; the run fails otherwise.
+//      The last stdout line is `mixed_uniform_ratio: X.XXX`, the line
+//      ci/check_bench.py gates on (the CI mixed tier requires 0.9);
+//      --min-ratio makes the bench itself fail below the floor.
+//
+//   2. Genuinely mixed input (100 bp and 150 bp reads interleaved
+//      record by record) through the bucketed pipeline — the workload
+//      the fixed path cannot serve at all. Reported for context along
+//      with the virtual-padding stats.
+//
+// Results land in --out as flat JSON.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ocl/platform.hpp"
+#include "pipeline/mapping_pipeline.hpp"
+#include "pipeline/sam_emitter.hpp"
+#include "pipeline/streaming_fastx.hpp"
+#include "util/timer.hpp"
+
+using namespace repute;
+
+namespace {
+
+std::string fastq_text(const genomics::ReadBatch& batch) {
+    std::string out;
+    for (const auto& read : batch.reads) {
+        out += '@' + read.name + '\n' + read.to_string() + "\n+\n";
+        out += read.quality.empty() ? std::string(read.length(), 'I')
+                                    : read.quality;
+        out += '\n';
+    }
+    return out;
+}
+
+/// Two map workers on modeled CPU devices; host pipeline overhead is
+/// what this bench measures, so the fleet stays deliberately simple.
+struct Workers {
+    ocl::Device cpu0;
+    ocl::Device cpu1;
+    std::vector<std::unique_ptr<core::Mapper>> owned;
+    std::vector<core::Mapper*> mappers;
+
+    Workers(const genomics::Reference& reference,
+            const index::FmIndex& fm)
+        : cpu0(ocl::profile_i7_2600()), cpu1(ocl::profile_i7_2600()) {
+        bench::apply_transfer_specs({&cpu0, &cpu1});
+        for (ocl::Device* device : {&cpu0, &cpu1}) {
+            owned.push_back(core::make_repute(reference, fm,
+                                              {{device, 1.0}}));
+            mappers.push_back(owned.back().get());
+        }
+    }
+};
+
+struct RunResult {
+    std::string sam;
+    double wall_seconds = 0.0;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const util::Args args(argc, argv);
+    const bench::ScopedTrace trace(args);
+    bench::WorkloadConfig config = bench::parse_workload_config(args);
+    config.genome_length =
+        std::min<std::size_t>(config.genome_length, 2'000'000);
+    config.n_reads = std::min<std::size_t>(config.n_reads, 3'000);
+    const auto delta =
+        static_cast<std::uint32_t>(args.get_int("delta", 4));
+    const auto batch_size =
+        static_cast<std::size_t>(args.get_int("batch", 512));
+    const double min_ratio = args.get_double("min-ratio", 0.0);
+    const std::string out_path =
+        args.get_string("out", "BENCH_mixed.json");
+
+    const bench::Workload workload = bench::make_workload(config);
+    Workers workers(workload.reference(), workload.fm());
+
+    const std::string uniform_fastq =
+        fastq_text(workload.reads100.batch);
+
+    // Mixed set: 100 bp and 150 bp reads interleaved record by record,
+    // renamed so names are unique across the two simulations.
+    genomics::ReadBatch interleaved;
+    const auto& r100 = workload.reads100.batch;
+    const auto& r150 = workload.reads150.batch;
+    const std::size_t pairs_n = std::min(r100.size(), r150.size());
+    for (std::size_t i = 0; i < pairs_n; ++i) {
+        for (const genomics::ReadBatch* src : {&r100, &r150}) {
+            auto read = src->reads[i];
+            read.name = "mix." + std::to_string(interleaved.size());
+            interleaved.reads.push_back(std::move(read));
+        }
+    }
+    const std::string mixed_fastq = fastq_text(interleaved);
+
+    pipeline::PipelineConfig pipe_config;
+    pipe_config.map_workers = workers.mappers.size();
+
+    const auto run_fixed = [&](const std::string& fastq) {
+        std::istringstream in(fastq);
+        pipeline::StreamingReaderConfig reader_config;
+        reader_config.batch_size = batch_size;
+        reader_config.read_length = 100;
+        pipeline::StreamingFastxReader reader(in, reader_config);
+        std::ostringstream sam;
+        pipeline::SamEmitter emitter(sam, workload.session->multi(),
+                                     {true, delta});
+        emitter.write_header();
+        const util::Stopwatch wall;
+        pipeline::run_mapping_pipeline(
+            reader, workers.mappers, delta,
+            [&](std::size_t, const genomics::ReadBatch& batch,
+                const core::MapResult& result) {
+                emitter.emit(batch, result);
+            },
+            pipe_config);
+        return RunResult{sam.str(), wall.seconds()};
+    };
+
+    const auto run_bucketed = [&](const std::string& fastq,
+                                  pipeline::StreamingReaderStats* stats) {
+        std::istringstream in(fastq);
+        pipeline::StreamingReaderConfig reader_config;
+        reader_config.batch_size = batch_size;
+        pipeline::StreamingFastxReader reader(in, reader_config);
+        std::ostringstream sam;
+        pipeline::SamEmitter emitter(sam, workload.session->multi(),
+                                     {true, delta});
+        emitter.write_header();
+        pipeline::RecordReorderWriter writer(sam);
+        const util::Stopwatch wall;
+        pipeline::run_bucketed_pipeline(
+            reader, workers.mappers, delta,
+            [&](std::size_t, const pipeline::OrderedBatch& unit,
+                const core::MapResult& result) {
+                for (std::size_t i = 0; i < unit.batch.size(); ++i) {
+                    writer.add(unit.ordinals[i],
+                               emitter.render_read(unit.batch, i,
+                                                   result));
+                }
+            },
+            pipe_config);
+        writer.finish();
+        RunResult out{sam.str(), wall.seconds()};
+        if (stats != nullptr) *stats = reader.stats();
+        return out;
+    };
+
+    std::printf("mixed_bench: %zu bp genome, %zu uniform reads, "
+                "%zu mixed reads, delta %u, batch %zu\n",
+                config.genome_length, r100.size(), interleaved.size(),
+                delta, batch_size);
+
+    // Best-of-3 walls: host-side pipeline time is scheduler-noisy.
+    constexpr int kReps = 3;
+    RunResult fixed, bucketed;
+    for (int rep = 0; rep < kReps; ++rep) {
+        RunResult f = run_fixed(uniform_fastq);
+        RunResult b = run_bucketed(uniform_fastq, nullptr);
+        if (rep == 0 || f.wall_seconds < fixed.wall_seconds) {
+            fixed = std::move(f);
+        }
+        if (rep == 0 || b.wall_seconds < bucketed.wall_seconds) {
+            bucketed = std::move(b);
+        }
+    }
+    const bool identical = fixed.sam == bucketed.sam;
+    const double reads_n = static_cast<double>(r100.size());
+    const double fixed_rps = reads_n / fixed.wall_seconds;
+    const double bucketed_rps = reads_n / bucketed.wall_seconds;
+    const double ratio =
+        fixed_rps > 0.0 ? bucketed_rps / fixed_rps : 0.0;
+
+    std::printf("uniform  fixed    %8.3f s  %10.0f reads/s\n",
+                fixed.wall_seconds, fixed_rps);
+    std::printf("uniform  bucketed %8.3f s  %10.0f reads/s  "
+                "identical %s\n",
+                bucketed.wall_seconds, bucketed_rps,
+                identical ? "yes" : "NO");
+    if (!identical) {
+        std::fprintf(stderr,
+                     "mixed_bench: FAIL: bucketed SAM diverged from "
+                     "the fixed path on uniform input\n");
+        return EXIT_FAILURE;
+    }
+
+    pipeline::StreamingReaderStats mixed_stats;
+    const RunResult mixed = run_bucketed(mixed_fastq, &mixed_stats);
+    const double mixed_rps =
+        static_cast<double>(interleaved.size()) / mixed.wall_seconds;
+    std::printf("mixed    bucketed %8.3f s  %10.0f reads/s  "
+                "classes %zu  pad %zu bases\n",
+                mixed.wall_seconds, mixed_rps,
+                mixed_stats.length_classes, mixed_stats.pad_bases);
+
+    if (std::FILE* f = std::fopen(out_path.c_str(), "wb")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"genome_bp\": %zu,\n"
+            "  \"uniform_reads\": %zu,\n"
+            "  \"delta\": %u,\n"
+            "  \"batch_size\": %zu,\n"
+            "  \"fixed_wall_seconds\": %.6f,\n"
+            "  \"fixed_reads_per_second\": %.1f,\n"
+            "  \"bucketed_wall_seconds\": %.6f,\n"
+            "  \"bucketed_reads_per_second\": %.1f,\n"
+            "  \"identical\": %s,\n"
+            "  \"mixed\": {\"reads\": %zu, \"wall_seconds\": %.6f, "
+            "\"reads_per_second\": %.1f, \"length_classes\": %zu, "
+            "\"pad_bases\": %zu},\n"
+            "  \"mixed_uniform_ratio\": %.3f\n"
+            "}\n",
+            config.genome_length, r100.size(), delta, batch_size,
+            fixed.wall_seconds, fixed_rps, bucketed.wall_seconds,
+            bucketed_rps, identical ? "true" : "false",
+            interleaved.size(), mixed.wall_seconds, mixed_rps,
+            mixed_stats.length_classes, mixed_stats.pad_bases, ratio);
+        std::fclose(f);
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    if (min_ratio > 0.0 && ratio < min_ratio) {
+        std::fprintf(stderr,
+                     "mixed_bench: FAIL: uniform ratio %.3f below "
+                     "--min-ratio %.3f\n",
+                     ratio, min_ratio);
+        return EXIT_FAILURE;
+    }
+
+    // The line ci/check_bench.py run_mixed_gate parses — keep last.
+    std::printf("mixed_uniform_ratio: %.3f\n", ratio);
+    return EXIT_SUCCESS;
+}

@@ -31,6 +31,19 @@
 #                 parallel-build speedup gate (check_bench --only-shard,
 #                 >=1.5x at --jobs 4 on multi-core machines, recorded in
 #                 BENCH_shard.json) and the shard-merge tests under TSan
+#   mixed         mixed-length + gzip smoke on generated real-shape
+#                 fixtures (ci/gen_mixed_fixtures.py, cacheable keyed on
+#                 the generator's own hash): CLI mapping of interleaved
+#                 80/100/131 bp reads byte-compared against the
+#                 per-length-split oracle, .gz input byte-identical to
+#                 its plain twin (single-end, paired with one gz mate,
+#                 and through the daemon), the bucketed-throughput gate
+#                 (check_bench --only-mixed, >=0.9x of the fixed path on
+#                 uniform input, recorded in BENCH_mixed.json) and
+#                 test_mixed under TSan
+#   zliboff       -DREPUTE_ZLIB=OFF build: plain input keeps working and
+#                 gzip input is rejected with a clear error instead of
+#                 being misparsed
 #   format        clang-format --dry-run --Werror over the tree
 #
 # Usage: ./ci.sh [--quick] [tier...] [jobs]
@@ -52,12 +65,12 @@ for arg in "$@"; do
     case "$arg" in
         --quick) QUICK=1 ;;
         --format-check) TIERS+=(format) ;;
-        tier1|bench|tsan|asan|ubsan|simdoff|serve|shard|format) TIERS+=("$arg") ;;
+        tier1|bench|tsan|asan|ubsan|simdoff|serve|shard|mixed|zliboff|format) TIERS+=("$arg") ;;
         ''|*[!0-9]*) echo "unknown argument: $arg" >&2; exit 2 ;;
         *) JOBS="$arg" ;;
     esac
 done
-[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan simdoff serve shard format)
+[[ ${#TIERS[@]} -eq 0 ]] && TIERS=(tier1 bench tsan asan ubsan simdoff serve shard mixed zliboff format)
 JOBS="${JOBS:-$(nproc)}"
 
 # ccache transparently accelerates the CI matrix (each job re-runs the
@@ -361,6 +374,139 @@ PY
           -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
     cmake --build build-tsan -j "$JOBS" --target test_shard
     ./build-tsan/tests/test_shard
+fi
+
+if has_tier mixed; then
+    echo "== mixed smoke: length-bucketed mapping vs per-length split + gzip twins =="
+    if [[ ! -x build/src/cli/repute || ! -x build/bench/mixed_bench ]]; then
+        cmake -B build -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
+        cmake --build build -j "$JOBS" --target repute_cli mixed_bench
+    fi
+    MIXED_TMP="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand now; also sweep earlier tiers'
+    # tmpdirs when they ran in this invocation (one trap per process).
+    trap "rm -rf '$MIXED_TMP' '${SHARD_TMP:-/nonexistent}' '${SMOKE:-/nonexistent}'" EXIT
+    # Fixture generation self-caches on the generator's hash, so CI can
+    # restore $REPUTE_FIXTURE_DIR from a cache and skip this entirely.
+    FIXDIR="${REPUTE_FIXTURE_DIR:-$MIXED_TMP/fixtures}"
+    python3 ci/gen_mixed_fixtures.py "$FIXDIR"
+    R=./build/src/cli/repute
+
+    # Mixed-length input end to end: 80/100/131 bp reads interleaved
+    # record by record, mapped in one pass.
+    "$R" map --delta 3 --ref "$FIXDIR/ref.fa" --reads "$FIXDIR/mixed.fq" \
+         --out "$MIXED_TMP/mixed.sam"
+    # The gzip twin must be byte-identical to the plain file.
+    "$R" map --delta 3 --ref "$FIXDIR/ref.fa" --reads "$FIXDIR/mixed.fq.gz" \
+         --out "$MIXED_TMP/mixed_gz.sam"
+    cmp "$MIXED_TMP/mixed.sam" "$MIXED_TMP/mixed_gz.sam"
+    echo "gz input byte-identical to plain twin"
+
+    # The oracle: map each length class on its own (uniform batches, no
+    # bucketing in play) and re-merge the records in input order — the
+    # qname encodes the global ordinal. Bucketed output must match.
+    for LEN in 80 100 131; do
+        "$R" map --delta 3 --ref "$FIXDIR/ref.fa" \
+             --reads "$FIXDIR/mixed_len$LEN.fq" \
+             --out "$MIXED_TMP/split$LEN.sam"
+    done
+    python3 - "$MIXED_TMP/mixed.sam" "$MIXED_TMP"/split{80,100,131}.sam <<'PY'
+import sys
+mixed_path, *split_paths = sys.argv[1:]
+
+def load(path):
+    header, records = [], {}
+    for line in open(path):
+        if line.startswith("@"):
+            header.append(line)
+        else:
+            records.setdefault(line.split("\t", 1)[0], []).append(line)
+    return "".join(header), records
+
+headers, merged = set(), {}
+for path in split_paths:
+    header, records = load(path)
+    headers.add(header)
+    merged.update(records)
+assert len(headers) == 1, "split runs disagree on the SAM header"
+expected = headers.pop() + "".join(
+    "".join(merged["mix.%d" % i]) for i in range(len(merged))
+)
+actual = open(mixed_path).read()
+if actual != expected:
+    sys.exit("bucketed SAM diverged from the per-length-split oracle")
+print("bucketed SAM byte-identical to the per-length-split oracle")
+PY
+
+    # Paired mates with per-pair mixed lengths; the second file gzipped
+    # independently of the first (compression is sniffed per stream).
+    "$R" map --delta 3 --ref "$FIXDIR/ref.fa" --reads "$FIXDIR/r1.fq" \
+         --reads2 "$FIXDIR/r2.fq" --out "$MIXED_TMP/pe_plain.sam"
+    "$R" map --delta 3 --ref "$FIXDIR/ref.fa" --reads "$FIXDIR/r1.fq" \
+         --reads2 "$FIXDIR/r2.fq.gz" --out "$MIXED_TMP/pe_gz.sam"
+    cmp "$MIXED_TMP/pe_plain.sam" "$MIXED_TMP/pe_gz.sam"
+    echo "paired gz mate byte-identical to plain"
+
+    # The daemon serves heterogeneous-length gz requests too: the blob
+    # ships compressed and the resident session inflates it.
+    "$R" index build --ref "$FIXDIR/ref.fa" --out "$MIXED_TMP/ref.rix"
+    "$R" serve --index "$MIXED_TMP/ref.rix" \
+         --socket "$MIXED_TMP/repute.sock" \
+         >"$MIXED_TMP/serve.log" 2>&1 &
+    MIXED_SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -S "$MIXED_TMP/repute.sock" ]] && break
+        sleep 0.1
+    done
+    "$R" client --delta 3 --socket "$MIXED_TMP/repute.sock" \
+         --reads "$FIXDIR/mixed.fq.gz" --out "$MIXED_TMP/served.sam" \
+         --tenant ci
+    cmp "$MIXED_TMP/mixed.sam" "$MIXED_TMP/served.sam"
+    echo "daemon round trip over gz mixed-length reads byte-identical"
+    kill -TERM "$MIXED_SERVE_PID"
+    wait "$MIXED_SERVE_PID"
+
+    # The acceptance gate: on uniform input the bucketed pipeline must
+    # hold >=0.9x of the fixed path's throughput (and stay
+    # byte-identical — the fixture exits nonzero otherwise).
+    python3 ci/check_bench.py --only-mixed --mixed-min-ratio 0.9 \
+        --mixed-binary build/bench/mixed_bench \
+        --mixed-out "$MIXED_TMP/BENCH_mixed.json"
+
+    # Bucket accumulation, the reorder writer and the bucketed pipelines
+    # under TSan: interleaved class streams cross the map workers.
+    cmake -B build-tsan -S . -DREPUTE_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER[@]}"
+    cmake --build build-tsan -j "$JOBS" --target test_mixed
+    ./build-tsan/tests/test_mixed
+fi
+
+if has_tier zliboff; then
+    echo "== zliboff: -DREPUTE_ZLIB=OFF build + graceful gz rejection =="
+    cmake -B build-zliboff -S . -DREPUTE_ZLIB=OFF \
+          -DCMAKE_BUILD_TYPE=Release "${LAUNCHER[@]}"
+    cmake --build build-zliboff -j "$JOBS" --target repute_cli test_mixed
+    # The gz-dependent tests skip themselves; the no-zlib rejection test
+    # only runs in this build.
+    ./build-zliboff/tests/test_mixed
+    ZOFF_TMP="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand now; chain earlier tmpdirs
+    trap "rm -rf '$ZOFF_TMP' '${MIXED_TMP:-/nonexistent}' '${SHARD_TMP:-/nonexistent}' '${SMOKE:-/nonexistent}'" EXIT
+    FIXDIR="${REPUTE_FIXTURE_DIR:-$ZOFF_TMP/fixtures}"
+    python3 ci/gen_mixed_fixtures.py "$FIXDIR"
+    R=./build-zliboff/src/cli/repute
+    # Plain input still maps...
+    "$R" map --delta 3 --ref "$FIXDIR/ref.fa" --reads "$FIXDIR/mixed.fq" \
+         --out "$ZOFF_TMP/plain.sam"
+    echo "plain input maps without zlib"
+    # ...and gz input is refused loudly instead of misparsed.
+    if "$R" map --delta 3 --ref "$FIXDIR/ref.fa" --reads "$FIXDIR/mixed.fq.gz" \
+         --out "$ZOFF_TMP/gz.sam" 2>"$ZOFF_TMP/err.log"; then
+        echo "FAIL: gz input was accepted by a zlib-less build" >&2
+        exit 1
+    fi
+    grep -q "without zlib" "$ZOFF_TMP/err.log"
+    echo "gz input rejected with a clear error"
 fi
 
 if has_tier format; then

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Deterministic fixtures for the CI `mixed` tier.
+
+Writes, into the directory given as argv[1] (created if needed):
+
+  ref.fa            two-contig reference (30 kb + 20 kb)
+  mixed.fq          three read-length classes (80/100/131 bp, 100 reads
+                    each) interleaved record by record; read i is named
+                    mix.<i>, so the name encodes the global input
+                    ordinal
+  mixed_len*.fq     the same reads split by length class, input order
+                    preserved within each class — the per-length-split
+                    oracle the bucketed pipeline must byte-match
+  mixed.fq.gz       gzip twin of mixed.fq (mtime pinned to 0, so the
+                    bytes are reproducible)
+  r1.fq / r2.fq     150 proper FR mate pairs whose two sides draw their
+                    lengths independently from the three classes
+  r1.fq.gz, r2.fq.gz  gzip twins of the mate files
+
+Everything derives from fixed seeds, and the whole set is stamped with
+this script's own hash (.stamp): a rerun whose stamp matches is a
+no-op, so CI can cache the directory keyed on the script hash and skip
+generation entirely. Honors $REPUTE_FIXTURE_DIR as the default output
+directory when no argument is given.
+"""
+
+import gzip
+import hashlib
+import os
+import random
+import sys
+
+LENGTHS = [80, 100, 131]
+READS_PER_CLASS = 100
+N_PAIRS = 150
+COMP = str.maketrans("ACGT", "TGCA")
+
+
+def script_hash():
+    with open(os.path.abspath(__file__), "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+def write_fasta(path, seqs):
+    with open(path, "w") as fh:
+        for name, seq in seqs.items():
+            fh.write(">%s\n" % name)
+            for i in range(0, len(seq), 70):
+                fh.write(seq[i : i + 70] + "\n")
+
+
+def mutate(rng, read, max_subs=2):
+    read = list(read)
+    for _ in range(rng.randrange(max_subs + 1)):
+        p = rng.randrange(len(read))
+        read[p] = rng.choice("ACGT")
+    return "".join(read)
+
+
+def fastq_record(name, seq):
+    return "@%s\n%s\n+\n%s\n" % (name, seq, "I" * len(seq))
+
+
+def gzip_twin(path):
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    # mtime=0 keeps the member header — and so the cached fixture —
+    # byte-stable across regenerations.
+    with open(path + ".gz", "wb") as out:
+        with gzip.GzipFile(
+            filename="", mode="wb", fileobj=out, mtime=0
+        ) as gz:
+            gz.write(raw)
+
+
+def main():
+    out_dir = (
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.environ.get("REPUTE_FIXTURE_DIR", "")
+    )
+    if not out_dir:
+        print(
+            "usage: gen_mixed_fixtures.py OUTDIR "
+            "(or set $REPUTE_FIXTURE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    os.makedirs(out_dir, exist_ok=True)
+    stamp_path = os.path.join(out_dir, ".stamp")
+    stamp = script_hash()
+    if os.path.exists(stamp_path):
+        with open(stamp_path) as fh:
+            if fh.read().strip() == stamp:
+                print("fixtures up to date in %s (stamp match)" % out_dir)
+                return 0
+
+    rng = random.Random(20260809)
+    seqs = {
+        "chrA": "".join(rng.choice("ACGT") for _ in range(30000)),
+        "chrB": "".join(rng.choice("ACGT") for _ in range(20000)),
+    }
+    write_fasta(os.path.join(out_dir, "ref.fa"), seqs)
+
+    def sample(length):
+        seq = seqs[rng.choice(list(seqs))]
+        start = rng.randrange(len(seq) - length)
+        return mutate(rng, seq[start : start + length])
+
+    # Interleaved mixed-length single-end reads + the per-class splits.
+    splits = {n: [] for n in LENGTHS}
+    mixed = []
+    ordinal = 0
+    for _ in range(READS_PER_CLASS):
+        for length in LENGTHS:
+            rec = fastq_record("mix.%d" % ordinal, sample(length))
+            mixed.append(rec)
+            splits[length].append(rec)
+            ordinal += 1
+    mixed_path = os.path.join(out_dir, "mixed.fq")
+    with open(mixed_path, "w") as fh:
+        fh.write("".join(mixed))
+    for length, records in splits.items():
+        with open(
+            os.path.join(out_dir, "mixed_len%d.fq" % length), "w"
+        ) as fh:
+            fh.write("".join(records))
+    gzip_twin(mixed_path)
+
+    # Proper FR pairs; each side draws its length independently, so the
+    # paired reader sees several (len1, len2) tuple classes.
+    r1_path = os.path.join(out_dir, "r1.fq")
+    r2_path = os.path.join(out_dir, "r2.fq")
+    with open(r1_path, "w") as f1, open(r2_path, "w") as f2:
+        for i in range(N_PAIRS):
+            len1, len2 = rng.choice(LENGTHS), rng.choice(LENGTHS)
+            seq = seqs[rng.choice(list(seqs))]
+            insert = rng.randrange(250, 450)
+            start = rng.randrange(len(seq) - insert)
+            m1 = mutate(rng, seq[start : start + len1])
+            frag = seq[start + insert - len2 : start + insert]
+            m2 = mutate(rng, frag.translate(COMP)[::-1])
+            f1.write(fastq_record("p%d/1" % i, m1))
+            f2.write(fastq_record("p%d/2" % i, m2))
+    gzip_twin(r1_path)
+    gzip_twin(r2_path)
+
+    with open(stamp_path, "w") as fh:
+        fh.write(stamp + "\n")
+    print("fixtures written to %s" % out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

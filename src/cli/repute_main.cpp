@@ -87,9 +87,11 @@ index source (exactly one):
   --index FILE          prebuilt .rix container or .rixm shard manifest:
                         mmap zero-copy
 required:
-  --reads FILE          FASTA/FASTQ reads (format auto-detected)
+  --reads FILE          FASTA/FASTQ reads (format auto-detected;
+                        .gz input inflated transparently)
 options:
   --reads2 FILE         second-mate file: paired-end mapping + rescue
+                        (.gz accepted, independently of --reads)
   --out FILE            SAM output path, '-' for stdout (default out.sam)
   --delta N             edit-distance budget (default 5)
   --smin N              minimum seed k-mer length (default 14)
@@ -101,7 +103,12 @@ pipeline:
   --queue-depth N       batches buffered between stages (default 4)
   --threads N           concurrent map workers (default 1)
   --on-malformed MODE   drop (count and continue) | fail (default drop)
-  --read-length N       fixed read length; 0 = lock to first record
+  --read-length N       fixed read length; 0 = mixed-length bucketed
+                        mapping (the default)
+  --length-grid N       length-class quantization for mixed input:
+                        reads bucket by length rounded up to a multiple
+                        of N, padded virtually within a class
+                        (default 16)
   --monolithic          load whole file, map once, then write
 devices:
   --platform NAME       system1 (i7 + 2x GTX590) | system2 (HiKey970)
@@ -144,7 +151,8 @@ constexpr const char* kClientUsage = R"(repute client — submit reads to a runn
 
 required:
   --socket PATH         daemon socket path
-  --reads FILE          FASTA/FASTQ reads
+  --reads FILE          FASTA/FASTQ reads (.gz shipped as-is; the
+                        daemon inflates)
 options:
   --reads2 FILE         second-mate file (paired-end)
   --out FILE            SAM output path, '-' for stdout (default -)
@@ -153,7 +161,9 @@ options:
   --map-workers N       mappers requested (fair-share granted, default 1)
   --batch-size N        reads per batch (default 4096)
   --queue-depth N       pipeline queue depth (default 4)
-  --read-length N       fixed read length; 0 = lock to first record
+  --read-length N       fixed read length; 0 = mixed-length bucketed
+                        mapping (the default)
+  --length-grid N       length-class quantization grid (default 16)
   --on-malformed MODE   drop | fail (default drop)
   --insert-min/--insert-max
                         paired-end insert bounds (default 200/600)
@@ -395,6 +405,8 @@ int run_map(const util::Args& args, bool deprecated_form) {
         static_cast<std::size_t>(args.get_int("batch-size", 4096));
     request.reader.read_length =
         static_cast<std::size_t>(args.get_int("read-length", 0));
+    request.reader.length_grid =
+        static_cast<std::size_t>(args.get_int("length-grid", 16));
     request.reader.on_malformed =
         parse_on_malformed(args.get_string("on-malformed", "drop"));
     request.pair.min_insert = static_cast<std::uint32_t>(
@@ -532,6 +544,8 @@ int run_client_cmd(const util::Args& args) {
         static_cast<std::uint32_t>(args.get_int("queue-depth", 4));
     request.read_length =
         static_cast<std::uint32_t>(args.get_int("read-length", 0));
+    request.length_grid =
+        static_cast<std::uint32_t>(args.get_int("length-grid", 16));
     request.min_insert =
         static_cast<std::uint32_t>(args.get_int("insert-min", 200));
     request.max_insert =

@@ -12,11 +12,13 @@ namespace {
 
 /// Insert size of a candidate FR combination, or 0 when the geometry is
 /// wrong. `fwd_pos` is the forward mate's start, `rev_pos` the reverse
-/// mate's (both 0-based read starts on the forward strand).
+/// mate's (both 0-based read starts on the forward strand); `rev_len`
+/// is the reverse mate's read length — the outer distance runs to the
+/// reverse mate's rightmost base, so only its length enters.
 std::uint32_t fr_insert(std::uint32_t fwd_pos, std::uint32_t rev_pos,
-                        std::uint32_t read_len) noexcept {
+                        std::uint32_t rev_len) noexcept {
     if (rev_pos < fwd_pos) return 0;
-    return rev_pos + read_len - fwd_pos;
+    return rev_pos + rev_len - fwd_pos;
 }
 
 } // namespace
@@ -27,7 +29,10 @@ std::vector<genomics::SamRecord> paired_to_sam(
     using genomics::SamRecord;
     std::vector<SamRecord> records;
     records.reserve(2 * result.pairs.size());
-    const auto read_len = static_cast<std::uint32_t>(first.read_length);
+    // String (not literal) sources: assigning "*" / "=" directly inside
+    // the inlined lambda trips GCC 12's -Wrestrict false positive.
+    static const std::string kStar = "*";
+    static const std::string kSame = "=";
 
     for (std::size_t i = 0; i < result.pairs.size(); ++i) {
         const PairMapping& pair = result.pairs[i];
@@ -63,7 +68,7 @@ std::vector<genomics::SamRecord> paired_to_sam(
                                  : SamRecord::kFlagSecondInPair);
             if (!own_mapped) {
                 rec.flag |= SamRecord::kFlagUnmapped;
-                rec.rname = "*";
+                rec.rname = kStar;
             } else {
                 rec.rname = reference_name;
                 rec.pos = own.position + 1;
@@ -76,7 +81,7 @@ std::vector<genomics::SamRecord> paired_to_sam(
             if (!other_mapped) {
                 rec.flag |= SamRecord::kFlagMateUnmapped;
             } else {
-                rec.rnext = "=";
+                rec.rnext = kSame;
                 rec.pnext = other.position + 1;
                 if (other.strand == genomics::Strand::Reverse) {
                     rec.flag |= SamRecord::kFlagMateReverse;
@@ -115,7 +120,7 @@ PairedMapper::PairedMapper(Mapper& single,
 
 bool PairedMapper::find_proper(const std::vector<ReadMapping>& mappings1,
                                const std::vector<ReadMapping>& mappings2,
-                               std::uint32_t read_len,
+                               std::uint32_t len1, std::uint32_t len2,
                                PairMapping& out) const {
     bool found = false;
     std::uint32_t best_edit = 0;
@@ -138,8 +143,8 @@ bool PairedMapper::find_proper(const std::vector<ReadMapping>& mappings1,
         } else {
             return;
         }
-        const std::uint32_t insert =
-            fr_insert(fwd->position, rev->position, read_len);
+        const std::uint32_t insert = fr_insert(
+            fwd->position, rev->position, rev == &m1 ? len1 : len2);
         if (insert < config_.min_insert || insert > config_.max_insert) {
             return;
         }
@@ -164,41 +169,44 @@ bool PairedMapper::find_proper(const std::vector<ReadMapping>& mappings1,
 }
 
 bool PairedMapper::rescue(const genomics::Read& mate,
-                          const ReadMapping& anchor, bool anchor_is_first,
-                          std::uint32_t read_len, std::uint32_t delta,
-                          ReadMapping& out) const {
-    (void)anchor_is_first; // geometry is symmetric under FR
+                          const ReadMapping& anchor,
+                          std::uint32_t anchor_len, std::uint32_t mate_len,
+                          std::uint32_t delta, ReadMapping& out) const {
     const auto text_len = static_cast<std::uint32_t>(reference_->size());
     const std::uint32_t budget = delta + config_.rescue_delta_bonus;
 
-    // Expected start range of the missing mate and its orientation.
+    // Expected start range of the missing mate and its orientation. The
+    // insert runs from the forward mate's start to the reverse mate's
+    // end, so each branch mixes the two lengths differently.
     std::uint32_t lo, hi;
     genomics::Strand strand;
-    if (config_.max_insert < read_len) return false; // degenerate library
     if (anchor.strand == genomics::Strand::Forward) {
-        // Missing mate sits to the right, reverse-oriented.
+        // Missing mate sits to the right, reverse-oriented: insert =
+        // mate_pos + mate_len - anchor_pos.
+        if (config_.max_insert < mate_len) return false; // degenerate
         strand = genomics::Strand::Reverse;
         const std::uint32_t base = anchor.position + config_.min_insert;
-        lo = base > read_len ? base - read_len : 0;
-        hi = anchor.position + config_.max_insert - read_len;
+        lo = base > mate_len ? base - mate_len : 0;
+        hi = anchor.position + config_.max_insert - mate_len;
     } else {
-        // Missing mate sits to the left, forward-oriented.
+        // Missing mate sits to the left, forward-oriented: insert =
+        // anchor_pos + anchor_len - mate_pos.
         strand = genomics::Strand::Forward;
-        lo = anchor.position + read_len >= config_.max_insert
-                 ? anchor.position + read_len - config_.max_insert
+        lo = anchor.position + anchor_len >= config_.max_insert
+                 ? anchor.position + anchor_len - config_.max_insert
                  : 0;
-        hi = anchor.position + read_len >= config_.min_insert
-                 ? anchor.position + read_len - config_.min_insert
+        hi = anchor.position + anchor_len >= config_.min_insert
+                 ? anchor.position + anchor_len - config_.min_insert
                  : 0;
     }
     if (lo >= text_len) return false;
-    hi = std::min(hi, text_len > read_len ? text_len - read_len : 0u);
+    hi = std::min(hi, text_len > mate_len ? text_len - mate_len : 0u);
     if (hi < lo) return false;
 
     const std::uint32_t win_lo = lo > budget ? lo - budget : 0;
     const std::uint32_t win_len = std::min<std::uint32_t>(
-        hi - lo + read_len + 2 * budget, text_len - win_lo);
-    if (win_len < read_len) return false;
+        hi - lo + mate_len + 2 * budget, text_len - win_lo);
+    if (win_len < mate_len) return false;
 
     const std::vector<std::uint8_t> pattern =
         strand == genomics::Strand::Reverse ? mate.reverse_complement()
@@ -208,8 +216,8 @@ bool PairedMapper::rescue(const genomics::Read& mate,
     const auto hit = matcher.best_in(window);
     if (hit.distance > budget) return false;
 
-    out.position = win_lo + (hit.text_end > read_len
-                                 ? hit.text_end - read_len
+    out.position = win_lo + (hit.text_end > mate_len
+                                 ? hit.text_end - mate_len
                                  : 0);
     out.edit_distance = static_cast<std::uint16_t>(hit.distance);
     out.strand = strand;
@@ -219,13 +227,10 @@ bool PairedMapper::rescue(const genomics::Read& mate,
 PairedResult PairedMapper::map_pairs(const genomics::ReadBatch& first,
                                      const genomics::ReadBatch& second,
                                      std::uint32_t delta) {
-    if (first.size() != second.size() ||
-        first.read_length != second.read_length) {
+    if (first.size() != second.size()) {
         throw std::invalid_argument(
             "map_pairs: mate batches must be parallel");
     }
-    const auto read_len =
-        static_cast<std::uint32_t>(first.read_length);
 
     const MapResult r1 = single_->map(first, delta);
     const MapResult r2 = single_->map(second, delta);
@@ -238,9 +243,13 @@ PairedResult PairedMapper::map_pairs(const genomics::ReadBatch& first,
         PairMapping& pair = result.pairs[i];
         const auto& mappings1 = r1.per_read[i];
         const auto& mappings2 = r2.per_read[i];
+        const auto len1 =
+            static_cast<std::uint32_t>(first.reads[i].length());
+        const auto len2 =
+            static_cast<std::uint32_t>(second.reads[i].length());
 
         if (!mappings1.empty() && !mappings2.empty()) {
-            if (find_proper(mappings1, mappings2, read_len, pair)) {
+            if (find_proper(mappings1, mappings2, len1, len2, pair)) {
                 pair.classification = PairClass::Proper;
             } else {
                 pair.classification = PairClass::Discordant;
@@ -265,21 +274,17 @@ PairedResult PairedMapper::map_pairs(const genomics::ReadBatch& first,
         ReadMapping rescued;
         if (config_.enable_rescue &&
             rescue(first_mapped ? second.reads[i] : first.reads[i],
-                   *best_anchor, first_mapped, read_len, delta,
-                   rescued)) {
+                   *best_anchor, first_mapped ? len1 : len2,
+                   first_mapped ? len2 : len1, delta, rescued)) {
             pair.classification = PairClass::Rescued;
             pair.mate1 = first_mapped ? *best_anchor : rescued;
             pair.mate2 = first_mapped ? rescued : *best_anchor;
-            const auto& fwd = pair.mate1.strand ==
-                                      genomics::Strand::Forward
-                                  ? pair.mate1
-                                  : pair.mate2;
-            const auto& rev = pair.mate1.strand ==
-                                      genomics::Strand::Forward
-                                  ? pair.mate2
-                                  : pair.mate1;
-            pair.insert_size =
-                fr_insert(fwd.position, rev.position, read_len);
+            const bool mate1_fwd =
+                pair.mate1.strand == genomics::Strand::Forward;
+            const auto& fwd = mate1_fwd ? pair.mate1 : pair.mate2;
+            const auto& rev = mate1_fwd ? pair.mate2 : pair.mate1;
+            pair.insert_size = fr_insert(fwd.position, rev.position,
+                                         mate1_fwd ? len2 : len1);
         } else {
             pair.classification = PairClass::OneMateUnmapped;
             (first_mapped ? pair.mate1 : pair.mate2) = *best_anchor;

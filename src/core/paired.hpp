@@ -65,7 +65,9 @@ public:
 
     /// Maps both mate batches (must be parallel: first.reads[i] pairs
     /// with second.reads[i]) and joins them. Throws
-    /// std::invalid_argument on size mismatch.
+    /// std::invalid_argument on size mismatch. Mate lengths may differ
+    /// — pairing geometry (insert, rescue window) is computed from each
+    /// read's own length.
     PairedResult map_pairs(const genomics::ReadBatch& first,
                            const genomics::ReadBatch& second,
                            std::uint32_t delta);
@@ -77,14 +79,19 @@ private:
     const genomics::Reference* reference_;
     PairedConfig config_;
 
-    /// Best proper combination of two mapping lists, if any.
+    /// Best proper combination of two mapping lists, if any. `len1` /
+    /// `len2` are the mates' own read lengths (insert size depends on
+    /// which mate is the reverse one).
     bool find_proper(const std::vector<ReadMapping>& mappings1,
                      const std::vector<ReadMapping>& mappings2,
-                     std::uint32_t read_len, PairMapping& out) const;
+                     std::uint32_t len1, std::uint32_t len2,
+                     PairMapping& out) const;
 
     /// Windowed re-alignment of `mate` near its partner's position.
+    /// `anchor_len` is the mapped mate's read length, `mate_len` the
+    /// missing mate's — both enter the expected-window geometry.
     bool rescue(const genomics::Read& mate, const ReadMapping& anchor,
-                bool anchor_is_first, std::uint32_t read_len,
+                std::uint32_t anchor_len, std::uint32_t mate_len,
                 std::uint32_t delta, ReadMapping& out) const;
 };
 

@@ -125,7 +125,14 @@ std::vector<std::size_t> ShardedMapper::split_workload(
 void ShardedMapper::validate_overhangs(const genomics::ReadBatch& batch,
                                        std::uint32_t delta) const {
     if (shards_.size() < 2) return; // monolithic-equivalent
-    const std::uint64_t n = batch.read_length;
+    // Longest actual read in the batch, not batch.read_length: bucketed
+    // batches carry the length-class ceiling there, and a too-small
+    // overhang only matters for reads that truly reach past it.
+    std::uint64_t n = 0;
+    for (const auto& read : batch.reads) {
+        n = std::max<std::uint64_t>(n, read.length());
+    }
+    if (n == 0) n = batch.read_length;
     const ShardView& last = shards_.back();
     const std::uint64_t total =
         std::uint64_t{last.text_offset} + last.own_hi;

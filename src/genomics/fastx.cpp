@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/gzip_stream.hpp"
 #include "util/packed_dna.hpp"
 
 namespace repute::genomics {
@@ -19,14 +20,27 @@ std::string header_name(const std::string& line, std::size_t offset) {
 }
 
 std::ifstream open_or_throw(const std::string& path) {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("cannot open file: " + path);
     return in;
 }
 
+std::vector<FastaRecord> read_fasta_plain(std::istream& in);
+std::vector<FastqRecord> read_fastq_plain(std::istream& in);
+
 } // namespace
 
 std::vector<FastaRecord> read_fasta(std::istream& in) {
+    if (util::sniff_gzip_magic(in)) {
+        util::GzipInputStream gz(in);
+        return read_fasta_plain(gz.stream());
+    }
+    return read_fasta_plain(in);
+}
+
+namespace {
+
+std::vector<FastaRecord> read_fasta_plain(std::istream& in) {
     std::vector<FastaRecord> records;
     std::string line;
     while (std::getline(in, line)) {
@@ -47,6 +61,8 @@ std::vector<FastaRecord> read_fasta(std::istream& in) {
     return records;
 }
 
+} // namespace
+
 std::vector<FastaRecord> read_fasta_file(const std::string& path) {
     auto in = open_or_throw(path);
     return read_fasta(in);
@@ -63,6 +79,16 @@ void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
 }
 
 std::vector<FastqRecord> read_fastq(std::istream& in) {
+    if (util::sniff_gzip_magic(in)) {
+        util::GzipInputStream gz(in);
+        return read_fastq_plain(gz.stream());
+    }
+    return read_fastq_plain(in);
+}
+
+namespace {
+
+std::vector<FastqRecord> read_fastq_plain(std::istream& in) {
     std::vector<FastqRecord> records;
     std::string header, seq, plus, qual;
     while (std::getline(in, header)) {
@@ -91,6 +117,8 @@ std::vector<FastqRecord> read_fastq(std::istream& in) {
     }
     return records;
 }
+
+} // namespace
 
 std::vector<FastqRecord> read_fastq_file(const std::string& path) {
     auto in = open_or_throw(path);
@@ -140,19 +168,46 @@ ReadBatch to_read_batch(const std::vector<FastqRecord>& records,
 }
 
 FastxRecordStream::FastxRecordStream(std::istream& in, FastxFormat format)
-    : in_(&in), format_(format) {}
+    : in_(&in), format_(format) {
+    if (util::sniff_gzip_magic(in)) {
+        // Throws the clear "rebuilt without zlib" error when the build
+        // carries no zlib (see util::GzipInputStream).
+        gz_ = std::make_unique<util::GzipInputStream>(in);
+        in_ = &gz_->stream();
+    }
+}
+
+FastxRecordStream::~FastxRecordStream() = default;
+
+std::uint64_t FastxRecordStream::compressed_offset() const noexcept {
+    return gz_ ? gz_->compressed_offset() : 0;
+}
+
+std::string FastxRecordStream::offset_suffix() const {
+    if (gz_) {
+        return " (at uncompressed byte " + std::to_string(record_offset_) +
+               ", compressed byte <= " +
+               std::to_string(compressed_offset()) + ")";
+    }
+    return " (at byte " + std::to_string(record_offset_) + ")";
+}
 
 bool FastxRecordStream::next_line(std::string& line) {
     if (has_pending_) {
         line = std::move(pending_);
         has_pending_ = false;
+        line_offset_ = pending_offset_;
         return true;
     }
-    while (std::getline(*in_, line)) {
+    while (true) {
+        line_offset_ = next_offset_;
+        if (!std::getline(*in_, line)) return false;
+        // Count raw bytes consumed (CR included, before stripping; the
+        // final line of a file without a trailing newline sets eofbit).
+        next_offset_ += line.size() + (in_->eof() ? 0 : 1);
         if (!line.empty() && line.back() == '\r') line.pop_back();
         if (!line.empty()) return true; // blank lines are never records
     }
-    return false;
 }
 
 FastxRecordStream::Status FastxRecordStream::next(FastqRecord& out,
@@ -163,6 +218,7 @@ FastxRecordStream::Status FastxRecordStream::next(FastqRecord& out,
         format_ = line[0] == '@' ? FastxFormat::Fastq : FastxFormat::Fasta;
         pending_ = std::move(line);
         has_pending_ = true;
+        pending_offset_ = line_offset_;
     }
     const Status status = format_ == FastxFormat::Fasta
                               ? next_fasta(out, error)
@@ -175,10 +231,12 @@ FastxRecordStream::Status FastxRecordStream::next_fasta(
     FastqRecord& out, std::string* error) {
     std::string line;
     while (next_line(line)) {
+        record_offset_ = line_offset_;
         if (line[0] == ';') continue; // legacy FASTA comment
         if (line[0] != '>') {
             if (error) {
-                *error = "FASTA: sequence data before header: " + line;
+                *error = "FASTA: sequence data before header: " + line +
+                         offset_suffix();
             }
             return Status::Malformed; // consume the stray line, resync
         }
@@ -189,6 +247,7 @@ FastxRecordStream::Status FastxRecordStream::next_fasta(
             if (line[0] == '>') { // next record: push back as lookahead
                 pending_ = std::move(line);
                 has_pending_ = true;
+                pending_offset_ = line_offset_;
                 break;
             }
             if (line[0] == ';') continue;
@@ -203,29 +262,44 @@ FastxRecordStream::Status FastxRecordStream::next_fastq(
     FastqRecord& out, std::string* error) {
     std::string header;
     if (!next_line(header)) return Status::End;
+    record_offset_ = line_offset_;
     if (header[0] != '@') {
-        if (error) *error = "FASTQ: expected '@', got: " + header;
+        if (error) {
+            *error = "FASTQ: expected '@', got: " + header +
+                     offset_suffix();
+        }
         return Status::Malformed; // consume one line, resync on next '@'
     }
     std::string seq, plus, qual;
-    if (!next_line(seq) || !next_line(plus) || !next_line(qual)) {
-        if (error) *error = "FASTQ: truncated record: " + header;
+    std::uint64_t plus_offset = 0;
+    const auto read_plus = [&] {
+        if (!next_line(plus)) return false;
+        plus_offset = line_offset_;
+        return true;
+    };
+    if (!next_line(seq) || !read_plus() || !next_line(qual)) {
+        if (error) {
+            *error = "FASTQ: truncated record: " + header +
+                     offset_suffix();
+        }
         return Status::Malformed;
     }
     if (plus.empty() || plus[0] != '+') {
         if (error) {
-            *error = "FASTQ: missing '+' line in record: " + header;
+            *error = "FASTQ: missing '+' line in record: " + header +
+                     offset_suffix();
         }
         // The '+' slot held something else — likely the start of the
         // next record; push it back so one bad record costs one record.
         pending_ = std::move(plus);
         has_pending_ = true;
+        pending_offset_ = plus_offset;
         return Status::Malformed;
     }
     if (seq.size() != qual.size()) {
         if (error) {
             *error = "FASTQ: sequence/quality length mismatch in record: " +
-                     header;
+                     header + offset_suffix();
         }
         return Status::Malformed;
     }

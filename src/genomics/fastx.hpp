@@ -4,12 +4,24 @@
 // Line-based parsers supporting multi-line FASTA records and 4-line FASTQ
 // records. Used by the examples to load real data when available and to
 // persist simulated datasets for cross-tool comparison.
+//
+// Every reader sniffs the gzip magic at the stream's current position
+// and transparently inflates compressed input (util::GzipInputStream),
+// so `.gz` files flow through the same parsers as plain text — from CLI
+// files, daemon request blobs, or any istream. Builds without zlib
+// (-DREPUTE_ZLIB=OFF) reject gzip input with a clear error instead.
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "genomics/sequence.hpp"
+
+namespace repute::util {
+class GzipInputStream;
+} // namespace repute::util
 
 namespace repute::genomics {
 
@@ -63,8 +75,12 @@ public:
 
     /// The stream must outlive the scanner. With FastxFormat::Auto the
     /// format is resolved from the first record marker ('>' vs '@').
+    /// Gzip-compressed input (magic 0x1f 0x8b at the current position)
+    /// is inflated transparently; throws std::runtime_error when the
+    /// build carries no zlib.
     explicit FastxRecordStream(std::istream& in,
                                FastxFormat format = FastxFormat::Auto);
+    ~FastxRecordStream();
 
     Status next(FastqRecord& out, std::string* error = nullptr);
 
@@ -75,16 +91,35 @@ public:
     /// of the most recently returned record).
     std::size_t records_seen() const noexcept { return records_seen_; }
 
+    /// True when the underlying input is gzip-compressed.
+    bool compressed() const noexcept { return gz_ != nullptr; }
+
+    /// Uncompressed byte offset of the most recent record's first line
+    /// — where malformed-record errors point.
+    std::uint64_t record_offset() const noexcept { return record_offset_; }
+
+    /// Compressed-file byte offset consumed so far (upper bound on the
+    /// current record's position in the .gz file); 0 for plain input.
+    std::uint64_t compressed_offset() const noexcept;
+
 private:
     bool next_line(std::string& line);
     Status next_fasta(FastqRecord& out, std::string* error);
     Status next_fastq(FastqRecord& out, std::string* error);
+    /// " (at byte N)" / " (at uncompressed byte N, compressed byte
+    /// <= M)" — appended to every malformed-record error.
+    std::string offset_suffix() const;
 
     std::istream* in_;
+    std::unique_ptr<util::GzipInputStream> gz_; ///< set for .gz input
     FastxFormat format_;
     std::string pending_; ///< one-line lookahead (FASTA record boundary)
     bool has_pending_ = false;
     std::size_t records_seen_ = 0;
+    std::uint64_t next_offset_ = 0;    ///< uncompressed cursor
+    std::uint64_t line_offset_ = 0;    ///< start of the last line read
+    std::uint64_t pending_offset_ = 0; ///< start of the pushed-back line
+    std::uint64_t record_offset_ = 0;  ///< start of the current record
 };
 
 } // namespace repute::genomics

@@ -29,7 +29,7 @@ Buffer::~Buffer() { release(); }
 
 void Buffer::release() noexcept {
     if (device_ != nullptr) {
-        device_->allocated_ -= bytes_;
+        device_->allocated_.fetch_sub(bytes_, std::memory_order_relaxed);
         device_ = nullptr;
         bytes_ = 0;
     }
@@ -58,13 +58,20 @@ Buffer Context::allocate(Device& device, std::uint64_t bytes,
                            std::to_string(profile.max_single_allocation()) +
                            ")");
     }
-    if (device.allocated_ + bytes > profile.global_memory_bytes) {
-        throw OclError(OclStatus::MemObjectAllocFail,
-                       "allocating '" + name + "' (" +
-                           std::to_string(bytes) + " bytes) exhausts " +
-                           profile.name + " global memory");
-    }
-    device.allocated_ += bytes;
+    // CAS reserve: the exhaustion check and the charge must be one
+    // step, or two mappers sharing the device could both pass the
+    // check and over-commit its global memory.
+    std::uint64_t current =
+        device.allocated_.load(std::memory_order_relaxed);
+    do {
+        if (current + bytes > profile.global_memory_bytes) {
+            throw OclError(OclStatus::MemObjectAllocFail,
+                           "allocating '" + name + "' (" +
+                               std::to_string(bytes) + " bytes) exhausts " +
+                               profile.name + " global memory");
+        }
+    } while (!device.allocated_.compare_exchange_weak(
+        current, current + bytes, std::memory_order_relaxed));
     return Buffer(&device, bytes, std::move(name));
 }
 

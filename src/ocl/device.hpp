@@ -15,6 +15,7 @@
 // failures) live in the reproduction while making results deterministic
 // and host-independent.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -212,7 +213,9 @@ public:
     std::uint64_t fault_launches() const;
 
     /// Bytes currently allocated on the device (maintained by Context).
-    std::uint64_t allocated_bytes() const noexcept { return allocated_; }
+    std::uint64_t allocated_bytes() const noexcept {
+        return allocated_.load(std::memory_order_relaxed);
+    }
 
 private:
     friend class Context;
@@ -231,7 +234,9 @@ private:
     double d2h_clock_ = 0.0;      ///< device-to-host DMA channel frontier
     TransferStats xfer_;
     mutable std::mutex time_mutex_;
-    std::uint64_t allocated_ = 0;
+    /// Atomic: mappers sharing one device (a MappingSession pool)
+    /// allocate and release from concurrent map workers.
+    std::atomic<std::uint64_t> allocated_{0};
 
     mutable std::mutex fault_mutex_;
     bool fault_armed_ = false;

@@ -245,18 +245,29 @@ MapResponse MappingSession::map(const MapRequest& request,
                 *mapper, multi_->concatenated(), request.pair));
             paired.push_back(paired_owned.back().get());
         }
-        StreamingFastxReader r1(*request.reads, request.reader);
-        StreamingFastxReader r2(*request.reads2, request.reader);
-        response.pipeline = run_paired_pipeline(
-            r1, r2, paired, request.delta,
-            [&](std::size_t, const PairedUnit& unit,
+        PairedStreamingReader reader(*request.reads, *request.reads2,
+                                     request.reader);
+        RecordReorderWriter writer(sam_out);
+        response.pipeline = run_bucketed_paired_pipeline(
+            reader, paired, request.delta,
+            [&](std::size_t, const OrderedPairBatch& unit,
                 const core::PairedResult& result) {
-                emitter.emit_paired(unit.first, unit.second, result);
+                // Sinks run serialized in the pipeline's writer thread;
+                // the reorder writer restores input order across the
+                // interleaved length-class buckets.
+                auto rendered = emitter.render_paired(unit.first,
+                                                      unit.second, result);
+                for (std::size_t i = 0; i < rendered.size(); ++i) {
+                    writer.add(unit.ordinals[i],
+                               std::move(rendered[i]));
+                }
             },
             pipe_config);
-        response.reads_in = r1.stats().records + r2.stats().records +
-                            r1.stats().dropped() + r2.stats().dropped();
-        response.dropped = r1.stats().dropped() + r2.stats().dropped();
+        writer.finish();
+        // Paired reader stats count pairs; the response counts reads.
+        response.reads_in =
+            2 * (reader.stats().records + reader.stats().dropped());
+        response.dropped = 2 * reader.stats().dropped();
     } else if (request.monolithic) {
         std::size_t length_dropped = 0;
         const auto batch = genomics::to_read_batch(
@@ -271,19 +282,26 @@ MapResponse MappingSession::map(const MapRequest& request,
         response.dropped = length_dropped;
         response.xfer_bytes_staged = result.bytes_staged();
         response.xfer_bytes_drained = result.bytes_drained();
-    } else { // single-end streaming
+    } else { // single-end streaming (length-bucketed)
         StreamingFastxReader reader(*request.reads, request.reader);
-        response.pipeline = run_mapping_pipeline(
+        RecordReorderWriter writer(sam_out);
+        response.pipeline = run_bucketed_pipeline(
             reader, mappers, request.delta,
-            [&](std::size_t, const genomics::ReadBatch& batch,
+            [&](std::size_t, const OrderedBatch& unit,
                 const core::MapResult& result) {
                 // Sinks run serialized in the pipeline's writer thread,
-                // so plain accumulation is safe.
+                // so plain accumulation is safe; the reorder writer
+                // restores input order across interleaved buckets.
                 response.xfer_bytes_staged += result.bytes_staged();
                 response.xfer_bytes_drained += result.bytes_drained();
-                emitter.emit(batch, result);
+                for (std::size_t i = 0; i < unit.batch.size(); ++i) {
+                    writer.add(unit.ordinals[i],
+                               emitter.render_read(unit.batch, i,
+                                                   result));
+                }
             },
             pipe_config);
+        writer.finish();
         response.reads_in =
             reader.stats().records + reader.stats().dropped();
         response.dropped = reader.stats().dropped();

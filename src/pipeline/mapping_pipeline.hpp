@@ -51,4 +51,32 @@ PipelineStats run_paired_pipeline(
     std::span<core::PairedMapper* const> mappers, std::uint32_t delta,
     const PairedSink& sink, PipelineConfig config = {});
 
+/// Ordered bucketed sink: buckets arrive with consecutive `seq` in
+/// *dispatch* order. That is not input record order — buckets of
+/// different length classes interleave — so sinks that need input
+/// order replay unit.ordinals through a RecordReorderWriter.
+using OrderedBatchSink = std::function<void(
+    std::size_t seq, const OrderedBatch& unit,
+    const core::MapResult& result)>;
+
+/// Mixed-length variant of run_mapping_pipeline: streams length-class
+/// buckets from reader.next_bucket() through the same engine. Each
+/// bucket is internally uniform (read_length = class ceiling), so any
+/// fixed-scratch Mapper maps it exactly like a uniform batch.
+PipelineStats run_bucketed_pipeline(
+    StreamingFastxReader& reader, std::span<core::Mapper* const> mappers,
+    std::uint32_t delta, const OrderedBatchSink& sink,
+    PipelineConfig config = {});
+
+using OrderedPairSink = std::function<void(
+    std::size_t seq, const OrderedPairBatch& unit,
+    const core::PairedResult& result)>;
+
+/// Mixed-length paired variant over a lockstep PairedStreamingReader
+/// (desync detection lives in the reader).
+PipelineStats run_bucketed_paired_pipeline(
+    PairedStreamingReader& reader,
+    std::span<core::PairedMapper* const> mappers, std::uint32_t delta,
+    const OrderedPairSink& sink, PipelineConfig config = {});
+
 } // namespace repute::pipeline

@@ -18,6 +18,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/mapping.hpp"
 #include "core/paired.hpp"
@@ -49,6 +52,8 @@ public:
     /// Emits one batch's mappings: every read produces at least one
     /// record (unmapped reads get a flag-0x4 placeholder); the first
     /// reported mapping is primary, the rest are flagged secondary.
+    /// Boundary checks use each read's own length, so mixed-length
+    /// (bucketed) batches emit identically to uniform ones.
     void emit(const genomics::ReadBatch& batch,
               const core::MapResult& result);
 
@@ -59,15 +64,55 @@ public:
                      const genomics::ReadBatch& second,
                      const core::PairedResult& result);
 
+    /// render_*: the exact bytes emit()/emit_paired() would write for
+    /// one read (or one pair — two lines), returned instead of written.
+    /// Stats update as if emitted. Used by the bucketed streaming path,
+    /// which reorders per-read strings by global input ordinal before
+    /// they reach the output stream.
+    std::string render_read(const genomics::ReadBatch& batch,
+                            std::size_t index,
+                            const core::MapResult& result);
+    std::vector<std::string> render_paired(
+        const genomics::ReadBatch& first,
+        const genomics::ReadBatch& second,
+        const core::PairedResult& result);
+
     const Stats& stats() const noexcept { return stats_; }
 
 private:
-    void write_record(const genomics::SamRecord& rec);
+    void write_record(std::ostream& out, const genomics::SamRecord& rec);
+    void emit_read(std::ostream& out, const genomics::ReadBatch& batch,
+                   std::size_t index, const core::MapResult& result);
+    void finalize_pair_record(std::ostream& out, genomics::SamRecord& rec,
+                              std::uint32_t own_len,
+                              std::uint32_t mate_len);
 
     std::ostream* out_;
     const genomics::MultiReference* multi_;
     SamEmitterConfig config_;
     Stats stats_;
+};
+
+/// Restores input order over per-record SAM strings produced out of
+/// order (interleaved length-class buckets): add() parks a record under
+/// its dense global ordinal and flushes the contiguous run starting at
+/// the next unwritten ordinal. finish() asserts nothing is left parked
+/// (a gap means an ordinal was never produced).
+class RecordReorderWriter {
+public:
+    explicit RecordReorderWriter(std::ostream& out) : out_(&out) {}
+
+    void add(std::uint64_t ordinal, std::string bytes);
+    /// Throws std::logic_error if records are still parked.
+    void finish();
+
+    std::size_t max_parked() const noexcept { return max_parked_; }
+
+private:
+    std::ostream* out_;
+    std::map<std::uint64_t, std::string> parked_;
+    std::uint64_t next_ = 0;
+    std::size_t max_parked_ = 0;
 };
 
 } // namespace repute::pipeline

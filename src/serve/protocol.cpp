@@ -139,6 +139,10 @@ std::string encode_request(const WireRequest& request) {
     put_blob(out, request.tenant);
     put_blob(out, request.reads);
     put_blob(out, request.reads2);
+    // Trailing extension fields follow the blobs; old decoders that
+    // stop here reject the extra bytes loudly, new decoders default
+    // them when absent.
+    put_u32(out, request.length_grid);
     return out;
 }
 
@@ -157,6 +161,9 @@ WireRequest decode_request(const std::string& payload) {
     request.tenant = in.blob();
     request.reads = in.blob();
     request.reads2 = in.blob();
+    if (in.left >= sizeof(std::uint32_t)) {
+        request.length_grid = in.pod<std::uint32_t>();
+    }
     if (in.left != 0) {
         throw std::runtime_error(
             "serve: trailing bytes after request payload");

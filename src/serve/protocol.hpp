@@ -14,11 +14,18 @@
 //
 // The request payload is a fixed little-endian header (per-request
 // mapping knobs — the wire twin of pipeline::MapRequest) followed by
-// length-prefixed tenant / reads / mates byte blobs. Kernel- and
+// length-prefixed tenant / reads / mates byte blobs, then optional
+// trailing extension fields (currently: u32 length_grid). Decoders
+// default any absent trailing field, so payloads from older clients —
+// which simply end after the blobs — keep working; newer clients
+// talking to an older server are rejected by its trailing-bytes check,
+// a loud failure rather than silent misconfiguration. Kernel- and
 // index-level knobs are deliberately NOT on the wire: they are fixed at
 // session construction (`repute serve --index ...`), so every request
 // maps against the same resident index with the same kernel config —
 // requests only choose delta, batching, pairing and output shape.
+// Read blobs may themselves be gzip-compressed (the FASTX layer sniffs
+// the magic), so clients can ship .gz files byte-for-byte.
 //
 // Frames are capped (kMaxFrameBytes) so a corrupt or hostile length
 // prefix cannot make the server allocate unbounded memory.
@@ -62,12 +69,17 @@ struct WireRequest {
     std::uint32_t map_workers = 1;
     std::uint32_t batch_size = 4096;
     std::uint32_t queue_depth = 4;
+    /// 0 = length-bucketed mixed-length mapping (the default); non-zero
+    /// pins a fixed length and drops everything else.
     std::uint32_t read_length = 0;
     std::uint32_t min_insert = 200;
     std::uint32_t max_insert = 600;
     std::string tenant;
-    std::string reads;  ///< FASTQ/FASTA payload bytes
+    std::string reads;  ///< FASTQ/FASTA payload bytes (may be gzip)
     std::string reads2; ///< second mates; empty = single-end
+    /// Trailing extension field: length-class quantization grid for
+    /// bucketed requests. Absent on the wire (old clients) = 16.
+    std::uint32_t length_grid = 16;
 };
 
 /// Serializes `request` into a Request-frame payload.

@@ -1,0 +1,200 @@
+#include "util/gzip_stream.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#if defined(REPUTE_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace repute::util {
+
+bool zlib_enabled() noexcept {
+#if defined(REPUTE_HAVE_ZLIB)
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool sniff_gzip_magic(std::istream& in) {
+    const int c0 = in.peek();
+    if (c0 != 0x1f) return false;
+    in.get();
+    const int c1 = in.peek();
+    in.unget(); // one-character putback is guaranteed after a get
+    return c1 == 0x8b;
+}
+
+#if defined(REPUTE_HAVE_ZLIB)
+
+std::string gzip_compress(const std::string& bytes) {
+    z_stream strm{};
+    // windowBits 15 + 16 selects a gzip (not zlib) wrapper.
+    if (deflateInit2(&strm, Z_DEFAULT_COMPRESSION, Z_DEFLATED, 15 + 16, 8,
+                     Z_DEFAULT_STRATEGY) != Z_OK) {
+        throw std::runtime_error("gzip: deflateInit2 failed");
+    }
+    strm.next_in =
+        reinterpret_cast<Bytef*>(const_cast<char*>(bytes.data()));
+    strm.avail_in = static_cast<uInt>(bytes.size());
+    std::string out;
+    std::vector<char> chunk(64 * 1024);
+    int rc = Z_OK;
+    do {
+        strm.next_out = reinterpret_cast<Bytef*>(chunk.data());
+        strm.avail_out = static_cast<uInt>(chunk.size());
+        rc = deflate(&strm, Z_FINISH);
+        if (rc != Z_OK && rc != Z_STREAM_END) {
+            deflateEnd(&strm);
+            throw std::runtime_error("gzip: deflate failed");
+        }
+        out.append(chunk.data(), chunk.size() - strm.avail_out);
+    } while (rc != Z_STREAM_END);
+    deflateEnd(&strm);
+    return out;
+}
+
+/// std::streambuf whose underflow() pulls compressed bytes from the raw
+/// stream and inflates them. One gzip member ending while more
+/// compressed bytes follow resets the inflater (multi-member support).
+class GzipInputStream::InflateBuf final : public std::streambuf {
+public:
+    explicit InflateBuf(std::istream& raw)
+        : raw_(&raw), in_(64 * 1024), out_(64 * 1024) {
+        if (inflateInit2(&strm_, 15 + 16) != Z_OK) {
+            throw std::runtime_error("gzip: inflateInit2 failed");
+        }
+        live_ = true;
+    }
+    ~InflateBuf() override {
+        if (live_) inflateEnd(&strm_);
+    }
+    InflateBuf(const InflateBuf&) = delete;
+    InflateBuf& operator=(const InflateBuf&) = delete;
+
+    std::uint64_t compressed_offset() const noexcept {
+        return raw_consumed_ - strm_.avail_in;
+    }
+
+protected:
+    int_type underflow() override {
+        if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+        if (finished_) return traits_type::eof();
+
+        strm_.next_out = reinterpret_cast<Bytef*>(out_.data());
+        strm_.avail_out = static_cast<uInt>(out_.size());
+        while (strm_.avail_out == static_cast<uInt>(out_.size())) {
+            if (strm_.avail_in == 0 && !fill_input()) {
+                if (at_member_boundary_) {
+                    finished_ = true; // clean EOF between members
+                    break;
+                }
+                throw std::runtime_error(
+                    "gzip: truncated compressed stream (input ended "
+                    "mid-member at compressed byte " +
+                    std::to_string(compressed_offset()) + ")");
+            }
+            at_member_boundary_ = false;
+            const int rc = inflate(&strm_, Z_NO_FLUSH);
+            if (rc == Z_STREAM_END) {
+                // Member finished; more compressed bytes (here or still
+                // in the raw stream) mean another member follows.
+                at_member_boundary_ = true;
+                if (strm_.avail_in == 0 && raw_eof()) {
+                    finished_ = true;
+                    break;
+                }
+                if (inflateReset(&strm_) != Z_OK) {
+                    throw std::runtime_error("gzip: inflateReset failed");
+                }
+                continue;
+            }
+            if (rc != Z_OK && rc != Z_BUF_ERROR) {
+                throw std::runtime_error(
+                    "gzip: corrupt compressed stream at compressed "
+                    "byte " +
+                    std::to_string(compressed_offset()) + " (" +
+                    (strm_.msg != nullptr ? strm_.msg : "inflate error") +
+                    ")");
+            }
+        }
+
+        const auto produced = out_.size() - strm_.avail_out;
+        if (produced == 0) return traits_type::eof();
+        setg(out_.data(), out_.data(), out_.data() + produced);
+        return traits_type::to_int_type(*gptr());
+    }
+
+private:
+    bool raw_eof() {
+        return raw_->eof() || raw_->peek() == std::istream::traits_type::eof();
+    }
+
+    bool fill_input() {
+        raw_->read(in_.data(), static_cast<std::streamsize>(in_.size()));
+        const auto got = static_cast<std::size_t>(raw_->gcount());
+        if (got == 0) return false;
+        raw_consumed_ += got;
+        strm_.next_in = reinterpret_cast<Bytef*>(in_.data());
+        strm_.avail_in = static_cast<uInt>(got);
+        return true;
+    }
+
+    std::istream* raw_;
+    z_stream strm_{};
+    bool live_ = false;
+    std::vector<char> in_;
+    std::vector<char> out_;
+    std::uint64_t raw_consumed_ = 0;
+    bool finished_ = false;
+    /// True only right after a member's trailer was verified — an EOF
+    /// here is a clean end of file, anywhere else it is truncation.
+    bool at_member_boundary_ = true;
+};
+
+GzipInputStream::GzipInputStream(std::istream& raw)
+    : buf_(std::make_unique<InflateBuf>(raw)), stream_(buf_.get()) {
+    // istream extraction swallows streambuf exceptions into badbit
+    // unless badbit is in the exception mask; truncation/corruption
+    // must surface as the runtime_error the buffer threw, not as a
+    // silent short read.
+    stream_.exceptions(std::ios::badbit);
+}
+
+GzipInputStream::~GzipInputStream() = default;
+
+std::uint64_t GzipInputStream::compressed_offset() const noexcept {
+    return buf_->compressed_offset();
+}
+
+#else // !REPUTE_HAVE_ZLIB
+
+namespace {
+
+[[noreturn]] void throw_no_zlib() {
+    throw std::runtime_error(
+        "gzip input detected but this repute was rebuilt without zlib "
+        "(-DREPUTE_ZLIB=OFF); decompress the file first or rebuild with "
+        "-DREPUTE_ZLIB=ON");
+}
+
+} // namespace
+
+std::string gzip_compress(const std::string&) { throw_no_zlib(); }
+
+class GzipInputStream::InflateBuf final : public std::streambuf {};
+
+GzipInputStream::GzipInputStream(std::istream&) : stream_(nullptr) {
+    throw_no_zlib();
+}
+
+GzipInputStream::~GzipInputStream() = default;
+
+std::uint64_t GzipInputStream::compressed_offset() const noexcept {
+    return 0;
+}
+
+#endif
+
+} // namespace repute::util

@@ -1,0 +1,66 @@
+#pragma once
+// Buffered zlib inflate wrapper for gzip-compressed inputs.
+//
+// GzipInputStream turns any std::istream positioned at a gzip member
+// (magic 0x1f 0x8b) into a decompressed std::istream, so the FASTX
+// layer reads .gz files through the exact same record scanner as plain
+// text — whether the bytes come from a CLI file, a daemon request blob
+// or a test istringstream. Multi-member files (the output of
+// `cat a.gz b.gz`, standard for bgzip-style tools) inflate seamlessly.
+//
+// Error taxonomy is deliberately split: a stream that ends mid-member
+// throws a "truncated" error, a stream whose deflate data or trailer
+// checksum is wrong throws a "corrupt" error — callers (and tests) can
+// tell a partial download from bit rot. Both errors carry the
+// compressed byte offset consumed so far.
+//
+// The whole facility sits behind the REPUTE_ZLIB CMake option: when the
+// build carries no zlib, zlib_enabled() is false and constructing a
+// GzipInputStream throws a clear "rebuilt without zlib" error instead
+// of misparsing compressed bytes as FASTX.
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <string>
+
+namespace repute::util {
+
+/// True when this build can inflate gzip input (REPUTE_ZLIB=ON).
+bool zlib_enabled() noexcept;
+
+/// Peeks (without consuming) whether `in` starts with the gzip magic
+/// bytes 0x1f 0x8b at its current position.
+bool sniff_gzip_magic(std::istream& in);
+
+/// Compresses `bytes` into a single gzip member — the fixture-side twin
+/// of GzipInputStream, used by tests and tools that need .gz payloads
+/// without shelling out. Throws std::runtime_error when built without
+/// zlib.
+std::string gzip_compress(const std::string& bytes);
+
+class GzipInputStream {
+public:
+    /// `raw` must outlive this object and be positioned at the gzip
+    /// magic. Throws std::runtime_error when built without zlib.
+    explicit GzipInputStream(std::istream& raw);
+    ~GzipInputStream();
+    GzipInputStream(const GzipInputStream&) = delete;
+    GzipInputStream& operator=(const GzipInputStream&) = delete;
+
+    /// The decompressed byte stream. Corrupt or truncated compressed
+    /// input surfaces as a std::runtime_error thrown from a read.
+    std::istream& stream() noexcept { return stream_; }
+
+    /// Compressed bytes inflated so far — an upper bound on the
+    /// compressed-file offset of the most recently decompressed byte
+    /// (upper because input is consumed in buffered chunks).
+    std::uint64_t compressed_offset() const noexcept;
+
+private:
+    class InflateBuf;
+    std::unique_ptr<InflateBuf> buf_;
+    std::istream stream_;
+};
+
+} // namespace repute::util
